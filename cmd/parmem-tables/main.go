@@ -1,0 +1,155 @@
+// Command parmem-tables regenerates the paper's evaluation: Table 1
+// (duplication of data under STOR1/STOR2/STOR3), Table 2 (memory conflicts
+// due to array accesses at k=8 and k=4), the overall speed-up report, and
+// the worked examples of Figs. 1, 3 and 8.
+//
+// Usage:
+//
+//	parmem-tables            print everything
+//	parmem-tables -table 1   only Table 1
+//	parmem-tables -table 2   only Table 2
+//	parmem-tables -speedup   only the speed-up report
+//	parmem-tables -figures   only the worked figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parmem"
+	"parmem/internal/assign"
+	"parmem/internal/conflict"
+)
+
+func main() {
+	var (
+		table   = flag.Int("table", 0, "print only this table (1 or 2)")
+		speedup = flag.Bool("speedup", false, "print only the speed-up report")
+		figures = flag.Bool("figures", false, "print only the worked figures")
+		sweep   = flag.String("sweep", "", "width-sweep this benchmark across k = 2..16")
+		k       = flag.Int("k", 8, "memory modules for Table 1 and speed-ups")
+	)
+	flag.Parse()
+
+	if *sweep != "" {
+		rows, err := parmem.WidthSweep(*sweep, []int{2, 4, 8, 16})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Width sweep (reconfigurable LIW: modules = units)\n\n")
+		fmt.Print(parmem.FormatWidthSweep(rows))
+		return
+	}
+	all := *table == 0 && !*speedup && !*figures
+	if all || *table == 1 {
+		printTable1(*k)
+	}
+	if all || *table == 2 {
+		printTable2()
+	}
+	if all || *speedup {
+		printSpeedups(*k)
+	}
+	if all || *figures {
+		printFigures()
+	}
+}
+
+func printTable1(k int) {
+	rows, err := parmem.Table1(k)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Table 1. Duplication of Data (k=%d)\n", k)
+	fmt.Printf("(paper, k=8: STOR1 almost no duplication; STOR2 worst; STOR3 between)\n\n")
+	fmt.Print(parmem.FormatTable1(rows))
+	fmt.Println()
+}
+
+func printTable2() {
+	ks := []int{8, 4}
+	rows, err := parmem.Table2(ks)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Table 2. Memory Conflicts due to Array Accesses")
+	fmt.Println("(paper: t_ave/t_min 1.02-1.20, t_max/t_min 1.09-1.38; meas = simulated interleaved layout)")
+	fmt.Println()
+	fmt.Print(parmem.FormatTable2(rows, ks))
+	fmt.Println()
+}
+
+func printSpeedups(k int) {
+	rows, err := parmem.Speedups(k)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Overall speed-up over sequential execution (k=%d)\n", k)
+	fmt.Println("(paper: 64%-300% overall speed-up on the RLIW system)")
+	fmt.Println()
+	fmt.Print(parmem.FormatSpeedups(rows))
+	fmt.Println()
+}
+
+// printFigures reruns the paper's worked examples through the real
+// pipeline.
+func printFigures() {
+	fmt.Println("Worked examples (paper Figs. 1, 3, 8)")
+	fmt.Println()
+
+	show := func(name string, instrs []conflict.Instruction, k int) {
+		p := assign.Program{Instrs: instrs}
+		al, err := assign.Assign(p, assign.Options{K: k})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s (k=%d):\n", name, k)
+		for v := 1; v <= maxValue(instrs); v++ {
+			set, ok := al.Copies[v]
+			if !ok {
+				continue
+			}
+			marks := ""
+			for m := 0; m < k; m++ {
+				if set.Has(m) {
+					marks += "x"
+				} else {
+					marks += "-"
+				}
+			}
+			fmt.Printf("  V%d %s\n", v, marks)
+		}
+		fmt.Printf("  values: %d single-copy, %d replicated; %d total copies\n\n",
+			al.SingleCopy, al.MultiCopy, al.TotalCopies)
+	}
+
+	show("Fig. 1 — conflict-free assignment exists",
+		[]conflict.Instruction{{1, 2, 4}, {2, 3, 5}, {2, 3, 4}}, 3)
+
+	show("Fig. 1 + {V2 V4 V5} — one value must be replicated",
+		[]conflict.Instruction{{1, 2, 4}, {2, 3, 5}, {2, 3, 4}, {2, 4, 5}}, 3)
+
+	show("Fig. 3 — K5 conflict graph, two values replicated",
+		[]conflict.Instruction{{1, 2, 3}, {2, 3, 4}, {1, 3, 4}, {1, 3, 5}, {2, 3, 5}, {1, 4, 5}}, 3)
+
+	show("Fig. 8 — placement decides the copy count of V4",
+		[]conflict.Instruction{{1, 2, 3, 5}, {4, 2, 3, 5}, {1, 2, 3, 4}, {4, 2, 1, 5}}, 4)
+}
+
+func maxValue(instrs []conflict.Instruction) int {
+	max := 0
+	for _, in := range instrs {
+		for _, v := range in {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "parmem-tables:", err)
+	os.Exit(1)
+}

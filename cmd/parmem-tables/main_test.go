@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "parmem-tables")
+	cmd := exec.Command("go", "build", "-o", bin, "parmem/cmd/parmem-tables")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestTablesTable1(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := exec.Command(bin, "-table", "1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"Table 1", "TAYLOR1", "COLOR", "STOR1", "STOR3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTablesFigures(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := exec.Command(bin, "-figures").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"Fig. 1", "Fig. 3", "Fig. 8", "replicated"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTablesSpeedup(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := exec.Command(bin, "-speedup").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "speedup") {
+		t.Fatalf("missing speedup column:\n%s", out)
+	}
+}

@@ -1,0 +1,170 @@
+// Command parmemc is the MPL compiler driver: it compiles a program through
+// the full pipeline (parse → lower → rename → schedule → memory-module
+// assignment), optionally runs it on the simulated LIW machine, and prints
+// whatever stage the flags request.
+//
+// Usage:
+//
+//	parmemc [flags] file.mpl        compile a source file
+//	parmemc [flags] -bench TAYLOR1  compile a built-in benchmark
+//
+// Flags select output: -dump-ir, -dump-sched, -dump-alloc, -dump-conflicts,
+// -run, -stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"parmem"
+)
+
+func main() {
+	var (
+		modules   = flag.Int("k", 8, "number of parallel memory modules")
+		units     = flag.Int("units", 0, "functional units per word (default: k)")
+		strategy  = flag.String("strategy", "STOR1", "conflict-graph strategy: STOR1, STOR2, STOR3 or PerRegion")
+		method    = flag.String("method", "hittingset", "duplication method: hittingset or backtrack")
+		unroll    = flag.Int("unroll", 0, "loop unrolling factor (0 disables)")
+		optimize  = flag.Bool("optimize", false, "run the scalar optimizer (folding, copy propagation, DCE)")
+		ifconvert = flag.Bool("ifconvert", false, "predicate short fault-free conditionals")
+		noAtoms   = flag.Bool("no-atoms", false, "disable clique-separator decomposition")
+		noRename  = flag.Bool("no-rename", false, "disable definition renaming")
+		benchName = flag.String("bench", "", "compile a built-in benchmark instead of a file")
+		dumpIR    = flag.Bool("dump-ir", false, "print the three-address IR")
+		dumpSched = flag.Bool("dump-sched", false, "print the long-instruction-word schedule")
+		dumpAlloc = flag.Bool("dump-alloc", false, "print the memory-module allocation")
+		dumpConfl = flag.Bool("dump-conflicts", false, "print per-word operand sets")
+		run       = flag.Bool("run", false, "execute on the simulated machine")
+		trace     = flag.Bool("trace", false, "with -run: print each executed word")
+		showStats = flag.Bool("stats", false, "print allocation and execution statistics")
+	)
+	flag.Parse()
+
+	src, name, err := readSource(*benchName, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := parmem.Options{
+		Modules:         *modules,
+		Units:           *units,
+		Unroll:          *unroll,
+		Optimize:        *optimize,
+		IfConvert:       *ifconvert,
+		DisableAtoms:    *noAtoms,
+		DisableRenaming: *noRename,
+	}
+	switch *strategy {
+	case "STOR1":
+		opt.Strategy = parmem.STOR1
+	case "STOR2":
+		opt.Strategy = parmem.STOR2
+	case "STOR3":
+		opt.Strategy = parmem.STOR3
+	case "PerRegion":
+		opt.Strategy = parmem.PerRegion
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	switch *method {
+	case "hittingset":
+		opt.Method = parmem.HittingSet
+	case "backtrack":
+		opt.Method = parmem.Backtrack
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	p, err := parmem.Compile(src, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dumpIR {
+		fmt.Print(p.Func.String())
+	}
+	if *dumpSched {
+		fmt.Print(p.Sched.String())
+	}
+	if *dumpConfl {
+		for i, in := range p.Instructions() {
+			fmt.Printf("w%d: %v\n", i, []int(in))
+		}
+	}
+	if *dumpAlloc {
+		printAlloc(p)
+	}
+	if *showStats || (!*dumpIR && !*dumpSched && !*dumpAlloc && !*dumpConfl && !*run) {
+		fmt.Printf("%s: %d values (%d single-copy, %d multi-copy), %d total copies, %d words, %d atoms\n",
+			name, p.Alloc.SingleCopy+p.Alloc.MultiCopy, p.Alloc.SingleCopy,
+			p.Alloc.MultiCopy, p.Alloc.TotalCopies, len(p.Sched.Words), p.Alloc.Atoms)
+	}
+	if *run {
+		ropt := parmem.RunOptions{}
+		if *trace {
+			ropt.Trace = os.Stdout
+		}
+		res, err := p.Run(ropt)
+		if err != nil {
+			fatal(err)
+		}
+		times := p.AnalyzeTimes(res)
+		fmt.Printf("executed %d words (%d ops) in %d cycles; stalls %d; speedup %.2fx\n",
+			res.DynamicWords, res.DynamicOps, res.Cycles, res.Stalls, res.Speedup())
+		fmt.Printf("transfer times: t_min=%.0f t_ave=%.1f t_max=%.0f (ave/min %.2f, max/min %.2f)\n",
+			times.TMin, times.TAve, times.TMax, times.RatioAve(), times.RatioMax())
+	}
+}
+
+func readSource(bench string, args []string) (src, name string, err error) {
+	if bench != "" {
+		s, err := parmem.BenchmarkSource(bench)
+		return s, bench, err
+	}
+	if len(args) != 1 {
+		return "", "", fmt.Errorf("usage: parmemc [flags] file.mpl (or -bench NAME; available: %v)", parmem.Benchmarks())
+	}
+	b, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", "", err
+	}
+	return string(b), args[0], nil
+}
+
+func printAlloc(p *parmem.Program) {
+	type row struct {
+		id   int
+		name string
+		mods []int
+	}
+	var rows []row
+	for id, set := range p.Alloc.Copies {
+		name := fmt.Sprintf("v%d", id)
+		if id < len(p.Func.Values) {
+			name = p.Func.Values[id].Name
+		}
+		rows = append(rows, row{id: id, name: name, mods: set.Modules()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	for _, r := range rows {
+		marks := ""
+		for m := 0; m < p.Opt.Modules; m++ {
+			c := "-"
+			for _, x := range r.mods {
+				if x == m {
+					c = "x"
+				}
+			}
+			marks += c
+		}
+		fmt.Printf("%-12s %s\n", r.name, marks)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "parmemc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles this command into a temp dir once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "parmemc")
+	cmd := exec.Command("go", "build", "-o", bin, "parmem/cmd/parmemc")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIStatsAndRun(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := run(t, bin, "-bench", "FFT", "-stats", "-run")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"FFT:", "single-copy", "speedup", "transfer times"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLICompileFile(t *testing.T) {
+	bin := buildCLI(t)
+	src := `program t; var x: int; begin x := 1 + 2; end`
+	file := filepath.Join(t.TempDir(), "t.mpl")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, bin, "-dump-ir", "-dump-alloc", file)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "func t:") {
+		t.Fatalf("missing IR dump:\n%s", out)
+	}
+	if !strings.Contains(out, "x") || !strings.Contains(out, "x-------") {
+		t.Fatalf("missing allocation matrix:\n%s", out)
+	}
+}
+
+func TestCLIDumpSchedAndConflicts(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := run(t, bin, "-bench", "SORT", "-dump-sched", "-dump-conflicts")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "w0:") {
+		t.Fatalf("missing schedule dump:\n%s", out)
+	}
+}
+
+func TestCLIOptionsMatrix(t *testing.T) {
+	bin := buildCLI(t)
+	for _, args := range [][]string{
+		{"-bench", "SORT", "-strategy", "STOR2"},
+		{"-bench", "SORT", "-strategy", "STOR3", "-method", "backtrack"},
+		{"-bench", "SORT", "-k", "4", "-unroll", "4"},
+		{"-bench", "SORT", "-no-atoms", "-no-rename"},
+	} {
+		if out, err := run(t, bin, args...); err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, out)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	bin := buildCLI(t)
+	cases := [][]string{
+		{},                                    // no input
+		{"-bench", "NOPE"},                    // unknown benchmark
+		{"-strategy", "BAD", "-bench", "FFT"}, // bad strategy
+		{"-method", "BAD", "-bench", "FFT"},   // bad method
+		{"/nonexistent/file.mpl"},             // missing file
+	}
+	for _, args := range cases {
+		if out, err := run(t, bin, args...); err == nil {
+			t.Fatalf("args %v: expected failure, got:\n%s", args, out)
+		}
+	}
+}
+
+func TestCLITrace(t *testing.T) {
+	bin := buildCLI(t)
+	src := `program t; var x: int; begin x := 1 + 2; end`
+	file := filepath.Join(t.TempDir(), "t.mpl")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, bin, "-run", "-trace", file)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "w0 b0") {
+		t.Fatalf("missing trace output:\n%s", out)
+	}
+}

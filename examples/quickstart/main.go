@@ -1,0 +1,60 @@
+// Quickstart: compile a small MPL program for a machine with 8 parallel
+// memory modules, inspect the storage allocation, and run it on the
+// simulated lock-step LIW machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parmem"
+)
+
+const src = `
+program quickstart;
+var dot: float;
+var a, b: array[32] of float;
+begin
+  -- fill two vectors
+  for i := 0 to 31 do
+    a[i] := i * 0.5;
+    b[i] := 32 - i;
+  end
+  -- dot product
+  dot := 0.0;
+  for i := 0 to 31 do
+    dot := dot + a[i] * b[i];
+  end
+end
+`
+
+func main() {
+	// Compile: parse -> IR -> renaming -> LIW scheduling -> memory-module
+	// assignment. Options{} uses the paper's machine: 8 modules, 8 units,
+	// strategy STOR1, hitting-set duplication.
+	p, err := parmem.Compile(src, parmem.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("compiled %q: %d long instruction words\n", p.Func.Name, len(p.Sched.Words))
+	fmt.Printf("allocation: %d values single-copy, %d replicated, %d atoms colored\n",
+		p.Alloc.SingleCopy, p.Alloc.MultiCopy, p.Alloc.Atoms)
+
+	// Execute on the machine model. Array elements are interleaved across
+	// the modules; scalar fetches are conflict-free by construction.
+	res, err := p.Run(parmem.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dot, _ := res.Scalar("dot")
+	fmt.Printf("dot product = %g\n", dot)
+	fmt.Printf("executed %d words in %d cycles (%d stalls from array conflicts); speedup %.2fx over sequential\n",
+		res.DynamicWords, res.Cycles, res.Stalls, res.Speedup())
+
+	// The paper's Table 2 analysis: how much do the unpredictable array
+	// accesses cost on top of a conflict-free program?
+	times := p.AnalyzeTimes(res)
+	fmt.Printf("transfer time: t_min=%.0f  t_ave=%.1f (x%.2f)  t_max=%.0f (x%.2f)\n",
+		times.TMin, times.TAve, times.RatioAve(), times.TMax, times.RatioMax())
+}

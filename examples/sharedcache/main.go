@@ -1,0 +1,46 @@
+// Sharedcache demonstrates the paper's closing application (§3): on a
+// shared-cache multiprocessor (the paper names the Alliant FX/8), multiple
+// simultaneous hits on one cache serialize. For read-only shared data the
+// compile-time techniques apply unchanged — predict co-accesses, color
+// items onto caches, replicate the items that cannot be placed singly —
+// and eliminate every predictable multi-hit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parmem/internal/cache"
+)
+
+func main() {
+	sys := cache.System{Caches: 8}
+	// A skewed parallel table-lookup workload: 6 processors, 64 read-only
+	// items, a few of them hot.
+	tr := cache.SyntheticTrace(64, 6, 400, 123)
+
+	paper, err := cache.Assign(tr, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	placements := []struct {
+		name string
+		p    cache.Placement
+	}{
+		{"round-robin", cache.RoundRobin(tr, sys)},
+		{"freq-balanced", cache.FrequencyBalanced(tr, sys)},
+		{"paper (color+replicate)", paper},
+	}
+
+	fmt.Printf("%d steps, %d caches\n\n", len(tr), sys.Caches)
+	fmt.Printf("%-24s %10s %12s %8s %12s\n",
+		"placement", "multi-hit", "stall cycles", "copies", "replicated")
+	for _, pl := range placements {
+		st := cache.Simulate(tr, pl.p, sys)
+		fmt.Printf("%-24s %10d %12d %8d %12d\n",
+			pl.name, st.MultiHitSteps, st.StallCycles, st.Copies, st.ReplicatedItems)
+	}
+	fmt.Println("\nThe paper's technique removes every predictable multi-hit by")
+	fmt.Println("replicating only the few read-only items that cannot be placed singly.")
+}

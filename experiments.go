@@ -1,0 +1,269 @@
+package parmem
+
+import (
+	"fmt"
+	"strings"
+
+	"parmem/internal/benchprog"
+	"parmem/internal/stats"
+)
+
+// Benchmarks lists the names of the paper's six test programs in Table 1
+// order.
+func Benchmarks() []string {
+	var out []string
+	for _, s := range benchprog.All() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// BenchmarkSource returns the MPL source of a named benchmark.
+func BenchmarkSource(name string) (string, error) {
+	s, err := benchprog.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	return s.Source, nil
+}
+
+// Table1Row reports duplication for one program under one strategy —
+// the two columns of the paper's Table 1.
+type Table1Row struct {
+	Program    string
+	Strategy   Strategy
+	SingleCopy int // scalars stored once ("=1")
+	MultiCopy  int // scalars replicated  (">1")
+}
+
+// Table1 reproduces the paper's Table 1: for each benchmark and each
+// storage strategy, how many scalar data values needed one copy and how
+// many needed several. k is the module count (the paper uses 8).
+func Table1(k int) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, spec := range benchprog.All() {
+		for _, strat := range []Strategy{STOR1, STOR2, STOR3} {
+			p, err := Compile(spec.Source, Options{Modules: k, Strategy: strat})
+			if err != nil {
+				return nil, fmt.Errorf("table1: %s/%v: %w", spec.Name, strat, err)
+			}
+			rows = append(rows, Table1Row{
+				Program:    spec.Name,
+				Strategy:   strat,
+				SingleCopy: p.Alloc.SingleCopy,
+				MultiCopy:  p.Alloc.MultiCopy,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders Table 1 rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-9s", "")
+	for _, s := range []string{"STOR1", "STOR2", "STOR3"} {
+		fmt.Fprintf(&sb, " | %5s %5s", s+"=1", ">1")
+	}
+	sb.WriteByte('\n')
+	byProg := map[string]map[Strategy]Table1Row{}
+	var order []string
+	for _, r := range rows {
+		if byProg[r.Program] == nil {
+			byProg[r.Program] = map[Strategy]Table1Row{}
+			order = append(order, r.Program)
+		}
+		byProg[r.Program][r.Strategy] = r
+	}
+	for _, prog := range order {
+		fmt.Fprintf(&sb, "%-9s", prog)
+		for _, s := range []Strategy{STOR1, STOR2, STOR3} {
+			r := byProg[prog][s]
+			fmt.Fprintf(&sb, " | %5d %5d", r.SingleCopy, r.MultiCopy)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Table2Row reports the array-conflict time ratios for one program and one
+// machine size — a cell group of the paper's Table 2.
+type Table2Row struct {
+	Program  string
+	K        int
+	Times    Times
+	RatioAve float64 // t_ave / t_min
+	RatioMax float64 // t_max / t_min
+	// MeasuredAve is the simulated transfer time with interleaved arrays
+	// divided by t_min — the empirical counterpart of RatioAve.
+	MeasuredAve float64
+}
+
+// Table2 reproduces the paper's Table 2: the predicted average and worst
+// case increase in memory transfer time caused by array accesses, for each
+// benchmark, at each machine size in ks (the paper uses 8 and 4).
+func Table2(ks []int) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, spec := range benchprog.All() {
+		for _, k := range ks {
+			p, err := Compile(spec.Source, Options{Modules: k})
+			if err != nil {
+				return nil, fmt.Errorf("table2: %s/k=%d: %w", spec.Name, k, err)
+			}
+			res, err := p.Run(RunOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("table2: %s/k=%d: %w", spec.Name, k, err)
+			}
+			if err := checkSpec(spec, res); err != nil {
+				return nil, fmt.Errorf("table2: %s/k=%d: %w", spec.Name, k, err)
+			}
+			times := stats.Analyze(res.Profiles, k)
+			measured := 1.0
+			if res.MemWords > 0 {
+				measured = float64(res.TransferTime) / float64(res.MemWords)
+			}
+			rows = append(rows, Table2Row{
+				Program:     spec.Name,
+				K:           k,
+				Times:       times,
+				RatioAve:    times.RatioAve(),
+				RatioMax:    times.RatioMax(),
+				MeasuredAve: measured,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders Table 2 rows in the paper's layout.
+func FormatTable2(rows []Table2Row, ks []int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-9s", "")
+	for _, k := range ks {
+		fmt.Fprintf(&sb, " | k=%d: ave/min max/min (meas)", k)
+	}
+	sb.WriteByte('\n')
+	byProg := map[string]map[int]Table2Row{}
+	var order []string
+	for _, r := range rows {
+		if byProg[r.Program] == nil {
+			byProg[r.Program] = map[int]Table2Row{}
+			order = append(order, r.Program)
+		}
+		byProg[r.Program][r.K] = r
+	}
+	for _, prog := range order {
+		fmt.Fprintf(&sb, "%-9s", prog)
+		for _, k := range ks {
+			r := byProg[prog][k]
+			fmt.Fprintf(&sb, " |      %4.2f    %4.2f    (%4.2f)", r.RatioAve, r.RatioMax, r.MeasuredAve)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SpeedupRow reports parallel speedup for one benchmark (the paper reports
+// 64-300%% overall speedup on the RLIW system).
+type SpeedupRow struct {
+	Program      string
+	DynamicOps   int64
+	DynamicWords int64
+	Cycles       int64
+	Speedup      float64 // sequential time / parallel time
+}
+
+// Speedups measures the LIW speedup of every benchmark over sequential
+// execution at machine size k, with the optimizing pipeline enabled (4x
+// unrolling, scalar optimization and if-conversion — the stand-ins for the
+// RLIW compiler's region scheduling, which the paper's 64-300% speedups
+// depend on).
+func Speedups(k int) ([]SpeedupRow, error) {
+	var rows []SpeedupRow
+	for _, spec := range benchprog.All() {
+		p, err := Compile(spec.Source, Options{Modules: k, Unroll: 4, Optimize: true, IfConvert: true})
+		if err != nil {
+			return nil, fmt.Errorf("speedups: %s: %w", spec.Name, err)
+		}
+		res, err := p.Run(RunOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("speedups: %s: %w", spec.Name, err)
+		}
+		if err := checkSpec(spec, res); err != nil {
+			return nil, fmt.Errorf("speedups: %s: %w", spec.Name, err)
+		}
+		rows = append(rows, SpeedupRow{
+			Program:      spec.Name,
+			DynamicOps:   res.DynamicOps,
+			DynamicWords: res.DynamicWords,
+			Cycles:       res.Cycles,
+			Speedup:      res.Speedup(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatSpeedups renders the speedup report.
+func FormatSpeedups(rows []SpeedupRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-9s %12s %12s %10s %9s\n", "", "seq ops", "words", "cycles", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-9s %12d %12d %10d %8.2fx\n",
+			r.Program, r.DynamicOps, r.DynamicWords, r.Cycles, r.Speedup)
+	}
+	return sb.String()
+}
+
+// WidthRow reports one machine configuration of the width sweep.
+type WidthRow struct {
+	Program string
+	K       int // modules = units
+	Speedup float64
+	Cycles  int64
+}
+
+// WidthSweep measures how a benchmark's speed-up scales with machine width
+// (modules = units), the knob the *reconfigurable* LIW architecture
+// exposes: a program is run at every width in ks with the optimizing
+// pipeline. Diminishing returns show where the program's parallelism is
+// exhausted.
+func WidthSweep(name string, ks []int) ([]WidthRow, error) {
+	spec, err := benchprog.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	var rows []WidthRow
+	for _, k := range ks {
+		p, err := Compile(spec.Source, Options{Modules: k, Unroll: 4, Optimize: true, IfConvert: true})
+		if err != nil {
+			return nil, fmt.Errorf("widthsweep: %s/k=%d: %w", name, k, err)
+		}
+		res, err := p.Run(RunOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("widthsweep: %s/k=%d: %w", name, k, err)
+		}
+		if err := checkSpec(spec, res); err != nil {
+			return nil, fmt.Errorf("widthsweep: %s/k=%d: %w", name, k, err)
+		}
+		rows = append(rows, WidthRow{Program: name, K: k, Speedup: res.Speedup(), Cycles: res.Cycles})
+	}
+	return rows, nil
+}
+
+// FormatWidthSweep renders a width sweep.
+func FormatWidthSweep(rows []WidthRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-9s %4s %10s %9s\n", "", "k", "cycles", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-9s %4d %10d %8.2fx\n", r.Program, r.K, r.Cycles, r.Speedup)
+	}
+	return sb.String()
+}
+
+// checkSpec validates a benchmark result against its semantic check.
+func checkSpec(spec benchprog.Spec, res *Result) error {
+	if spec.Check == nil {
+		return nil
+	}
+	return spec.Check(res)
+}

@@ -1,0 +1,3 @@
+module parmem
+
+go 1.22

@@ -1,0 +1,479 @@
+// Package assign drives end-to-end memory-module assignment: it combines
+// clique-separator decomposition, the urgency coloring heuristic and a
+// duplication strategy into the three whole-program storage strategies the
+// paper evaluates (Gupta & Soffa, PPOPP 1988, §3):
+//
+//   - STOR1 — all data values of the program are considered at once; the
+//     conflict graph is unrestricted.
+//   - STOR2 — two stages: values live across regions ("globals") are
+//     assigned first using conflicts visible among globals only, then each
+//     region's local values are assigned with the globals pinned.
+//   - STOR3 — the instruction stream is cut into a fixed number of groups;
+//     each group's new values are assigned in turn with all earlier
+//     bindings pinned.
+//
+// STOR2/STOR3 can pin two values to the same module before ever seeing an
+// instruction that uses both; such instructions cannot be repaired by
+// coloring, so the driver force-replicates the clashing values (they count
+// toward the multi-copy column of Table 1, which is exactly the degradation
+// the paper reports for the restricted strategies).
+package assign
+
+import (
+	"fmt"
+	"sort"
+
+	"parmem/internal/atoms"
+	"parmem/internal/coloring"
+	"parmem/internal/conflict"
+	"parmem/internal/duplication"
+	"parmem/internal/graph"
+)
+
+// Strategy selects how much of the program the conflict graph may span.
+type Strategy int
+
+const (
+	// STOR1 considers every value and every instruction simultaneously.
+	STOR1 Strategy = iota
+	// STOR2 assigns region-crossing values first, then region locals.
+	STOR2
+	// STOR3 splits the instructions into groups assigned in sequence.
+	STOR3
+	// PerRegion assigns one program region at a time with no global stage
+	// — the first alternative §2 mentions for bounding the graph size
+	// ("perform the memory module assignment for one program region at a
+	// time"). Cross-region values are bound by whichever region touches
+	// them first.
+	PerRegion
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case STOR1:
+		return "STOR1"
+	case STOR2:
+		return "STOR2"
+	case STOR3:
+		return "STOR3"
+	case PerRegion:
+		return "PerRegion"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Method selects the duplication strategy of §2.2.
+type Method int
+
+const (
+	// HittingSet is the global approach of paper Figs. 7/9/10 (the one the
+	// paper reports results for).
+	HittingSet Method = iota
+	// Backtrack is the per-instruction approach of paper Fig. 6.
+	Backtrack
+)
+
+func (m Method) String() string {
+	if m == Backtrack {
+		return "backtrack"
+	}
+	return "hittingset"
+}
+
+// Options configures an assignment run.
+type Options struct {
+	// K is the number of memory modules; required, >= 1.
+	K int
+	// Strategy is the conflict-graph scoping strategy; default STOR1.
+	Strategy Strategy
+	// Method is the duplication strategy; default HittingSet.
+	Method Method
+	// DisableAtoms turns off clique-separator decomposition before
+	// coloring (ablation knob; the paper always decomposes).
+	DisableAtoms bool
+	// Groups is the number of instruction groups for STOR3; default 2
+	// (the paper's experiment splits the instructions into two groups).
+	Groups int
+	// Pick is the module-choice policy used while coloring.
+	Pick coloring.PickPolicy
+}
+
+// Program is the input to assignment: the instruction stream plus the
+// region metadata STOR2 needs.
+type Program struct {
+	// Instrs is the scheduled long-instruction stream, each entry the set
+	// of data values the instruction fetches.
+	Instrs []conflict.Instruction
+	// RegionOf maps an instruction index to its region id. Only STOR2
+	// reads it; nil means one region.
+	RegionOf []int
+	// Global marks values live across regions. Only STOR2 reads it.
+	Global map[int]bool
+}
+
+// Allocation is a complete storage assignment.
+type Allocation struct {
+	// Copies maps every data value to the set of modules storing it.
+	Copies duplication.Copies
+	// Unassigned lists the values the coloring removed (candidates for
+	// replication), over all phases.
+	Unassigned []int
+	// Forced lists values replicated by conflict repair: values pinned by
+	// an earlier phase that later turned out to clash.
+	Forced []int
+	// SingleCopy and MultiCopy are the Table 1 columns: values stored
+	// once vs. replicated.
+	SingleCopy, MultiCopy int
+	// TotalCopies is the total number of stored copies.
+	TotalCopies int
+	// Atoms is the number of atoms the conflict graph decomposed into
+	// (0 when decomposition is disabled), summed over phases.
+	Atoms int
+}
+
+// Assign computes a conflict-free storage allocation for p.
+func Assign(p Program, opt Options) (Allocation, error) {
+	if opt.K < 1 {
+		return Allocation{}, fmt.Errorf("assign: K = %d, need at least one memory module", opt.K)
+	}
+	if err := conflict.Validate(p.Instrs, opt.K); err != nil {
+		return Allocation{}, err
+	}
+	switch opt.Strategy {
+	case STOR1:
+		return assignSTOR1(p, opt)
+	case STOR2:
+		return assignSTOR2(p, opt)
+	case STOR3:
+		return assignSTOR3(p, opt)
+	case PerRegion:
+		return assignPerRegion(p, opt)
+	default:
+		return Allocation{}, fmt.Errorf("assign: unknown strategy %d", int(opt.Strategy))
+	}
+}
+
+// phaseState carries allocation state across phases of STOR2/STOR3.
+type phaseState struct {
+	copies     duplication.Copies // accumulated storage
+	replicable map[int]bool       // values allowed to gain copies
+	unassigned []int
+	forced     []int
+	atoms      int
+}
+
+func newPhaseState() *phaseState {
+	return &phaseState{copies: duplication.Copies{}, replicable: map[int]bool{}}
+}
+
+// colorPhase colors g with opt, seeding from the already-allocated values
+// that hold exactly one copy (multi-copy values stay flexible and are
+// handled by the SDR checks during duplication).
+func (st *phaseState) colorPhase(g *graph.Graph, opt Options) (map[int]int, []int) {
+	pre := map[int]int{}
+	skip := map[int]bool{}
+	for _, v := range g.Nodes() {
+		s := st.copies[v]
+		switch {
+		case s.Count() == 1:
+			pre[v] = s.Modules()[0]
+		case s.Count() > 1:
+			skip[v] = true // replicated already; flexible, not colorable
+		}
+	}
+	work := g
+	if len(skip) > 0 {
+		var keep []int
+		for _, v := range g.Nodes() {
+			if !skip[v] {
+				keep = append(keep, v)
+			}
+		}
+		work = g.Induced(keep)
+	}
+
+	assign := map[int]int{}
+	var unassigned []int
+	if opt.DisableAtoms {
+		res := coloring.GuptaSoffa(work, coloring.Options{K: opt.K, Precolored: pre, Pick: opt.Pick})
+		return res.Assign, res.Unassigned
+	}
+	// Atoms are carved off one at a time, each sharing a clique separator
+	// with the remaining graph. Color them in REVERSE carve order: then the
+	// already-colored part of each atom is exactly its separator — a clique
+	// whose vertices necessarily received pairwise-distinct modules — so
+	// sequential extension can never start from a clash. (Processing in
+	// carve order can color the two endpoints of an edge in two different
+	// atoms before the atom containing the edge is reached.)
+	dec := atoms.Decompose(work)
+	st.atoms += len(dec.Atoms)
+	removed := map[int]bool{}
+	for i := len(dec.Atoms) - 1; i >= 0; i-- {
+		a := dec.Atoms[i]
+		sub := a.Graph
+		// Vertices a previous atom failed to color are no longer coloring
+		// candidates anywhere: they will be replicated, and the SDR checks
+		// of the duplication stage cover their conflicts.
+		if len(removed) > 0 {
+			var keep []int
+			for _, v := range a.Nodes {
+				if !removed[v] {
+					keep = append(keep, v)
+				}
+			}
+			if len(keep) < len(a.Nodes) {
+				sub = a.Graph.Induced(keep)
+			}
+		}
+		preA := map[int]int{}
+		for _, v := range sub.Nodes() {
+			if m, ok := pre[v]; ok {
+				preA[v] = m
+			}
+			if m, ok := assign[v]; ok {
+				preA[v] = m // separator vertex colored by a later atom
+			}
+		}
+		res := coloring.GuptaSoffa(sub, coloring.Options{K: opt.K, Precolored: preA, Pick: opt.Pick})
+		for v, m := range res.Assign {
+			assign[v] = m
+		}
+		for _, v := range res.Unassigned {
+			removed[v] = true
+			unassigned = append(unassigned, v)
+		}
+	}
+	sort.Ints(unassigned)
+	return assign, dedupSorted(unassigned)
+}
+
+// runPhase colors the values of instrs not yet allocated and then runs the
+// duplication method, repairing residual conflicts by force-replicating
+// clashing pinned values.
+func (st *phaseState) runPhase(instrs []conflict.Instruction, g *graph.Graph, opt Options) error {
+	assignMap, unassigned := st.colorPhase(g, opt)
+
+	// Values already in st.copies are pinned; only newly colored values go
+	// into Assigned (so that Backtrack reserves their modules, the pinned
+	// single-copies came in through Initial).
+	newAssigned := map[int]int{}
+	for v, m := range assignMap {
+		if st.copies[v] == 0 {
+			newAssigned[v] = m
+		}
+	}
+	for _, v := range unassigned {
+		if st.copies[v] == 0 {
+			st.replicable[v] = true
+			st.unassigned = append(st.unassigned, v)
+		}
+	}
+
+	for attempt := 0; ; attempt++ {
+		in := duplication.Input{
+			Instrs:     instrs,
+			Assigned:   newAssigned,
+			Unassigned: sortedKeys(st.replicable),
+			Initial:    st.copies,
+			K:          opt.K,
+		}
+		var res duplication.Result
+		if opt.Method == Backtrack {
+			res = duplication.Backtrack(in)
+		} else {
+			res = duplication.HittingSetApproach(in)
+		}
+		if len(res.Residual) == 0 {
+			st.copies = res.Copies
+			return nil
+		}
+		// Repair: make every operand of a residual instruction replicable.
+		// Each repair round strictly grows the replicable set, and once all
+		// operands of an instruction may live in all K modules an SDR
+		// exists, so this terminates.
+		grew := false
+		for _, idx := range res.Residual {
+			for _, v := range instrs[idx].Normalize() {
+				if !st.replicable[v] {
+					st.replicable[v] = true
+					st.forced = append(st.forced, v)
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			return fmt.Errorf("assign: unresolvable conflicts in instructions %v", res.Residual)
+		}
+	}
+}
+
+func (st *phaseState) finish(p Program) Allocation {
+	al := Allocation{
+		Copies:     st.copies,
+		Unassigned: st.unassigned,
+		Forced:     st.forced,
+		Atoms:      st.atoms,
+	}
+	sort.Ints(al.Unassigned)
+	sort.Ints(al.Forced)
+	for _, s := range st.copies {
+		al.TotalCopies += s.Count()
+		if s.Count() > 1 {
+			al.MultiCopy++
+		} else if s.Count() == 1 {
+			al.SingleCopy++
+		}
+	}
+	return al
+}
+
+func assignSTOR1(p Program, opt Options) (Allocation, error) {
+	st := newPhaseState()
+	g := conflict.Build(p.Instrs)
+	if err := st.runPhase(p.Instrs, g, opt); err != nil {
+		return Allocation{}, err
+	}
+	return st.finish(p), nil
+}
+
+func assignSTOR2(p Program, opt Options) (Allocation, error) {
+	st := newPhaseState()
+
+	// Stage 1: conflicts among globals only, across the whole program.
+	globalGraph := graph.New()
+	for _, in := range p.Instrs {
+		var gl []int
+		for _, v := range in.Normalize() {
+			if p.Global[v] {
+				gl = append(gl, v)
+				globalGraph.AddNode(v)
+			}
+		}
+		for i := 0; i < len(gl); i++ {
+			for j := i + 1; j < len(gl); j++ {
+				globalGraph.AddEdgeWeight(gl[i], gl[j], 1)
+			}
+		}
+	}
+	// The global stage only *colors*; duplication decisions are taken when
+	// the full per-region conflicts are visible. Globals the coloring
+	// rejected become replicable for all regions.
+	assignMap, unassigned := st.colorPhase(globalGraph, opt)
+	for v, m := range assignMap {
+		st.copies[v] = duplication.ModSet(0).Add(m)
+	}
+	for _, v := range unassigned {
+		st.replicable[v] = true
+		st.unassigned = append(st.unassigned, v)
+	}
+
+	// Stage 2: one region at a time.
+	for _, idxs := range regionOrder(p) {
+		var instrs []conflict.Instruction
+		for _, i := range idxs {
+			instrs = append(instrs, p.Instrs[i])
+		}
+		g := conflict.Build(instrs)
+		if err := st.runPhase(instrs, g, opt); err != nil {
+			return Allocation{}, err
+		}
+	}
+	return st.finish(p), nil
+}
+
+// regionOrder groups instruction indices by region id, regions in ascending
+// id order. A nil RegionOf is a single region 0.
+func regionOrder(p Program) [][]int {
+	byRegion := map[int][]int{}
+	for i := range p.Instrs {
+		r := 0
+		if p.RegionOf != nil {
+			r = p.RegionOf[i]
+		}
+		byRegion[r] = append(byRegion[r], i)
+	}
+	var ids []int
+	for r := range byRegion {
+		ids = append(ids, r)
+	}
+	sort.Ints(ids)
+	out := make([][]int, 0, len(ids))
+	for _, r := range ids {
+		out = append(out, byRegion[r])
+	}
+	return out
+}
+
+// assignPerRegion allocates region by region, no global stage: like STOR2's
+// second phase alone. Values spanning regions are pinned by the first
+// region processed; later regions repair clashes by replication.
+func assignPerRegion(p Program, opt Options) (Allocation, error) {
+	st := newPhaseState()
+	for _, idxs := range regionOrder(p) {
+		var instrs []conflict.Instruction
+		for _, i := range idxs {
+			instrs = append(instrs, p.Instrs[i])
+		}
+		g := conflict.Build(instrs)
+		if err := st.runPhase(instrs, g, opt); err != nil {
+			return Allocation{}, err
+		}
+	}
+	return st.finish(p), nil
+}
+
+func assignSTOR3(p Program, opt Options) (Allocation, error) {
+	groups := opt.Groups
+	if groups <= 0 {
+		groups = 2
+	}
+	st := newPhaseState()
+	n := len(p.Instrs)
+	for gi := 0; gi < groups; gi++ {
+		lo, hi := gi*n/groups, (gi+1)*n/groups
+		if lo == hi {
+			continue
+		}
+		instrs := p.Instrs[lo:hi]
+		g := conflict.Build(instrs)
+		if err := st.runPhase(instrs, g, opt); err != nil {
+			return Allocation{}, err
+		}
+	}
+	return st.finish(p), nil
+}
+
+// Verify checks that every instruction of p is conflict-free under al.
+// It returns the indices of conflicting instructions (nil when clean).
+func Verify(p Program, al Allocation) []int {
+	var bad []int
+	for i, in := range p.Instrs {
+		if !duplication.ConflictFree(in.Normalize(), al.Copies) {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func dedupSorted(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	w := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[i-1] {
+			xs[w] = xs[i]
+			w++
+		}
+	}
+	return xs[:w]
+}

@@ -1,0 +1,144 @@
+package benchprog
+
+import (
+	"testing"
+
+	"parmem/internal/assign"
+	"parmem/internal/dfa"
+	"parmem/internal/lang"
+	"parmem/internal/machine"
+	"parmem/internal/sched"
+)
+
+// runSpec compiles, schedules, allocates and simulates one benchmark with
+// the paper's machine shape (k modules) and returns the simulation result.
+func runSpec(t *testing.T, spec Spec, k int, strategy assign.Strategy) *machine.Result {
+	t.Helper()
+	f, err := lang.Compile(spec.Source)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", spec.Name, err)
+	}
+	dfa.Rename(f)
+	p, err := sched.Schedule(f, sched.Config{Modules: k, Units: k})
+	if err != nil {
+		t.Fatalf("%s: schedule: %v", spec.Name, err)
+	}
+	cfg := dfa.BuildCFG(f)
+	regs := cfg.FindRegions()
+	prog := assign.Program{
+		Instrs:   p.Instructions(),
+		RegionOf: p.RegionOf,
+		Global:   dfa.GlobalValues(f, regs),
+	}
+	al, err := assign.Assign(prog, assign.Options{K: k, Strategy: strategy})
+	if err != nil {
+		t.Fatalf("%s: assign: %v", spec.Name, err)
+	}
+	if bad := assign.Verify(prog, al); bad != nil {
+		t.Fatalf("%s: residual conflicts in instructions %v", spec.Name, bad)
+	}
+	res, err := machine.Run(p, al.Copies, machine.Options{})
+	if err != nil {
+		t.Fatalf("%s: run: %v", spec.Name, err)
+	}
+	return res
+}
+
+// TestAllProgramsCorrect is the load-bearing end-to-end test: all six paper
+// benchmarks compile, schedule, allocate conflict-free, execute on the
+// simulated machine, and produce semantically correct results.
+func TestAllProgramsCorrect(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			res := runSpec(t, spec, 8, assign.STOR1)
+			if err := spec.Check(res); err != nil {
+				t.Fatal(err)
+			}
+			if res.ScalarConflicts != 0 {
+				t.Fatalf("scalar conflicts = %d under a verified allocation", res.ScalarConflicts)
+			}
+		})
+	}
+}
+
+// TestAllProgramsAllStrategies runs every benchmark under STOR2 and STOR3:
+// restricted strategies change duplication, never correctness.
+func TestAllProgramsAllStrategies(t *testing.T) {
+	for _, spec := range All() {
+		for _, s := range []assign.Strategy{assign.STOR2, assign.STOR3} {
+			spec, s := spec, s
+			t.Run(spec.Name+"/"+s.String(), func(t *testing.T) {
+				res := runSpec(t, spec, 8, s)
+				if err := spec.Check(res); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestFourModules reruns the suite with k=4 (Table 2's second machine).
+func TestFourModules(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			res := runSpec(t, spec, 4, assign.STOR1)
+			if err := spec.Check(res); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("FFT"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Fatal("unknown name must fail")
+	}
+}
+
+func TestSpeedupsAreParallel(t *testing.T) {
+	// The paper reports 64-300% overall speedup; our machine should at
+	// least beat sequential execution on every benchmark.
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			res := runSpec(t, spec, 8, assign.STOR1)
+			if s := res.Speedup(); s <= 1.0 {
+				t.Fatalf("speedup = %.2f, want > 1", s)
+			}
+		})
+	}
+}
+
+func TestSyntheticCompilesAndRuns(t *testing.T) {
+	for _, units := range []int{1, 4} {
+		src := Synthetic(units)
+		f, err := lang.Compile(src)
+		if err != nil {
+			t.Fatalf("units=%d: %v", units, err)
+		}
+		dfa.Rename(f)
+		p, err := sched.Schedule(f, sched.Config{Modules: 8, Units: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := assign.Program{Instrs: p.Instructions(), RegionOf: p.RegionOf}
+		al, err := assign.Assign(prog, assign.Options{K: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := machine.Run(p, al.Copies, machine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Unit u sums i*s+t over 16 elements; spot-check unit 0:
+		// s0=1, t0=3 -> sum(i*1+3) = 120+48 = 168 -> t0 = 68.
+		if v, _ := res.Scalar("t0"); v != 68 {
+			t.Fatalf("units=%d: t0 = %v, want 68", units, v)
+		}
+	}
+}

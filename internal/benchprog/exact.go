@@ -1,0 +1,142 @@
+package benchprog
+
+import (
+	"fmt"
+
+	"parmem/internal/machine"
+)
+
+const (
+	exactN = 6     // system size
+	exactP = 65537 // prime modulus of the residue arithmetic
+)
+
+// ExactSource returns EXACT: solving a linear system with residue
+// arithmetic modulo a prime, as the paper's EXACT benchmark does. The
+// program builds a guaranteed-nonsingular system A = L·U (unit lower ×
+// upper with nonzero diagonal) and b = A·x* for a known x*, then runs
+// Gaussian elimination without pivoting (safe for an LU product) using
+// Fermat modular inverses computed by square-and-multiply, and back
+// substitution — all in exact integer arithmetic mod p.
+func ExactSource() string {
+	n, p := exactN, exactP
+	return fmt.Sprintf(`
+program exact;
+var l, u, a: array[%d] of int;
+var b, x: array[%d] of int;
+var acc, f, t, base, e, inv, piv: int;
+begin
+  -- unit lower-triangular L and upper-triangular U with nonzero diagonal
+  for i := 0 to %d do
+    for j := 0 to %d do
+      l[i*%d+j] := 0;
+      u[i*%d+j] := 0;
+    end
+  end
+  for i := 0 to %d do
+    l[i*%d+i] := 1;
+    u[i*%d+i] := (i*i + 3*i + 7) %% %d;
+    for j := 0 to i-1 do
+      l[i*%d+j] := (5*i + 11*j + 13) %% %d;
+    end
+    for j := i+1 to %d do
+      u[i*%d+j] := (7*i + 3*j + 1) %% %d;
+    end
+  end
+  -- A = L*U mod p
+  for i := 0 to %d do
+    for j := 0 to %d do
+      acc := 0;
+      for q := 0 to %d do
+        acc := (acc + l[i*%d+q] * u[q*%d+j]) %% %d;
+      end
+      a[i*%d+j] := acc;
+    end
+  end
+  -- b = A * xtrue, xtrue[i] = i + 1
+  for i := 0 to %d do
+    acc := 0;
+    for j := 0 to %d do
+      acc := (acc + a[i*%d+j] * (j + 1)) %% %d;
+    end
+    b[i] := acc;
+  end
+  -- forward elimination mod p
+  for q := 0 to %d do
+    piv := a[q*%d+q];
+    -- inv = piv^(p-2) mod p by square-and-multiply
+    e := %d - 2;
+    base := piv;
+    inv := 1;
+    while e > 0 do
+      if e %% 2 = 1 then
+        inv := (inv * base) %% %d;
+      end
+      base := (base * base) %% %d;
+      e := e / 2;
+    end
+    for i := q+1 to %d do
+      f := (a[i*%d+q] * inv) %% %d;
+      for j := q to %d do
+        t := (a[i*%d+j] - f * a[q*%d+j]) %% %d;
+        if t < 0 then
+          t := t + %d;
+        end
+        a[i*%d+j] := t;
+      end
+      t := (b[i] - f * b[q]) %% %d;
+      if t < 0 then
+        t := t + %d;
+      end
+      b[i] := t;
+    end
+  end
+  -- back substitution
+  for q := 0 to %d do
+    i := %d - q;
+    acc := b[i];
+    for j := i+1 to %d do
+      acc := (acc - a[i*%d+j] * x[j]) %% %d;
+      if acc < 0 then
+        acc := acc + %d;
+      end
+    end
+    piv := a[i*%d+i];
+    e := %d - 2;
+    base := piv;
+    inv := 1;
+    while e > 0 do
+      if e %% 2 = 1 then
+        inv := (inv * base) %% %d;
+      end
+      base := (base * base) %% %d;
+      e := e / 2;
+    end
+    x[i] := (acc * inv) %% %d;
+  end
+end
+`,
+		n*n, n, // array sizes
+		n-1, n-1, n, n, // zero fill
+		n-1, n, n, p, n, p, n-1, n, p, // L and U fill
+		n-1, n-1, n-1, n, n, p, n, // A = L*U
+		n-1, n-1, n, p, // b
+		n-1, n, p, p, p, // pivot + inverse
+		n-1, n, p, n-1, n, n, p, p, n, p, p, // elimination
+		n-1, n-1, n-1, n, p, p, n, p, p, p, p, // back substitution
+	)
+}
+
+// CheckExact verifies x == (1, 2, ..., n) — the planted solution.
+func CheckExact(res *machine.Result) error {
+	x, ok := res.Array("x")
+	if !ok {
+		return fmt.Errorf("exact: solution array missing")
+	}
+	for i := 0; i < exactN; i++ {
+		if int(x[i]) != i+1 {
+			return fmt.Errorf("exact: x[%d] = %v, want %d", i, x[i], i+1)
+		}
+	}
+	return nil
+}

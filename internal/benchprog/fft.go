@@ -1,0 +1,122 @@
+package benchprog
+
+import (
+	"fmt"
+	"math"
+
+	"parmem/internal/machine"
+)
+
+const fftN = 16 // transform size (power of two)
+
+// FFTSource returns FFT: an iterative radix-2 Cooley-Tukey transform of
+// size 16. MPL has no trigonometric builtins, so the base twiddle factor is
+// computed from Taylor series of cos and sin, and the twiddle table by
+// complex rotation — faithful to how the original machine would have done
+// it, and a rich source of scalar temporaries.
+func FFTSource() string {
+	n := fftN
+	half := n / 2
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	return fmt.Sprintf(`
+program fft;
+var xre, xim: array[%d] of float;
+var wre, wim: array[%d] of float;
+var theta, term, cosv, sinv, tr, ti, ur, ui, vr, vi: float;
+var rev, bit, idx, len, halfl, step, pos, tw: int;
+begin
+  -- input signal
+  for i := 0 to %d do
+    xre[i] := (i %% 4) + 1;
+    xim[i] := 0.0;
+  end
+  -- base angle -2*pi/N
+  theta := 0.0 - 2.0 * 3.14159265358979 / %d;
+  -- cos(theta), sin(theta) by Taylor series
+  cosv := 1.0;
+  term := 1.0;
+  for m := 1 to 10 do
+    term := 0.0 - term * theta * theta / ((2*m - 1) * (2*m));
+    cosv := cosv + term;
+  end
+  sinv := theta;
+  term := theta;
+  for m := 1 to 10 do
+    term := 0.0 - term * theta * theta / ((2*m) * (2*m + 1));
+    sinv := sinv + term;
+  end
+  -- twiddle table: w[j] = (cos,sin)^j
+  wre[0] := 1.0;
+  wim[0] := 0.0;
+  for j := 1 to %d do
+    wre[j] := wre[j-1] * cosv - wim[j-1] * sinv;
+    wim[j] := wre[j-1] * sinv + wim[j-1] * cosv;
+  end
+  -- bit-reversal permutation
+  for i := 0 to %d do
+    rev := 0;
+    idx := i;
+    for b := 1 to %d do
+      bit := idx %% 2;
+      rev := rev * 2 + bit;
+      idx := idx / 2;
+    end
+    if rev > i then
+      tr := xre[i];
+      xre[i] := xre[rev];
+      xre[rev] := tr;
+      ti := xim[i];
+      xim[i] := xim[rev];
+      xim[rev] := ti;
+    end
+  end
+  -- butterflies
+  len := 2;
+  while len <= %d do
+    halfl := len / 2;
+    step := %d / len;
+    pos := 0;
+    while pos < %d do
+      for j := 0 to halfl - 1 do
+        tw := j * step;
+        ur := xre[pos+j];
+        ui := xim[pos+j];
+        vr := xre[pos+j+halfl] * wre[tw] - xim[pos+j+halfl] * wim[tw];
+        vi := xre[pos+j+halfl] * wim[tw] + xim[pos+j+halfl] * wre[tw];
+        xre[pos+j] := ur + vr;
+        xim[pos+j] := ui + vi;
+        xre[pos+j+halfl] := ur - vr;
+        xim[pos+j+halfl] := ui - vi;
+      end
+      pos := pos + len;
+    end
+    len := len * 2;
+  end
+end
+`, n, half, n-1, n, half-1, n-1, bits, n, n, n)
+}
+
+// CheckFFT compares the transform with a direct DFT computed in Go.
+func CheckFFT(res *machine.Result) error {
+	re, ok1 := res.Array("xre")
+	im, ok2 := res.Array("xim")
+	if !ok1 || !ok2 {
+		return fmt.Errorf("fft: output arrays missing")
+	}
+	for k := 0; k < fftN; k++ {
+		var wr, wi float64
+		for t := 0; t < fftN; t++ {
+			x := float64(t%4 + 1)
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(fftN)
+			wr += x * math.Cos(ang)
+			wi += x * math.Sin(ang)
+		}
+		if math.Abs(re[k]-wr) > 1e-6 || math.Abs(im[k]-wi) > 1e-6 {
+			return fmt.Errorf("fft: bin %d = (%g,%g), want (%g,%g)", k, re[k], im[k], wr, wi)
+		}
+	}
+	return nil
+}

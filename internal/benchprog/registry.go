@@ -1,0 +1,39 @@
+package benchprog
+
+import (
+	"fmt"
+
+	"parmem/internal/machine"
+)
+
+// Spec is one benchmark program: its MPL source and a semantic check that
+// validates the simulator's final state against an independent Go
+// computation of the same result.
+type Spec struct {
+	Name   string
+	Source string
+	Check  func(*machine.Result) error
+}
+
+// All returns the six benchmark programs of the paper's evaluation, in the
+// order of Table 1.
+func All() []Spec {
+	return []Spec{
+		{Name: "TAYLOR1", Source: Taylor1Source(), Check: CheckTaylor1},
+		{Name: "TAYLOR2", Source: Taylor2Source(), Check: CheckTaylor2},
+		{Name: "EXACT", Source: ExactSource(), Check: CheckExact},
+		{Name: "FFT", Source: FFTSource(), Check: CheckFFT},
+		{Name: "SORT", Source: SortSource(), Check: CheckSort},
+		{Name: "COLOR", Source: ColorSource(), Check: CheckColor},
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("benchprog: unknown program %q", name)
+}

@@ -1,0 +1,199 @@
+package benchprog
+
+import (
+	"fmt"
+	"sort"
+
+	"parmem/internal/machine"
+)
+
+const sortN = 128 // elements to sort
+
+// lcg reproduces the MPL programs' pseudo-random sequence in Go.
+func lcg(seed *int64) int64 {
+	*seed = (*seed*1103515245 + 12345) % 2147483648
+	return *seed
+}
+
+// SortSource returns SORT: an iterative quicksort (explicit stack, Lomuto
+// partition) over data produced by a linear congruential generator.
+func SortSource() string {
+	n := sortN
+	return fmt.Sprintf(`
+program sort;
+var a: array[%d] of int;
+var lo, hi: array[64] of int;
+var seed, top, l, h, pivot, store, tmp: int;
+begin
+  seed := 42;
+  for i := 0 to %d do
+    seed := (seed * 1103515245 + 12345) %% 2147483648;
+    a[i] := seed %% 10000;
+  end
+  top := 0;
+  lo[0] := 0;
+  hi[0] := %d;
+  while top >= 0 do
+    l := lo[top];
+    h := hi[top];
+    top := top - 1;
+    if l < h then
+      pivot := a[h];
+      store := l;
+      for i := l to h - 1 do
+        if a[i] < pivot then
+          tmp := a[i];
+          a[i] := a[store];
+          a[store] := tmp;
+          store := store + 1;
+        end
+      end
+      tmp := a[h];
+      a[h] := a[store];
+      a[store] := tmp;
+      top := top + 1;
+      lo[top] := l;
+      hi[top] := store - 1;
+      top := top + 1;
+      lo[top] := store + 1;
+      hi[top] := h;
+    end
+  end
+end
+`, n, n-1, n-1)
+}
+
+// CheckSort verifies the array is the sorted LCG sequence.
+func CheckSort(res *machine.Result) error {
+	a, ok := res.Array("a")
+	if !ok {
+		return fmt.Errorf("sort: array missing")
+	}
+	seed := int64(42)
+	want := make([]int, sortN)
+	for i := range want {
+		want[i] = int(lcg(&seed) % 10000)
+	}
+	sort.Ints(want)
+	for i := range want {
+		if int(a[i]) != want[i] {
+			return fmt.Errorf("sort: a[%d] = %v, want %d", i, a[i], want[i])
+		}
+	}
+	return nil
+}
+
+const (
+	colorN = 20 // graph vertices
+	colorK = 8  // colors available (the machine's module count)
+)
+
+// ColorSource returns COLOR: the paper's own graph-coloring heuristic as a
+// benchmark — a pseudo-random graph is colored by repeatedly selecting the
+// uncolored vertex with the highest saturation (colored-neighbor count,
+// ties by degree) and giving it the lowest available color.
+func ColorSource() string {
+	n, k := colorN, colorK
+	return fmt.Sprintf(`
+program color;
+var adj: array[%d] of int;
+var color, degree: array[%d] of int;
+var used: array[%d] of int;
+var seed, best, bestsat, bestdeg, sat, c, v, picked: int;
+begin
+  -- pseudo-random graph: edge when lcg value below threshold
+  seed := 7;
+  for i := 0 to %d do
+    degree[i] := 0;
+    color[i] := 0 - 1;
+  end
+  for i := 0 to %d do
+    for j := i + 1 to %d do
+      seed := (seed * 1103515245 + 12345) %% 2147483648;
+      if seed %% 100 < 30 then
+        adj[i*%d+j] := 1;
+        adj[j*%d+i] := 1;
+        degree[i] := degree[i] + 1;
+        degree[j] := degree[j] + 1;
+      else
+        adj[i*%d+j] := 0;
+        adj[j*%d+i] := 0;
+      end
+    end
+  end
+  -- saturation-driven greedy coloring
+  for picked := 1 to %d do
+    best := 0 - 1;
+    bestsat := 0 - 1;
+    bestdeg := 0 - 1;
+    for v := 0 to %d do
+      if color[v] < 0 then
+        sat := 0;
+        for j := 0 to %d do
+          if adj[v*%d+j] = 1 and color[j] >= 0 then
+            sat := sat + 1;
+          end
+        end
+        if (sat > bestsat) or (sat = bestsat and degree[v] > bestdeg) then
+          best := v;
+          bestsat := sat;
+          bestdeg := degree[v];
+        end
+      end
+    end
+    for c := 0 to %d do
+      used[c] := 0;
+    end
+    for j := 0 to %d do
+      if adj[best*%d+j] = 1 and color[j] >= 0 then
+        used[color[j]] := 1;
+      end
+    end
+    color[best] := 0 - 2;
+    for c := 0 to %d do
+      if used[%d - c] = 0 then
+        color[best] := %d - c;
+      end
+    end
+  end
+end
+`, n*n, n, k,
+		n-1, n-1, n-1, n, n, n, n, // graph build
+		n, n-1, n-1, n, // selection
+		k-1, n-1, n, // used computation
+		k-1, k-1, k-1, // lowest free color (scan downward, keep overwriting)
+	)
+}
+
+// CheckColor rebuilds the graph in Go and verifies the coloring is proper
+// and every vertex got a color (k=8 suffices for this graph).
+func CheckColor(res *machine.Result) error {
+	colors, ok := res.Array("color")
+	if !ok {
+		return fmt.Errorf("color: array missing")
+	}
+	seed := int64(7)
+	adj := make([][]bool, colorN)
+	for i := range adj {
+		adj[i] = make([]bool, colorN)
+	}
+	for i := 0; i < colorN; i++ {
+		for j := i + 1; j < colorN; j++ {
+			if lcg(&seed)%100 < 30 {
+				adj[i][j], adj[j][i] = true, true
+			}
+		}
+	}
+	for v := 0; v < colorN; v++ {
+		c := int(colors[v])
+		if c < 0 || c >= colorK {
+			return fmt.Errorf("color: vertex %d has color %d", v, c)
+		}
+		for u := v + 1; u < colorN; u++ {
+			if adj[v][u] && int(colors[u]) == c {
+				return fmt.Errorf("color: adjacent vertices %d and %d share color %d", v, u, c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Package benchprog contains the six benchmark programs of the paper's
+// evaluation (§3), written in MPL: TAYLOR1 and TAYLOR2 (Taylor coefficients
+// of complex and real analytic functions), EXACT (linear equations in
+// residue arithmetic), FFT, SORT (quicksort) and COLOR (the paper's own
+// graph-coloring heuristic). Each program carries a semantic check that
+// validates the simulator's final state against an independent Go
+// computation.
+package benchprog
+
+import (
+	"fmt"
+	"math"
+
+	"parmem/internal/machine"
+)
+
+// taylor1N is the number of complex Taylor coefficients TAYLOR1 computes.
+const taylor1N = 24
+
+// Taylor1Source returns TAYLOR1: the Taylor coefficients of two complex
+// exponentials e^{az} and e^{bz} by recurrence, and of their product by
+// Cauchy convolution. Complex arithmetic over scalar re/im pairs makes this
+// the most scalar-temp-heavy program of the suite.
+func Taylor1Source() string {
+	return fmt.Sprintf(`
+program taylor1;
+var cre, cim, dre, dim, pre, pim: array[%d] of float;
+var are, aim, bre, bim, tre, tim, invn: float;
+begin
+  are := 0.3;  aim := 0.7;
+  bre := -0.2; bim := 0.5;
+  cre[0] := 1.0; cim[0] := 0.0;
+  dre[0] := 1.0; dim[0] := 0.0;
+  for n := 1 to %d do
+    invn := 1.0 / n;
+    tre := cre[n-1]*are - cim[n-1]*aim;
+    tim := cre[n-1]*aim + cim[n-1]*are;
+    cre[n] := tre * invn;
+    cim[n] := tim * invn;
+    tre := dre[n-1]*bre - dim[n-1]*bim;
+    tim := dre[n-1]*bim + dim[n-1]*bre;
+    dre[n] := tre * invn;
+    dim[n] := tim * invn;
+  end
+  for n := 0 to %d do
+    tre := 0.0;
+    tim := 0.0;
+    for j := 0 to n do
+      tre := tre + cre[j]*dre[n-j] - cim[j]*dim[n-j];
+      tim := tim + cre[j]*dim[n-j] + cim[j]*dre[n-j];
+    end
+    pre[n] := tre;
+    pim[n] := tim;
+  end
+end
+`, taylor1N, taylor1N-1, taylor1N-1)
+}
+
+// CheckTaylor1 verifies p against the identity e^{az}·e^{bz} = e^{(a+b)z}:
+// coefficient n of the product must be (a+b)^n/n!.
+func CheckTaylor1(res *machine.Result) error {
+	pre, ok1 := res.Array("pre")
+	pim, ok2 := res.Array("pim")
+	if !ok1 || !ok2 {
+		return fmt.Errorf("taylor1: output arrays missing")
+	}
+	sre, sim := 0.3+(-0.2), 0.7+0.5
+	// c_n = (a+b)^n / n! by recurrence.
+	cr, ci := 1.0, 0.0
+	for n := 0; n < taylor1N; n++ {
+		if math.Abs(pre[n]-cr) > 1e-9 || math.Abs(pim[n]-ci) > 1e-9 {
+			return fmt.Errorf("taylor1: coefficient %d = (%g,%g), want (%g,%g)",
+				n, pre[n], pim[n], cr, ci)
+		}
+		nr := (cr*sre - ci*sim) / float64(n+1)
+		ni := (cr*sim + ci*sre) / float64(n+1)
+		cr, ci = nr, ni
+	}
+	return nil
+}
+
+// taylor2N is the number of real Taylor coefficients TAYLOR2 computes.
+const taylor2N = 20
+
+// Taylor2Source returns TAYLOR2: real Taylor series of e^x and cos x, their
+// Cauchy product (the series of e^x·cos x), and a Horner evaluation of the
+// product at x = 0.5.
+func Taylor2Source() string {
+	return fmt.Sprintf(`
+program taylor2;
+var e, c, p: array[%d] of float;
+var acc, x, s: float;
+begin
+  e[0] := 1.0;
+  for n := 1 to %d do
+    e[n] := e[n-1] / n;
+  end
+  c[0] := 1.0;
+  c[1] := 0.0;
+  for n := 2 to %d do
+    c[n] := 0.0 - c[n-2] / ((n-1) * n);
+    n := n + 1;
+    if n <= %d then
+      c[n] := 0.0;
+    end
+  end
+  for n := 0 to %d do
+    acc := 0.0;
+    for j := 0 to n do
+      acc := acc + e[j] * c[n-j];
+    end
+    p[n] := acc;
+  end
+  x := 0.5;
+  s := 0.0;
+  for n := 0 to %d do
+    s := s * x + p[%d - n];
+  end
+end
+`, taylor2N, taylor2N-1, taylor2N-1, taylor2N-1, taylor2N-1, taylor2N-1, taylor2N-1)
+}
+
+// CheckTaylor2 verifies the product coefficients and the Horner value
+// against a direct Go computation of the e^x·cos x series.
+func CheckTaylor2(res *machine.Result) error {
+	p, ok := res.Array("p")
+	if !ok {
+		return fmt.Errorf("taylor2: output array missing")
+	}
+	e := make([]float64, taylor2N)
+	c := make([]float64, taylor2N)
+	e[0], c[0] = 1, 1
+	for n := 1; n < taylor2N; n++ {
+		e[n] = e[n-1] / float64(n)
+		if n%2 == 0 {
+			c[n] = -c[n-2] / float64((n-1)*n)
+		}
+	}
+	horner := 0.0
+	for n := 0; n < taylor2N; n++ {
+		want := 0.0
+		for j := 0; j <= n; j++ {
+			want += e[j] * c[n-j]
+		}
+		if math.Abs(p[n]-want) > 1e-9 {
+			return fmt.Errorf("taylor2: p[%d] = %g, want %g", n, p[n], want)
+		}
+	}
+	for n := taylor2N - 1; n >= 0; n-- {
+		want := 0.0
+		for j := 0; j <= n; j++ {
+			want += e[j] * c[n-j]
+		}
+		horner = horner*0.5 + want
+	}
+	s, _ := res.Scalar("s")
+	if math.Abs(s-horner) > 1e-9 {
+		return fmt.Errorf("taylor2: Horner value %g, want %g", s, horner)
+	}
+	// Sanity: the series truly approximates e^x cos x at 0.5.
+	if math.Abs(horner-math.Exp(0.5)*math.Cos(0.5)) > 1e-6 {
+		return fmt.Errorf("taylor2: series value %g far from e^0.5·cos 0.5", horner)
+	}
+	return nil
+}

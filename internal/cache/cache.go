@@ -1,0 +1,196 @@
+// Package cache applies the paper's storage-allocation machinery to the
+// shared-cache multiprocessor of its closing discussion (§3): machines like
+// the Alliant FX/8 attach caches to shared memory, and performance
+// deteriorates when several processors hit the same cache simultaneously.
+// For read-only shared data, the paper observes, the very same techniques
+// apply: predict which items are accessed together, color them onto
+// different caches, and replicate the few items that cannot be placed
+// conflict-free.
+//
+// An access trace plays the role of the instruction stream: each step lists
+// the items the processors read in the same cycle. Placement reuses
+// internal/assign wholesale — a step is an "instruction", a cache is a
+// "memory module", a replicated item is a multi-copy value.
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"parmem/internal/assign"
+	"parmem/internal/conflict"
+	"parmem/internal/duplication"
+)
+
+// System describes the shared-cache hardware.
+type System struct {
+	// Caches is the number of shared caches.
+	Caches int
+	// Penalty is the extra cycles each additional simultaneous hit on one
+	// cache costs (Δ in the paper's terms). Default 1.
+	Penalty int
+}
+
+// Step is one parallel access: the read-only items the processors fetch in
+// the same cycle.
+type Step []int
+
+// Trace is a predicted (or profiled) access pattern.
+type Trace []Step
+
+// Placement maps each item to the caches holding a copy of it.
+type Placement = duplication.Copies
+
+// Assign places the items of the trace into caches with the paper's
+// pipeline: conflict graph over co-accessed items, atom decomposition,
+// urgency coloring, and hitting-set duplication for items that cannot be
+// placed singly.
+func Assign(tr Trace, sys System) (Placement, error) {
+	instrs := make([]conflict.Instruction, len(tr))
+	for i, s := range tr {
+		instrs[i] = conflict.Instruction(s)
+	}
+	al, err := assign.Assign(assign.Program{Instrs: instrs}, assign.Options{K: sys.Caches})
+	if err != nil {
+		return nil, err
+	}
+	if bad := assign.Verify(assign.Program{Instrs: instrs}, al); bad != nil {
+		return nil, fmt.Errorf("cache: %d steps still multi-hit after placement", len(bad))
+	}
+	return al.Copies, nil
+}
+
+// RoundRobin is the naive baseline: item i lives (singly) in cache i mod C.
+func RoundRobin(tr Trace, sys System) Placement {
+	p := Placement{}
+	for _, s := range tr {
+		for _, item := range s {
+			if _, ok := p[item]; !ok {
+				p[item] = duplication.ModSet(0).Add(item % sys.Caches)
+			}
+		}
+	}
+	return p
+}
+
+// FrequencyBalanced places the most-accessed items first, each into the
+// currently least-loaded cache (load weighted by access frequency) — a
+// plausible heuristic that uses frequency information but ignores
+// co-access structure.
+func FrequencyBalanced(tr Trace, sys System) Placement {
+	freq := map[int]int{}
+	for _, s := range tr {
+		for _, item := range s {
+			freq[item]++
+		}
+	}
+	items := make([]int, 0, len(freq))
+	for item := range freq {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if freq[items[i]] != freq[items[j]] {
+			return freq[items[i]] > freq[items[j]]
+		}
+		return items[i] < items[j]
+	})
+	load := make([]int, sys.Caches)
+	p := Placement{}
+	for _, item := range items {
+		best := 0
+		for c := 1; c < sys.Caches; c++ {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		p[item] = duplication.ModSet(0).Add(best)
+		load[best] += freq[item]
+	}
+	return p
+}
+
+// Stats summarizes a simulated trace execution.
+type Stats struct {
+	// Steps is the trace length.
+	Steps int
+	// MultiHitSteps counts steps where some cache served several requests.
+	MultiHitSteps int
+	// StallCycles is the total extra time from multi-hits (Penalty per
+	// extra request serialized on a cache).
+	StallCycles int
+	// Copies is the total number of stored item copies.
+	Copies int
+	// ReplicatedItems is how many items have more than one copy.
+	ReplicatedItems int
+}
+
+// Simulate runs the trace against a placement: each step routes every item
+// to one of its caches (conflict-free matching when possible, as the
+// hardware's crossbar would) and counts multi-hits.
+func Simulate(tr Trace, p Placement, sys System) Stats {
+	penalty := sys.Penalty
+	if penalty == 0 {
+		penalty = 1
+	}
+	st := Stats{Steps: len(tr), Copies: p.TotalCopies(), ReplicatedItems: p.Multi()}
+	for _, s := range tr {
+		items := conflict.Instruction(s).Normalize()
+		match, _ := duplication.MatchModules(items, p)
+		load := map[int]int{}
+		for _, item := range items {
+			load[match[item]]++
+		}
+		stall := 0
+		for _, n := range load {
+			if n > 1 {
+				stall += (n - 1) * penalty
+			}
+		}
+		if stall > 0 {
+			st.MultiHitSteps++
+			st.StallCycles += stall
+		}
+	}
+	return st
+}
+
+// SyntheticTrace generates a deterministic workload shaped like parallel
+// table lookup: procs processors read shared read-only items each step,
+// with item popularity skewed so that a few hot items appear in most steps
+// (the regime where placement quality matters most).
+func SyntheticTrace(items, procs, steps int, seed int64) Trace {
+	r := rand.New(rand.NewSource(seed))
+	// Zipf-like popularity without floats: item i has weight ~ items/(i+1).
+	var weights []int
+	total := 0
+	for i := 0; i < items; i++ {
+		w := items/(i+1) + 1
+		weights = append(weights, w)
+		total += w
+	}
+	pick := func() int {
+		x := r.Intn(total)
+		for i, w := range weights {
+			if x < w {
+				return i
+			}
+			x -= w
+		}
+		return items - 1
+	}
+	tr := make(Trace, steps)
+	for s := range tr {
+		seen := map[int]bool{}
+		for len(seen) < procs {
+			seen[pick()] = true
+		}
+		step := make(Step, 0, procs)
+		for item := range seen {
+			step = append(step, item)
+		}
+		sort.Ints(step)
+		tr[s] = step
+	}
+	return tr
+}

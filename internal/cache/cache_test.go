@@ -1,0 +1,155 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parmem/internal/duplication"
+)
+
+func TestAssignSmallTrace(t *testing.T) {
+	// Items 1,2 always read together: they must land in different caches.
+	tr := Trace{{1, 2}, {1, 2}, {1, 3}}
+	p, err := Assign(tr, System{Caches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Simulate(tr, p, System{Caches: 2})
+	if st.StallCycles != 0 {
+		t.Fatalf("stalls = %d, want 0", st.StallCycles)
+	}
+}
+
+func TestAssignNeedsReplication(t *testing.T) {
+	// Pairwise co-access of 3 items over 2 caches: some item must be
+	// replicated, and afterwards everything is conflict-free.
+	tr := Trace{{1, 2}, {2, 3}, {1, 3}}
+	p, err := Assign(tr, System{Caches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Simulate(tr, p, System{Caches: 2})
+	if st.StallCycles != 0 {
+		t.Fatalf("stalls = %d, want 0 after replication", st.StallCycles)
+	}
+	if st.ReplicatedItems < 1 {
+		t.Fatal("the odd cycle requires at least one replicated item")
+	}
+}
+
+func TestAssignRejectsOverwideStep(t *testing.T) {
+	tr := Trace{{1, 2, 3}}
+	if _, err := Assign(tr, System{Caches: 2}); err == nil {
+		t.Fatal("3 simultaneous reads cannot be served by 2 caches")
+	}
+}
+
+func TestRoundRobinCollides(t *testing.T) {
+	// Items 0 and 2 share cache 0 under round-robin with 2 caches.
+	tr := Trace{{0, 2}}
+	p := RoundRobin(tr, System{Caches: 2})
+	st := Simulate(tr, p, System{Caches: 2})
+	if st.StallCycles == 0 {
+		t.Fatal("round-robin must collide on items 0 and 2")
+	}
+}
+
+func TestFrequencyBalancedSpreads(t *testing.T) {
+	tr := Trace{{0}, {0}, {0}, {1}, {2}, {3}}
+	p := FrequencyBalanced(tr, System{Caches: 4})
+	// The hot item 0 is alone in its cache.
+	hot := p[0]
+	for item, set := range p {
+		if item != 0 && set == hot {
+			t.Fatalf("item %d shares the hot cache", item)
+		}
+	}
+}
+
+func TestSimulatePenalty(t *testing.T) {
+	tr := Trace{{1, 2}}
+	p := Placement{1: duplication.ModSet(0).Add(0), 2: duplication.ModSet(0).Add(0)}
+	st := Simulate(tr, p, System{Caches: 2, Penalty: 5})
+	if st.StallCycles != 5 || st.MultiHitSteps != 1 {
+		t.Fatalf("stats = %+v, want one multi-hit costing 5", st)
+	}
+}
+
+func TestSyntheticTraceShape(t *testing.T) {
+	tr := SyntheticTrace(32, 4, 100, 7)
+	if len(tr) != 100 {
+		t.Fatalf("steps = %d", len(tr))
+	}
+	for _, s := range tr {
+		if len(s) != 4 {
+			t.Fatalf("step width = %d, want 4", len(s))
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] <= s[i-1] {
+				t.Fatalf("step %v not sorted-unique", s)
+			}
+		}
+		for _, item := range s {
+			if item < 0 || item >= 32 {
+				t.Fatalf("item %d out of range", item)
+			}
+		}
+	}
+	// Deterministic.
+	tr2 := SyntheticTrace(32, 4, 100, 7)
+	for i := range tr {
+		for j := range tr[i] {
+			if tr[i][j] != tr2[i][j] {
+				t.Fatal("trace not deterministic")
+			}
+		}
+	}
+}
+
+// TestPaperTechniqueBeatsBaselines is the headline experiment of the §3
+// application: on a skewed parallel-lookup workload, coloring+replication
+// eliminates all predictable multi-hits while both baselines stall.
+func TestPaperTechniqueBeatsBaselines(t *testing.T) {
+	sys := System{Caches: 8}
+	tr := SyntheticTrace(64, 6, 400, 123)
+
+	paper, err := Assign(tr, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stPaper := Simulate(tr, paper, sys)
+	stRR := Simulate(tr, RoundRobin(tr, sys), sys)
+	stFB := Simulate(tr, FrequencyBalanced(tr, sys), sys)
+
+	if stPaper.StallCycles != 0 {
+		t.Fatalf("paper technique left %d stall cycles", stPaper.StallCycles)
+	}
+	if stRR.StallCycles == 0 || stFB.StallCycles == 0 {
+		t.Fatalf("baselines unexpectedly conflict-free (rr=%d fb=%d); workload too easy",
+			stRR.StallCycles, stFB.StallCycles)
+	}
+	if stPaper.StallCycles >= stRR.StallCycles || stPaper.StallCycles >= stFB.StallCycles {
+		t.Fatalf("paper %d, rr %d, fb %d: technique must win",
+			stPaper.StallCycles, stRR.StallCycles, stFB.StallCycles)
+	}
+}
+
+// Property: Assign always yields a zero-stall placement when step widths
+// fit the cache count.
+func TestAssignAlwaysConflictFreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		caches := 2 + int(uint64(seed)%7)
+		procs := 1 + int(uint64(seed/7)%uint64(caches))
+		tr := SyntheticTrace(24, procs, 60, seed)
+		p, err := Assign(tr, System{Caches: caches})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		st := Simulate(tr, p, System{Caches: caches})
+		return st.StallCycles == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

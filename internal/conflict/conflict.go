@@ -1,0 +1,189 @@
+// Package conflict builds the access-conflict graph of Gupta & Soffa
+// (PPOPP 1988, §2) from a stream of long instructions.
+//
+// An instruction is abstracted to the set of data values it fetches as
+// operands; the operations themselves are irrelevant to memory-module
+// assignment. Two values conflict when some instruction uses both: fetching
+// them in parallel then requires them to live in different memory modules.
+// conf(ni,nj) counts the number of instructions in which both appear; it is
+// the edge weight that drives the coloring heuristic.
+package conflict
+
+import (
+	"fmt"
+	"sort"
+
+	"parmem/internal/graph"
+)
+
+// ValueID identifies a compile-time data value (a renamed definition of a
+// variable or a temporary). IDs are small dense integers assigned by the
+// front end.
+type ValueID = int
+
+// Instruction is the operand set of one long instruction: the data values it
+// fetches in parallel. Order is irrelevant; duplicates are collapsed by
+// Normalize because a single fetch serves every use of a value within one
+// instruction.
+type Instruction []ValueID
+
+// Normalize returns the instruction's operand set sorted with duplicates
+// removed. The receiver is not modified.
+func (in Instruction) Normalize() Instruction {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(Instruction, len(in))
+	copy(out, in)
+	sort.Ints(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[i-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Normalize normalizes every instruction of a program fragment.
+func Normalize(instrs []Instruction) []Instruction {
+	out := make([]Instruction, len(instrs))
+	for i, in := range instrs {
+		out[i] = in.Normalize()
+	}
+	return out
+}
+
+// Build constructs the access-conflict graph for the given instructions.
+// Every operand becomes a vertex (including operands that never conflict);
+// the weight of edge {u,v} is conf(u,v), the number of instructions whose
+// operand sets contain both u and v.
+func Build(instrs []Instruction) *graph.Graph {
+	g := graph.New()
+	for _, in := range instrs {
+		ops := in.Normalize()
+		for _, v := range ops {
+			g.AddNode(v)
+		}
+		for i := 0; i < len(ops); i++ {
+			for j := i + 1; j < len(ops); j++ {
+				g.AddEdgeWeight(ops[i], ops[j], 1)
+			}
+		}
+	}
+	return g
+}
+
+// Conf returns conf(u,v): the number of instructions using both u and v.
+// It is a convenience over Build(instrs).Weight(u,v) for callers that hold
+// the graph already.
+func Conf(g *graph.Graph, u, v ValueID) int { return g.Weight(u, v) }
+
+// Validate checks that no instruction has more distinct operands than the
+// machine has memory modules; such an instruction could never be fetched in
+// one cycle regardless of data placement and indicates a scheduler bug.
+func Validate(instrs []Instruction, modules int) error {
+	for i, in := range instrs {
+		if n := len(in.Normalize()); n > modules {
+			return fmt.Errorf("instruction %d has %d distinct operands but the machine has %d memory modules", i, n, modules)
+		}
+	}
+	return nil
+}
+
+// combKey is a canonical key for an operand combination.
+func combKey(comb []ValueID) string {
+	b := make([]byte, 0, len(comb)*3)
+	for _, v := range comb {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16))
+	}
+	return string(b)
+}
+
+// Combinations enumerates, without repetition, every size-n subset of
+// operands that occurs together in at least one instruction (the sets
+// S_i^n of paper Fig. 7). Each combination is sorted ascending; the result
+// is sorted lexicographically. Instructions with fewer than n operands
+// contribute nothing.
+func Combinations(instrs []Instruction, n int) [][]ValueID {
+	if n <= 0 {
+		return nil
+	}
+	seen := make(map[string][]ValueID)
+	for _, in := range instrs {
+		ops := in.Normalize()
+		if len(ops) < n {
+			continue
+		}
+		forEachSubset(ops, n, func(comb []ValueID) {
+			k := combKey(comb)
+			if _, ok := seen[k]; !ok {
+				c := make([]ValueID, n)
+				copy(c, comb)
+				seen[k] = c
+			}
+		})
+	}
+	out := make([][]ValueID, 0, len(seen))
+	for _, c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessIntSlice(out[i], out[j]) })
+	return out
+}
+
+// forEachSubset calls fn with every size-n subset of the sorted slice ops.
+// The slice passed to fn is reused between calls.
+func forEachSubset(ops []ValueID, n int, fn func([]ValueID)) {
+	comb := make([]ValueID, n)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == n {
+			fn(comb)
+			return
+		}
+		for i := start; i <= len(ops)-(n-depth); i++ {
+			comb[depth] = ops[i]
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+func lessIntSlice(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Stats summarizes an instruction stream for reporting.
+type Stats struct {
+	Instructions int // total instructions
+	Values       int // distinct operand values
+	MaxOperands  int // largest distinct-operand count in one instruction
+	Edges        int // conflict-graph edges
+	TotalConf    int // sum of conf over all edges
+}
+
+// Summarize computes Stats for an instruction stream.
+func Summarize(instrs []Instruction) Stats {
+	g := Build(instrs)
+	s := Stats{
+		Instructions: len(instrs),
+		Values:       g.NumNodes(),
+		Edges:        g.NumEdges(),
+	}
+	for _, in := range instrs {
+		if n := len(in.Normalize()); n > s.MaxOperands {
+			s.MaxOperands = n
+		}
+	}
+	for _, e := range g.Edges() {
+		s.TotalConf += e.W
+	}
+	return s
+}

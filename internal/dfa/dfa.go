@@ -1,0 +1,576 @@
+// Package dfa provides the dataflow analyses the storage allocator needs:
+// CFG construction, dominators, natural-loop regions, reaching definitions,
+// liveness, web-based renaming and the global/local value classification of
+// strategy STOR2.
+//
+// Renaming follows the paper's prescription (§2, citing Cytron & Ferrante):
+// "corresponding to each definition of a variable, a distinct data value is
+// created". Definitions that flow into a common use must share storage, so
+// the distinct data values are the *webs* of the def-use graph: maximal
+// groups of definitions connected through shared uses. After renaming, each
+// web is an independent value and may be assigned its own memory module.
+package dfa
+
+import (
+	"fmt"
+	"sort"
+
+	"parmem/internal/ir"
+)
+
+// CFG is the control-flow graph of a function.
+type CFG struct {
+	F     *ir.Func
+	Succs [][]int
+	Preds [][]int
+}
+
+// BuildCFG computes successor and predecessor lists.
+func BuildCFG(f *ir.Func) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{F: f, Succs: make([][]int, n), Preds: make([][]int, n)}
+	for _, b := range f.Blocks {
+		c.Succs[b.ID] = f.Succs(b)
+	}
+	for u, ss := range c.Succs {
+		for _, v := range ss {
+			c.Preds[v] = append(c.Preds[v], u)
+		}
+	}
+	return c
+}
+
+// RPO returns the blocks reachable from entry in reverse postorder.
+func (c *CFG) RPO() []int {
+	seen := make([]bool, len(c.Succs))
+	var post []int
+	var dfs func(int)
+	dfs = func(u int) {
+		seen[u] = true
+		for _, v := range c.Succs[u] {
+			if !seen[v] {
+				dfs(v)
+			}
+		}
+		post = append(post, u)
+	}
+	if len(c.Succs) > 0 {
+		dfs(0)
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators returns idom[b] for every reachable block (idom[entry] =
+// entry); unreachable blocks get -1. Cooper/Harvey/Kennedy iterative
+// algorithm over reverse postorder.
+func (c *CFG) Dominators() []int {
+	n := len(c.Succs)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	rpo := c.RPO()
+	pos := make([]int, n)
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	if len(rpo) == 0 {
+		return idom
+	}
+	idom[rpo[0]] = rpo[0]
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for pos[a] > pos[b] {
+				a = idom[a]
+			}
+			for pos[b] > pos[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			newIdom := -1
+			for _, p := range c.Preds[b] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b given the idom array.
+func Dominates(idom []int, a, b int) bool {
+	if idom[b] == -1 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == idom[b] {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// Loop is one natural loop.
+type Loop struct {
+	Header int
+	Blocks []int // sorted; includes the header
+}
+
+// Loops finds the natural loops of c: for every back edge u->h (h dominates
+// u), the loop body is h plus everything that reaches u without passing
+// through h. Loops sharing a header are merged.
+func (c *CFG) Loops() []Loop {
+	idom := c.Dominators()
+	bodies := map[int]map[int]bool{} // header -> block set
+	for u := range c.Succs {
+		for _, h := range c.Succs[u] {
+			if !Dominates(idom, h, u) {
+				continue
+			}
+			body := bodies[h]
+			if body == nil {
+				body = map[int]bool{h: true}
+				bodies[h] = body
+			}
+			// Walk predecessors backward from u.
+			stack := []int{u}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[x] {
+					continue
+				}
+				body[x] = true
+				for _, p := range c.Preds[x] {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	var hs []int
+	for h := range bodies {
+		hs = append(hs, h)
+	}
+	sort.Ints(hs)
+	out := make([]Loop, 0, len(hs))
+	for _, h := range hs {
+		var blocks []int
+		for b := range bodies[h] {
+			blocks = append(blocks, b)
+		}
+		sort.Ints(blocks)
+		out = append(out, Loop{Header: h, Blocks: blocks})
+	}
+	return out
+}
+
+// Regions assigns every block a region id: region 0 is the top level
+// (straight-line code outside loops); each natural loop is a region, with
+// blocks belonging to their innermost enclosing loop. This is the program
+// partition STOR2 allocates one piece at a time.
+type Regions struct {
+	Of  []int // block id -> region id
+	Num int   // number of regions (including region 0)
+}
+
+// FindRegions computes the region partition of f's blocks.
+func (c *CFG) FindRegions() Regions {
+	loops := c.Loops()
+	// Innermost = smallest containing loop; sort by size ascending so the
+	// first hit wins.
+	sort.SliceStable(loops, func(i, j int) bool { return len(loops[i].Blocks) < len(loops[j].Blocks) })
+	r := Regions{Of: make([]int, len(c.Succs)), Num: 1}
+	assigned := make([]bool, len(c.Succs))
+	for _, lp := range loops {
+		id := r.Num
+		used := false
+		for _, b := range lp.Blocks {
+			if !assigned[b] {
+				assigned[b] = true
+				r.Of[b] = id
+				used = true
+			}
+		}
+		if used {
+			r.Num++
+		}
+	}
+	return r
+}
+
+// defSite is one static definition of a value.
+type defSite struct {
+	block, idx int // idx == -1 encodes the implicit entry definition
+	val        int // value id
+}
+
+// Rename splits every multi-definition variable into webs and rewrites f in
+// place. Each web gets a fresh ir.Value named "<var>.<n>"; single-web
+// variables keep their original value. Temps are single-definition by
+// construction and are left alone. It returns, for reporting, the number of
+// variables split and the total number of webs created.
+func Rename(f *ir.Func) (split, webs int) {
+	c := BuildCFG(f)
+	n := len(f.Blocks)
+
+	// Collect definition sites per variable. Every variable also has an
+	// implicit entry definition (idx -1): a use before any real definition
+	// reads the initial value.
+	var defs []defSite
+	defIdxByVal := map[int][]int{}
+	for _, v := range f.Values {
+		if v.Kind == ir.Var {
+			defIdxByVal[v.ID] = append(defIdxByVal[v.ID], len(defs))
+			defs = append(defs, defSite{block: 0, idx: -1, val: v.ID})
+		}
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if d := in.Def(); d != nil && d.Kind == ir.Var {
+				defIdxByVal[d.ID] = append(defIdxByVal[d.ID], len(defs))
+				defs = append(defs, defSite{block: b.ID, idx: i, val: d.ID})
+			}
+		}
+	}
+	nd := len(defs)
+	if nd == 0 {
+		return 0, 0
+	}
+
+	// Reaching definitions, bitset per block.
+	words := (nd + 63) / 64
+	type bits []uint64
+	newBits := func() bits { return make(bits, words) }
+	set := func(b bits, i int) { b[i/64] |= 1 << uint(i%64) }
+	clr := func(b bits, i int) { b[i/64] &^= 1 << uint(i%64) }
+	get := func(b bits, i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+	gen := make([]bits, n)
+	killAll := make([]bits, n) // per block: defs surviving the block (transfer)
+	out := make([]bits, n)
+	in := make([]bits, n)
+	for b := 0; b < n; b++ {
+		gen[b], killAll[b], out[b], in[b] = newBits(), newBits(), newBits(), newBits()
+	}
+
+	// transfer(b, x) = gen[b] ∪ (x − kill[b]); compute gen/kill by forward
+	// scan: later defs of the same variable kill earlier ones.
+	lastDef := map[int]int{} // val -> def index within the block scan
+	for _, b := range f.Blocks {
+		for k := range lastDef {
+			delete(lastDef, k)
+		}
+		for i, instr := range b.Instrs {
+			if d := instr.Def(); d != nil && d.Kind == ir.Var {
+				di := findDef(defIdxByVal[d.ID], defs, b.ID, i)
+				lastDef[d.ID] = di
+			}
+		}
+		for _, di := range lastDef {
+			set(gen[b.ID], di)
+		}
+		// kill: every def of a variable that b redefines.
+		for v := range lastDef {
+			for _, di := range defIdxByVal[v] {
+				set(killAll[b.ID], di)
+			}
+		}
+	}
+	// Entry: implicit defs reach the start of block 0.
+	entryIn := newBits()
+	for _, v := range f.Values {
+		if v.Kind == ir.Var {
+			set(entryIn, defIdxByVal[v.ID][0])
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.RPO() {
+			nin := newBits()
+			if b == 0 {
+				copy(nin, entryIn)
+			}
+			for _, p := range c.Preds[b] {
+				for w := range nin {
+					nin[w] |= out[p][w]
+				}
+			}
+			in[b] = nin
+			nout := newBits()
+			for w := range nout {
+				nout[w] = gen[b][w] | (nin[w] &^ killAll[b][w])
+			}
+			diff := false
+			for w := range nout {
+				if nout[w] != out[b][w] {
+					diff = true
+					break
+				}
+			}
+			if diff {
+				out[b] = nout
+				changed = true
+			}
+		}
+	}
+
+	// Union-find over defs: defs of the same variable reaching a common use
+	// share a web.
+	parent := make([]int, nd)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	// useSites[di] collected for rewriting; walk each block tracking the
+	// current reaching set.
+	type useRef struct {
+		block, idx int
+		slot       int // 0=A 1=B 2=Index
+		def        int // representative def index at time of visit
+	}
+	var uses []useRef
+	for _, b := range f.Blocks {
+		cur := newBits()
+		copy(cur, in[b.ID])
+		for i := range b.Instrs {
+			instr := &b.Instrs[i]
+			record := func(v *ir.Value, slot int) {
+				if v == nil || v.Kind != ir.Var {
+					return
+				}
+				first := -1
+				for _, di := range defIdxByVal[v.ID] {
+					if get(cur, di) {
+						if first == -1 {
+							first = di
+						} else {
+							union(first, di)
+						}
+					}
+				}
+				if first == -1 {
+					// Unreachable code can see no defs; fall back to the
+					// implicit entry definition.
+					first = defIdxByVal[v.ID][0]
+				}
+				uses = append(uses, useRef{block: b.ID, idx: i, slot: slot, def: first})
+			}
+			record(instr.A, 0)
+			record(instr.B, 1)
+			record(instr.Index, 2)
+			if d := instr.Def(); d != nil && d.Kind == ir.Var {
+				for _, di := range defIdxByVal[d.ID] {
+					clr(cur, di)
+				}
+				set(cur, findDef(defIdxByVal[d.ID], defs, b.ID, i))
+			}
+		}
+	}
+
+	// Build web values: one new value per web root of variables with >1 web.
+	// A web counts only if it contains a real definition or a use: the
+	// implicit entry definition of a variable that is always written before
+	// being read forms an empty web that needs no storage of its own.
+	rootHasUse := map[int]bool{}
+	for _, u := range uses {
+		rootHasUse[find(u.def)] = true
+	}
+	webOf := map[int]*ir.Value{} // def root -> value
+	rootsByVal := map[int][]int{}
+	for di := range defs {
+		if defs[di].idx < 0 && !rootHasUse[find(di)] {
+			continue
+		}
+		r := find(di)
+		seen := false
+		for _, x := range rootsByVal[defs[di].val] {
+			if x == r {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			rootsByVal[defs[di].val] = append(rootsByVal[defs[di].val], r)
+		}
+	}
+	for _, v := range f.Values {
+		roots := rootsByVal[v.ID]
+		if len(roots) <= 1 {
+			continue // a single web keeps the original value
+		}
+		split++
+		sort.Ints(roots)
+		for wi, r := range roots {
+			nv := f.NewValue(fmt.Sprintf("%s.%d", v.Name, wi), v.Type, ir.Var)
+			webOf[r] = nv
+			webs++
+		}
+	}
+	if len(webOf) == 0 {
+		return split, webs
+	}
+
+	// Rewrite defs.
+	for _, d := range defs {
+		if d.idx < 0 {
+			continue
+		}
+		r := find(findDef(defIdxByVal[d.val], defs, d.block, d.idx))
+		if nv, ok := webOf[r]; ok {
+			f.Blocks[d.block].Instrs[d.idx].Dst = nv
+		}
+	}
+	// Rewrite uses.
+	for _, u := range uses {
+		nv, ok := webOf[find(u.def)]
+		if !ok {
+			continue
+		}
+		instr := &f.Blocks[u.block].Instrs[u.idx]
+		switch u.slot {
+		case 0:
+			instr.A = nv
+		case 1:
+			instr.B = nv
+		case 2:
+			instr.Index = nv
+		}
+	}
+	return split, webs
+}
+
+// findDef locates the def index with the given site among a variable's defs.
+func findDef(cands []int, defs []defSite, block, idx int) int {
+	for _, di := range cands {
+		if defs[di].block == block && defs[di].idx == idx {
+			return di
+		}
+	}
+	panic("dfa: definition site not registered")
+}
+
+// Liveness computes live-in and live-out value-id sets per block.
+func Liveness(f *ir.Func) (liveIn, liveOut []map[int]bool) {
+	c := BuildCFG(f)
+	n := len(f.Blocks)
+	use := make([]map[int]bool, n)
+	def := make([]map[int]bool, n)
+	liveIn = make([]map[int]bool, n)
+	liveOut = make([]map[int]bool, n)
+	for _, b := range f.Blocks {
+		u, d := map[int]bool{}, map[int]bool{}
+		for _, in := range b.Instrs {
+			for _, v := range in.Uses() {
+				if !d[v.ID] {
+					u[v.ID] = true
+				}
+			}
+			if dv := in.Def(); dv != nil && dv.IsMem() {
+				d[dv.ID] = true
+			}
+		}
+		use[b.ID], def[b.ID] = u, d
+		liveIn[b.ID], liveOut[b.ID] = map[int]bool{}, map[int]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := n - 1; bi >= 0; bi-- {
+			out := map[int]bool{}
+			for _, s := range c.Succs[bi] {
+				for v := range liveIn[s] {
+					out[v] = true
+				}
+			}
+			in := map[int]bool{}
+			for v := range use[bi] {
+				in[v] = true
+			}
+			for v := range out {
+				if !def[bi][v] {
+					in[v] = true
+				}
+			}
+			if len(out) != len(liveOut[bi]) || len(in) != len(liveIn[bi]) {
+				changed = true
+			} else {
+				for v := range in {
+					if !liveIn[bi][v] {
+						changed = true
+						break
+					}
+				}
+			}
+			liveIn[bi], liveOut[bi] = in, out
+		}
+	}
+	return liveIn, liveOut
+}
+
+// GlobalValues returns the values that STOR2 must allocate in its first
+// stage: those referenced (used or defined) in more than one region.
+func GlobalValues(f *ir.Func, regs Regions) map[int]bool {
+	regionsOf := map[int]map[int]bool{}
+	touch := func(v *ir.Value, region int) {
+		if v == nil || !v.IsMem() {
+			return
+		}
+		if regionsOf[v.ID] == nil {
+			regionsOf[v.ID] = map[int]bool{}
+		}
+		regionsOf[v.ID][region] = true
+	}
+	for _, b := range f.Blocks {
+		r := regs.Of[b.ID]
+		for _, in := range b.Instrs {
+			touch(in.A, r)
+			touch(in.B, r)
+			touch(in.Index, r)
+			touch(in.Dst, r)
+		}
+	}
+	global := map[int]bool{}
+	for v, rs := range regionsOf {
+		if len(rs) > 1 {
+			global[v] = true
+		}
+	}
+	return global
+}

@@ -1,0 +1,364 @@
+package dfa
+
+import (
+	"testing"
+
+	"parmem/internal/ir"
+	"parmem/internal/lang"
+)
+
+func mustCompile(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	f, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return f
+}
+
+const loopSrc = `
+program loops;
+var s, x: int;
+begin
+  s := 0;
+  for i := 1 to 10 do
+    s := s + i;
+  end
+  while s > 0 do
+    s := s - 2;
+  end
+  x := s;
+end
+`
+
+func TestBuildCFG(t *testing.T) {
+	f := mustCompile(t, loopSrc)
+	c := BuildCFG(f)
+	if len(c.Succs) != len(f.Blocks) {
+		t.Fatalf("succs len = %d", len(c.Succs))
+	}
+	// Entry has no predecessors... unless it is a loop header; here it is
+	// plain straight-line code.
+	if len(c.Preds[0]) != 0 {
+		t.Fatalf("entry preds = %v", c.Preds[0])
+	}
+	// Predecessor lists are consistent with successor lists.
+	for u, ss := range c.Succs {
+		for _, v := range ss {
+			found := false
+			for _, p := range c.Preds[v] {
+				found = found || p == u
+			}
+			if !found {
+				t.Fatalf("edge %d->%d missing from preds", u, v)
+			}
+		}
+	}
+}
+
+func TestRPOStartsAtEntry(t *testing.T) {
+	f := mustCompile(t, loopSrc)
+	rpo := BuildCFG(f).RPO()
+	if len(rpo) == 0 || rpo[0] != 0 {
+		t.Fatalf("rpo = %v", rpo)
+	}
+	seen := map[int]bool{}
+	for _, b := range rpo {
+		if seen[b] {
+			t.Fatalf("duplicate block %d in rpo", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f := mustCompile(t, loopSrc)
+	c := BuildCFG(f)
+	idom := c.Dominators()
+	if idom[0] != 0 {
+		t.Fatalf("idom(entry) = %d", idom[0])
+	}
+	// Entry dominates everything reachable.
+	for _, b := range c.RPO() {
+		if !Dominates(idom, 0, b) {
+			t.Fatalf("entry must dominate %d", b)
+		}
+	}
+}
+
+func TestLoopsFound(t *testing.T) {
+	f := mustCompile(t, loopSrc)
+	loops := BuildCFG(f).Loops()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2 (for and while)", len(loops))
+	}
+	for _, lp := range loops {
+		if len(lp.Blocks) < 2 {
+			t.Fatalf("loop %v too small", lp)
+		}
+		hasHeader := false
+		for _, b := range lp.Blocks {
+			hasHeader = hasHeader || b == lp.Header
+		}
+		if !hasHeader {
+			t.Fatalf("loop %v missing its header", lp)
+		}
+	}
+}
+
+func TestNoLoopsInStraightLine(t *testing.T) {
+	f := mustCompile(t, "program p; var x: int; begin x := 1; x := x + 2; end")
+	if loops := BuildCFG(f).Loops(); len(loops) != 0 {
+		t.Fatalf("loops = %v, want none", loops)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	f := mustCompile(t, loopSrc)
+	regs := BuildCFG(f).FindRegions()
+	if regs.Num != 3 {
+		t.Fatalf("regions = %d, want 3 (top + 2 loops)", regs.Num)
+	}
+	if regs.Of[0] != 0 {
+		t.Fatalf("entry block region = %d, want 0", regs.Of[0])
+	}
+	seen := map[int]bool{}
+	for _, r := range regs.Of {
+		seen[r] = true
+	}
+	for r := 0; r < regs.Num; r++ {
+		if !seen[r] {
+			t.Fatalf("region %d has no blocks", r)
+		}
+	}
+}
+
+func TestNestedLoopInnermost(t *testing.T) {
+	src := `
+program nest;
+var s: int;
+begin
+  for i := 0 to 3 do
+    for j := 0 to 3 do
+      s := s + i * j;
+    end
+  end
+end`
+	f := mustCompile(t, src)
+	c := BuildCFG(f)
+	loops := c.Loops()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops))
+	}
+	// One loop strictly contains the other.
+	inner, outer := loops[0], loops[1]
+	if len(inner.Blocks) > len(outer.Blocks) {
+		inner, outer = outer, inner
+	}
+	if len(inner.Blocks) >= len(outer.Blocks) {
+		t.Fatalf("expected nesting, got %v and %v", inner, outer)
+	}
+	regs := c.FindRegions()
+	// Inner blocks must belong to the inner region, not the outer.
+	innerRegion := regs.Of[inner.Header]
+	for _, b := range inner.Blocks {
+		if regs.Of[b] != innerRegion {
+			t.Fatalf("inner block %d in region %d, want %d", b, regs.Of[b], innerRegion)
+		}
+	}
+	outerOnly := -1
+	for _, b := range outer.Blocks {
+		isInner := false
+		for _, ib := range inner.Blocks {
+			isInner = isInner || ib == b
+		}
+		if !isInner {
+			outerOnly = b
+		}
+	}
+	if outerOnly == -1 {
+		t.Fatal("no outer-only block")
+	}
+	if regs.Of[outerOnly] == innerRegion {
+		t.Fatal("outer-only block assigned to inner region")
+	}
+}
+
+func TestRenameSplitsIndependentDefs(t *testing.T) {
+	// x is defined and fully consumed twice, independently: two webs.
+	src := `
+program split;
+var x, a, b: int;
+begin
+  x := 1;
+  a := x + 1;
+  x := 2;
+  b := x + 2;
+end`
+	f := mustCompile(t, src)
+	split, webs := Rename(f)
+	if split != 1 {
+		t.Fatalf("split = %d, want 1 (only x)", split)
+	}
+	// The two real independent defs become two webs; the implicit entry
+	// definition reaches no use and gets no web of its own.
+	if webs != 2 {
+		t.Fatalf("webs = %d, want 2", webs)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The two defs of x now write different values.
+	var defVals []int
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.Mov && in.Dst != nil && in.Dst.Name[0] == 'x' && in.A.Kind == ir.Const {
+				defVals = append(defVals, in.Dst.ID)
+			}
+		}
+	}
+	if len(defVals) != 2 || defVals[0] == defVals[1] {
+		t.Fatalf("x defs = %v, want two distinct values", defVals)
+	}
+}
+
+func TestRenameKeepsLoopVariableWhole(t *testing.T) {
+	// i := 0 and i := i + 1 reach common uses: one web, no split of the
+	// live range that crosses the backedge.
+	src := `
+program loopvar;
+var s: int;
+begin
+  s := 0;
+  for i := 0 to 5 do
+    s := s + i;
+  end
+end`
+	f := mustCompile(t, src)
+	before := len(f.Values)
+	_, _ = Rename(f)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// i must not split: its two defs flow into shared uses. s splits into
+	// entry-web (unused) + one web for {s:=0, s:=s+i}. So at most s's webs
+	// are added.
+	var iVals int
+	for _, v := range f.Values {
+		if v.Kind == ir.Var && (v.Name == "i" || (len(v.Name) > 2 && v.Name[:2] == "i.")) {
+			iVals++
+		}
+	}
+	if iVals != 1 {
+		t.Fatalf("loop variable fragmented into %d values", iVals)
+	}
+	_ = before
+}
+
+func TestRenameUseBeforeDef(t *testing.T) {
+	// y is read before any definition: the implicit entry definition
+	// supplies the initial value and joins the web of that use.
+	src := `
+program ubd;
+var x, y: int;
+begin
+  x := y + 1;
+  y := 3;
+  x := y + x;
+end`
+	f := mustCompile(t, src)
+	Rename(f)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameIdempotentOnTemps(t *testing.T) {
+	f := mustCompile(t, "program p; var x: int; begin x := 1 + 2 * 3; end")
+	nv := len(f.Values)
+	split, webs := Rename(f)
+	if split != 0 || webs != 0 {
+		t.Fatalf("split=%d webs=%d, want 0/0 (single def)", split, webs)
+	}
+	if len(f.Values) != nv {
+		t.Fatal("values added for nothing")
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	src := `
+program live;
+var a, b, c: int;
+begin
+  a := 1;
+  b := 2;
+  while a < 10 do
+    a := a + b;
+  end
+  c := a;
+end`
+	f := mustCompile(t, src)
+	liveIn, liveOut := Liveness(f)
+	// Find a and b ids.
+	var aID, bID, cID int
+	for _, v := range f.Values {
+		switch v.Name {
+		case "a":
+			aID = v.ID
+		case "b":
+			bID = v.ID
+		case "c":
+			cID = v.ID
+		}
+	}
+	// b is live into the loop header (used inside the loop).
+	header := -1
+	for _, lp := range BuildCFG(f).Loops() {
+		header = lp.Header
+	}
+	if header == -1 {
+		t.Fatal("no loop found")
+	}
+	if !liveIn[header][aID] || !liveIn[header][bID] {
+		t.Fatalf("a and b must be live into the loop header: %v", liveIn[header])
+	}
+	// c is dead everywhere (never used after definition).
+	for b := range liveOut {
+		if liveOut[b][cID] {
+			t.Fatalf("c live-out of block %d", b)
+		}
+	}
+}
+
+func TestGlobalValues(t *testing.T) {
+	f := mustCompile(t, loopSrc)
+	c := BuildCFG(f)
+	regs := c.FindRegions()
+	globals := GlobalValues(f, regs)
+	var sID, xID int
+	for _, v := range f.Values {
+		switch v.Name {
+		case "s":
+			sID = v.ID
+		case "x":
+			xID = v.ID
+		}
+	}
+	if !globals[sID] {
+		t.Fatal("s is used in both loops and at top level: must be global")
+	}
+	if globals[xID] {
+		t.Fatal("x only appears at top level: must be local")
+	}
+}
+
+func TestGlobalValuesSingleRegion(t *testing.T) {
+	f := mustCompile(t, "program p; var x: int; begin x := 1; x := x + 1; end")
+	regs := BuildCFG(f).FindRegions()
+	if regs.Num != 1 {
+		t.Fatalf("regions = %d", regs.Num)
+	}
+	if g := GlobalValues(f, regs); len(g) != 0 {
+		t.Fatalf("globals = %v, want none", g)
+	}
+}

@@ -1,0 +1,218 @@
+package duplication
+
+import (
+	"sort"
+
+	"parmem/internal/conflict"
+)
+
+// Input bundles what both duplication strategies consume: the instruction
+// stream, the single-module assignment produced by coloring, the values the
+// coloring removed (paper V_unassigned), and the module count.
+type Input struct {
+	Instrs     []conflict.Instruction
+	Assigned   map[int]int // value -> module, fixed single copies
+	Unassigned []int       // values eligible for replication
+	// Initial carries allocations made by an earlier phase (STOR2 globals,
+	// earlier STOR3 instruction groups). Those copies are kept; values
+	// listed in Unassigned may gain further copies on top.
+	Initial Copies
+	K       int // number of memory modules
+}
+
+// Result is the outcome of a duplication strategy.
+type Result struct {
+	// Copies maps every value (assigned and unassigned) to the modules
+	// holding it.
+	Copies Copies
+	// Residual lists indices of instructions that remain conflicting.
+	// This can only happen when the fixed assignments passed in already
+	// clash (e.g. values bound in different STOR3 groups); the assign
+	// driver repairs those before calling a strategy, so Residual is
+	// normally empty.
+	Residual []int
+	// NewCopies is the number of copies created beyond the first copy of
+	// each value — the quantity both strategies minimize.
+	NewCopies int
+}
+
+// baseCopies builds the initial copy table: the carried-over allocations of
+// earlier phases plus one fixed copy per newly assigned value. Unassigned
+// values without prior storage start with none.
+func baseCopies(in Input) Copies {
+	c := in.Initial.Clone()
+	if c == nil {
+		c = make(Copies, len(in.Assigned)+len(in.Unassigned))
+	}
+	for v, m := range in.Assigned {
+		c[v] = c[v].Add(m)
+	}
+	return c
+}
+
+// unassignedSet returns the membership set of in.Unassigned.
+func unassignedSet(in Input) map[int]bool {
+	set := make(map[int]bool, len(in.Unassigned))
+	for _, v := range in.Unassigned {
+		set[v] = true
+	}
+	return set
+}
+
+// finishResult fills in Residual and NewCopies and guarantees that every
+// unassigned value has at least one copy (a value that appears in no
+// conflicting instruction still needs storage somewhere).
+func finishResult(in Input, copies Copies) Result {
+	load := make([]int, in.K)
+	for _, s := range copies {
+		for _, m := range s.Modules() {
+			load[m]++
+		}
+	}
+	for _, v := range in.Unassigned {
+		if copies[v] == 0 {
+			best := 0
+			for m := 1; m < in.K; m++ {
+				if load[m] < load[best] {
+					best = m
+				}
+			}
+			copies[v] = ModSet(0).Add(best)
+			load[best]++
+		}
+	}
+	res := Result{Copies: copies}
+	for i, instr := range in.Instrs {
+		if !ConflictFree(instr.Normalize(), copies) {
+			res.Residual = append(res.Residual, i)
+		}
+	}
+	total := copies.TotalCopies()
+	res.NewCopies = total - len(copies) // beyond one copy per stored value
+	return res
+}
+
+// Backtrack implements the straightforward approach of paper Fig. 6.
+//
+// Instructions are ordered by how many of their operands are replicable
+// (members of V_unassigned), fewest first: an instruction with a single
+// replicable operand usually has only one way to become conflict-free, so
+// deciding it early avoids wasted copies. For each instruction an
+// exhaustive backtracking search over module placements of its replicable
+// operands finds the placement needing the fewest new copies; existing
+// copies are reused whenever possible. Ties are broken deterministically in
+// favor of the lexicographically first placement (the paper makes a random
+// choice).
+func Backtrack(in Input) Result {
+	copies := baseCopies(in)
+	repl := unassignedSet(in)
+
+	type item struct {
+		idx  int
+		ops  []int // normalized operands
+		nrep int   // operands in V_unassigned
+	}
+	var work []item
+	for i, instr := range in.Instrs {
+		ops := instr.Normalize()
+		nrep := 0
+		for _, v := range ops {
+			if repl[v] {
+				nrep++
+			}
+		}
+		if nrep > 0 {
+			work = append(work, item{idx: i, ops: ops, nrep: nrep})
+		}
+	}
+	sort.SliceStable(work, func(a, b int) bool { return work[a].nrep < work[b].nrep })
+
+	for _, it := range work {
+		placeInstruction(it.ops, copies, repl, in.K)
+	}
+	return finishResult(in, copies)
+}
+
+// placeInstruction finds the cheapest conflict-free module choice for the
+// replicable operands of one instruction and records any new copies.
+// It returns false when no conflict-free placement exists (the fixed
+// operands already clash).
+func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int) bool {
+	var fixedVals, freeVals []int
+	for _, v := range ops {
+		if repl[v] {
+			freeVals = append(freeVals, v)
+		} else {
+			fixedVals = append(fixedVals, v)
+		}
+	}
+	// Modules claimed by the fixed operands. Coloring makes them pairwise
+	// distinct; if an upstream phase broke that, no placement can help.
+	taken := ModSet(0)
+	for _, v := range fixedVals {
+		s := copies[v]
+		if s.Count() != 1 {
+			// A fixed operand with several copies (already replicated by an
+			// earlier instruction group) participates in the SDR instead.
+			continue
+		}
+		m := s.Modules()[0]
+		if taken.Has(m) {
+			return false
+		}
+		taken = taken.Add(m)
+	}
+	// Fixed multi-copy operands: let the final SDR check handle them; for
+	// the search we conservatively only reserve single-copy modules.
+
+	bestCost := k + 1
+	var bestChoice []int
+	choice := make([]int, len(freeVals))
+
+	var rec func(i int, used ModSet, cost int)
+	rec = func(i int, used ModSet, cost int) {
+		if cost >= bestCost {
+			return
+		}
+		if i == len(freeVals) {
+			// Validate with the full SDR including multi-copy fixed values.
+			trial := copies.Clone()
+			for j, v := range freeVals {
+				trial[v] = trial[v].Add(choice[j])
+			}
+			if ConflictFree(ops, trial) {
+				bestCost = cost
+				bestChoice = append(bestChoice[:0], choice...)
+			}
+			return
+		}
+		v := freeVals[i]
+		// Reuse existing copies first (cost 0), then new modules.
+		for pass := 0; pass < 2; pass++ {
+			for m := 0; m < k; m++ {
+				if used.Has(m) {
+					continue
+				}
+				exists := copies[v].Has(m)
+				if (pass == 0) != exists {
+					continue
+				}
+				extra := 0
+				if !exists {
+					extra = 1
+				}
+				choice[i] = m
+				rec(i+1, used.Add(m), cost+extra)
+			}
+		}
+	}
+	rec(0, taken, 0)
+
+	if bestChoice == nil {
+		return false
+	}
+	for j, v := range freeVals {
+		copies[v] = copies[v].Add(bestChoice[j])
+	}
+	return true
+}

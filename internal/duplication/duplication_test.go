@@ -1,0 +1,506 @@
+package duplication
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"parmem/internal/coloring"
+	"parmem/internal/conflict"
+)
+
+func TestModSet(t *testing.T) {
+	s := ModSet(0)
+	if s.Count() != 0 || s.Has(0) {
+		t.Fatal("empty set")
+	}
+	s = s.Add(3).Add(0).Add(3)
+	if s.Count() != 2 || !s.Has(3) || !s.Has(0) || s.Has(1) {
+		t.Fatalf("set = %v", s.Modules())
+	}
+	if !reflect.DeepEqual(s.Modules(), []int{0, 3}) {
+		t.Fatalf("Modules = %v", s.Modules())
+	}
+	s = s.Remove(0)
+	if s.Count() != 1 || s.Has(0) {
+		t.Fatal("remove failed")
+	}
+	if Full(4) != ModSet(0b1111) {
+		t.Fatalf("Full(4) = %b", Full(4))
+	}
+	if Full(64) != ^ModSet(0) {
+		t.Fatal("Full(64) must be all ones")
+	}
+}
+
+func TestCopiesCloneAndCounts(t *testing.T) {
+	c := Copies{1: ModSet(0).Add(0), 2: ModSet(0).Add(1).Add(2)}
+	if c.TotalCopies() != 3 || c.Multi() != 1 {
+		t.Fatalf("total=%d multi=%d", c.TotalCopies(), c.Multi())
+	}
+	d := c.Clone()
+	d[1] = d[1].Add(5)
+	if c[1].Has(5) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestHasSDRBasics(t *testing.T) {
+	c := Copies{
+		1: ModSet(0).Add(0),
+		2: ModSet(0).Add(1),
+		3: ModSet(0).Add(0).Add(1),
+	}
+	// Paper §2.2.2.1 configuration (i): V1 in Mi, V2 in Mj, V3 in {Mi,Mj}:
+	// three values, two modules — conflict.
+	if HasSDR([]int{1, 2, 3}, c) {
+		t.Fatal("config (i) must conflict")
+	}
+	// One more copy of V3 fixes it.
+	c[3] = c[3].Add(2)
+	if !HasSDR([]int{1, 2, 3}, c) {
+		t.Fatal("extra copy must resolve the conflict")
+	}
+}
+
+func TestHasSDRSameSingleton(t *testing.T) {
+	c := Copies{1: ModSet(0).Add(2), 2: ModSet(0).Add(2)}
+	if HasSDR([]int{1, 2}, c) {
+		t.Fatal("two values pinned to one module conflict")
+	}
+}
+
+func TestHasSDRWildcards(t *testing.T) {
+	// Values without copies are placeable anywhere and never block.
+	c := Copies{1: ModSet(0).Add(0)}
+	if !HasSDR([]int{1, 7, 8}, c) {
+		t.Fatal("zero-copy values are wildcards")
+	}
+	if !HasSDR(nil, c) {
+		t.Fatal("empty combination is trivially free")
+	}
+}
+
+func TestHasSDRMatchingNeedsAugmenting(t *testing.T) {
+	// v1:{0}, v2:{0,1}, v3:{1,2} needs the augmenting path v2->1,v3->2.
+	c := Copies{
+		1: ModSet(0).Add(0),
+		2: ModSet(0).Add(0).Add(1),
+		3: ModSet(0).Add(1).Add(2),
+	}
+	if !HasSDR([]int{1, 2, 3}, c) {
+		t.Fatal("SDR exists: 1->M0, 2->M1, 3->M2")
+	}
+}
+
+// paperSection2 is the running example of §2: Fig. 1's instructions plus
+// {V2 V4 V5}, which makes a conflict-free single-copy assignment impossible;
+// one extra copy of V5 fixes everything. Adding {V1 V4 V5} forces a third
+// copy of V5.
+func paperSection2(extra bool) []conflict.Instruction {
+	instrs := []conflict.Instruction{
+		{1, 2, 4}, {2, 3, 5}, {2, 3, 4}, {2, 4, 5},
+	}
+	if extra {
+		instrs = append(instrs, conflict.Instruction{1, 4, 5})
+	}
+	return instrs
+}
+
+// endToEnd runs coloring plus a duplication strategy.
+func endToEnd(t *testing.T, instrs []conflict.Instruction, k int, hit bool) Result {
+	t.Helper()
+	g := conflict.Build(instrs)
+	col := coloring.GuptaSoffa(g, coloring.Options{K: k})
+	in := Input{Instrs: instrs, Assigned: col.Assign, Unassigned: col.Unassigned, K: k}
+	if hit {
+		return HittingSetApproach(in)
+	}
+	return Backtrack(in)
+}
+
+func checkAllFree(t *testing.T, instrs []conflict.Instruction, res Result) {
+	t.Helper()
+	if len(res.Residual) != 0 {
+		t.Fatalf("residual conflicts: %v", res.Residual)
+	}
+	for i, in := range instrs {
+		if !ConflictFree(in.Normalize(), res.Copies) {
+			t.Fatalf("instruction %d (%v) still conflicts; copies=%v", i, in, res.Copies)
+		}
+	}
+}
+
+func TestPaperSection2Backtrack(t *testing.T) {
+	instrs := paperSection2(false)
+	res := endToEnd(t, instrs, 3, false)
+	checkAllFree(t, instrs, res)
+	// The paper resolves this with a single duplicated value (V5 gets a
+	// second copy). Allow the heuristic pipeline at most 2 extra copies.
+	if res.NewCopies > 2 {
+		t.Fatalf("NewCopies = %d, want <= 2 (paper: 1)", res.NewCopies)
+	}
+}
+
+func TestPaperSection2HittingSet(t *testing.T) {
+	instrs := paperSection2(false)
+	res := endToEnd(t, instrs, 3, true)
+	checkAllFree(t, instrs, res)
+	if res.NewCopies > 2 {
+		t.Fatalf("NewCopies = %d, want <= 2 (paper: 1)", res.NewCopies)
+	}
+}
+
+func TestPaperSection2ThreeCopies(t *testing.T) {
+	// With the extra instruction the paper needs three copies of V5 (one
+	// per module). Both strategies must still produce a conflict-free
+	// allocation.
+	instrs := paperSection2(true)
+	for _, hit := range []bool{false, true} {
+		res := endToEnd(t, instrs, 3, hit)
+		checkAllFree(t, instrs, res)
+	}
+}
+
+// TestFigure8 reproduces paper Fig. 8: with V1..V3,V5 fixed and V4 removed,
+// four 4-operand instructions force copies of V4 in three specific modules;
+// a bad placement order would need four.
+func TestFigure8(t *testing.T) {
+	instrs := []conflict.Instruction{
+		{1, 2, 3, 5},
+		{4, 2, 3, 5},
+		{1, 2, 3, 4},
+		{4, 2, 1, 5},
+	}
+	assigned := map[int]int{1: 1, 2: 3, 3: 2, 5: 0}
+	in := Input{Instrs: instrs, Assigned: assigned, Unassigned: []int{4}, K: 4}
+
+	for name, f := range map[string]func(Input) Result{
+		"hitting":   HittingSetApproach,
+		"backtrack": Backtrack,
+	} {
+		res := f(in)
+		checkAllFree(t, instrs, res)
+		if got := res.Copies[4].Count(); got != 3 {
+			t.Fatalf("%s: copies of V4 = %d (%v), want exactly 3 (paper solution 2)",
+				name, got, res.Copies[4].Modules())
+		}
+		// Each instruction pins V4 to a specific free module: M1, M0, M2.
+		want := ModSet(0).Add(0).Add(1).Add(2)
+		if res.Copies[4] != want {
+			t.Fatalf("%s: V4 modules = %v, want [0 1 2]", name, res.Copies[4].Modules())
+		}
+	}
+}
+
+// TestFigure3 runs the Fig. 3 instruction set (a K5 conflict graph with
+// k=3): two values must be removed and duplicated; the better solution of
+// the paper uses 7 total copies for the 5 values.
+func TestFigure3(t *testing.T) {
+	instrs := []conflict.Instruction{
+		{1, 2, 3}, {2, 3, 4}, {1, 3, 4}, {1, 3, 5}, {2, 3, 5}, {1, 4, 5},
+	}
+	for _, hit := range []bool{false, true} {
+		res := endToEnd(t, instrs, 3, hit)
+		checkAllFree(t, instrs, res)
+		total := res.Copies.TotalCopies()
+		// Paper solution 2 needs 7 copies, solution 1 needs 8. Anything
+		// conflict-free with <= 8 matches the paper's range.
+		if total > 8 {
+			t.Fatalf("hit=%v: total copies = %d, want <= 8", hit, total)
+		}
+	}
+}
+
+func TestBacktrackNoUnassigned(t *testing.T) {
+	instrs := []conflict.Instruction{{1, 2}}
+	in := Input{Instrs: instrs, Assigned: map[int]int{1: 0, 2: 1}, K: 2}
+	res := Backtrack(in)
+	checkAllFree(t, instrs, res)
+	if res.NewCopies != 0 {
+		t.Fatalf("NewCopies = %d, want 0", res.NewCopies)
+	}
+}
+
+func TestResidualDetected(t *testing.T) {
+	// Two fixed values on the same module: nothing to duplicate, conflict
+	// stays and must be reported.
+	instrs := []conflict.Instruction{{1, 2}}
+	in := Input{Instrs: instrs, Assigned: map[int]int{1: 0, 2: 0}, K: 2}
+	res := Backtrack(in)
+	if len(res.Residual) != 1 || res.Residual[0] != 0 {
+		t.Fatalf("residual = %v, want [0]", res.Residual)
+	}
+}
+
+func TestUnusedUnassignedGetsStorage(t *testing.T) {
+	in := Input{
+		Instrs:     []conflict.Instruction{{1, 2}},
+		Assigned:   map[int]int{1: 0, 2: 1},
+		Unassigned: []int{9}, // appears in no instruction
+		K:          2,
+	}
+	for _, f := range []func(Input) Result{Backtrack, HittingSetApproach} {
+		res := f(in)
+		if res.Copies[9].Count() < 1 {
+			t.Fatal("unused value still needs at least one home")
+		}
+	}
+}
+
+func TestHittingSetSingletons(t *testing.T) {
+	hs := HittingSet([][]int{{3}, {5}, {3, 5, 7}})
+	if !reflect.DeepEqual(hs, []int{3, 5}) {
+		t.Fatalf("hs = %v, want [3 5]", hs)
+	}
+}
+
+func TestHittingSetGreedyPrefersFrequent(t *testing.T) {
+	hs := HittingSet([][]int{{1, 2}, {2, 3}, {3, 4}})
+	if len(hs) != 2 {
+		t.Fatalf("hs = %v, want 2 elements", hs)
+	}
+	hit := func(s []int) bool {
+		for _, v := range s {
+			for _, h := range hs {
+				if v == h {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, s := range [][]int{{1, 2}, {2, 3}, {3, 4}} {
+		if !hit(s) {
+			t.Fatalf("set %v not hit by %v", s, hs)
+		}
+	}
+}
+
+func TestHittingSetStarIsSingleElement(t *testing.T) {
+	// All sets share element 9: the greedy must find the single-element
+	// hitting set.
+	hs := HittingSet([][]int{{9, 1}, {9, 2}, {9, 3}, {9, 4}})
+	if !reflect.DeepEqual(hs, []int{9}) {
+		t.Fatalf("hs = %v, want [9]", hs)
+	}
+}
+
+func TestHittingSetEmpty(t *testing.T) {
+	if hs := HittingSet(nil); hs != nil {
+		t.Fatalf("hs = %v, want nil", hs)
+	}
+}
+
+// Property: HittingSet hits every input set and uses only elements of the
+// union.
+func TestHittingSetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sets [][]int
+		union := map[int]bool{}
+		for i := 0; i < 1+r.Intn(12); i++ {
+			size := 1 + r.Intn(4)
+			set := map[int]bool{}
+			for len(set) < size {
+				set[r.Intn(10)] = true
+			}
+			var s []int
+			for v := range set {
+				s = append(s, v)
+				union[v] = true
+			}
+			sets = append(sets, s)
+		}
+		hs := HittingSet(sets)
+		inHS := map[int]bool{}
+		for _, v := range hs {
+			if !union[v] {
+				return false
+			}
+			inHS[v] = true
+		}
+		for _, s := range sets {
+			hit := false
+			for _, v := range s {
+				hit = hit || inHS[v]
+			}
+			if !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomInstrs generates a random program fragment with operand counts up
+// to k over nvals values.
+func randomInstrs(r *rand.Rand, nvals, n, k int) []conflict.Instruction {
+	var instrs []conflict.Instruction
+	maxOps := k
+	if nvals < maxOps {
+		maxOps = nvals
+	}
+	for i := 0; i < n; i++ {
+		nops := 1 + r.Intn(maxOps)
+		set := map[int]bool{}
+		for len(set) < nops {
+			set[1+r.Intn(nvals)] = true
+		}
+		var in conflict.Instruction
+		for v := range set {
+			in = append(in, v)
+		}
+		instrs = append(instrs, in)
+	}
+	return instrs
+}
+
+// Property: the full pipeline (coloring + either strategy) always yields a
+// conflict-free allocation with sound bookkeeping.
+func TestPipelineProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(4)
+		instrs := randomInstrs(r, 3+r.Intn(12), 2+r.Intn(25), k)
+		g := conflict.Build(instrs)
+		col := coloring.GuptaSoffa(g, coloring.Options{K: k})
+		in := Input{Instrs: instrs, Assigned: col.Assign, Unassigned: col.Unassigned, K: k}
+		for _, f := range []func(Input) Result{Backtrack, HittingSetApproach} {
+			res := f(in)
+			if len(res.Residual) != 0 {
+				t.Logf("seed %d: residual %v", seed, res.Residual)
+				return false
+			}
+			for _, instr := range instrs {
+				if !ConflictFree(instr.Normalize(), res.Copies) {
+					t.Logf("seed %d: instruction %v conflicts", seed, instr)
+					return false
+				}
+			}
+			// Assigned values keep exactly their fixed single copy.
+			for v, m := range col.Assign {
+				if res.Copies[v] != ModSet(0).Add(m) {
+					t.Logf("seed %d: assigned value %d moved: %v", seed, v, res.Copies[v].Modules())
+					return false
+				}
+			}
+			// Every value that appears anywhere has storage.
+			for _, v := range g.Nodes() {
+				if res.Copies[v].Count() < 1 {
+					t.Logf("seed %d: value %d has no storage", seed, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: both strategies are deterministic.
+func TestStrategiesDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(3)
+		instrs := randomInstrs(r, 4+r.Intn(8), 2+r.Intn(15), k)
+		g := conflict.Build(instrs)
+		col := coloring.GuptaSoffa(g, coloring.Options{K: k})
+		in := Input{Instrs: instrs, Assigned: col.Assign, Unassigned: col.Unassigned, K: k}
+		a1, a2 := Backtrack(in), Backtrack(in)
+		b1, b2 := HittingSetApproach(in), HittingSetApproach(in)
+		return reflect.DeepEqual(a1, a2) && reflect.DeepEqual(b1, b2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactMinCopiesFig8(t *testing.T) {
+	// Fig. 8: the optimum is 3 copies of V4 (7 total), matching the
+	// paper's solution 2.
+	instrs := []conflict.Instruction{
+		{1, 2, 3, 5}, {4, 2, 3, 5}, {1, 2, 3, 4}, {4, 2, 1, 5},
+	}
+	in := Input{
+		Instrs:     instrs,
+		Assigned:   map[int]int{1: 1, 2: 3, 3: 2, 5: 0},
+		Unassigned: []int{4},
+		K:          4,
+	}
+	res := ExactMinCopies(in)
+	checkAllFree(t, instrs, res)
+	if res.Copies.TotalCopies() != 7 {
+		t.Fatalf("optimal total copies = %d, want 7", res.Copies.TotalCopies())
+	}
+	if res.Copies[4].Count() != 3 {
+		t.Fatalf("V4 copies = %d, want 3", res.Copies[4].Count())
+	}
+}
+
+func TestExactNeverWorseThanHeuristicsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(3)
+		instrs := randomInstrs(r, 4+r.Intn(5), 3+r.Intn(8), k)
+		g := conflict.Build(instrs)
+		col := coloring.GuptaSoffa(g, coloring.Options{K: k})
+		if len(col.Unassigned) > 4 {
+			return true // keep the exact search tractable
+		}
+		in := Input{Instrs: instrs, Assigned: col.Assign, Unassigned: col.Unassigned, K: k}
+		exact := ExactMinCopies(in)
+		if len(exact.Residual) != 0 {
+			t.Logf("seed %d: exact left residual %v", seed, exact.Residual)
+			return false
+		}
+		for _, h := range []Result{Backtrack(in), HittingSetApproach(in)} {
+			if exact.Copies.TotalCopies() > h.Copies.TotalCopies() {
+				t.Logf("seed %d: exact %d > heuristic %d", seed,
+					exact.Copies.TotalCopies(), h.Copies.TotalCopies())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactInfeasibleReportsResidual(t *testing.T) {
+	// Two fixed values pinned to the same module conflict regardless of
+	// replication of others.
+	in := Input{
+		Instrs:   []conflict.Instruction{{1, 2}},
+		Assigned: map[int]int{1: 0, 2: 0},
+		K:        2,
+	}
+	res := ExactMinCopies(in)
+	if len(res.Residual) != 1 {
+		t.Fatalf("residual = %v, want [0]", res.Residual)
+	}
+}
+
+func TestExactKeepsCarriedCopies(t *testing.T) {
+	// Value 9 arrives with a copy in module 1; the exact search must keep
+	// it (supersets only).
+	in := Input{
+		Instrs:     []conflict.Instruction{{1, 9}},
+		Assigned:   map[int]int{1: 0},
+		Unassigned: []int{9},
+		Initial:    Copies{9: ModSet(0).Add(1)},
+		K:          2,
+	}
+	res := ExactMinCopies(in)
+	if !res.Copies[9].Has(1) {
+		t.Fatalf("carried copy dropped: %v", res.Copies[9].Modules())
+	}
+	checkAllFree(t, in.Instrs, res)
+}

@@ -1,0 +1,123 @@
+package duplication
+
+import "sort"
+
+// ExactMinCopies finds, by branch and bound, a placement of the replicable
+// values that minimizes the total number of stored copies while making
+// every instruction conflict-free. It is exponential in the number of
+// replicable values (each can occupy any non-empty subset of the k modules)
+// and exists to measure the heuristics' optimality gap on small instances —
+// the paper's Fig. 3 and Fig. 8 discussions are exactly about those gaps.
+//
+// The result has Residual set when even full replication cannot fix an
+// instruction (clashing fixed values).
+func ExactMinCopies(in Input) Result {
+	base := baseCopies(in)
+	repl := in.Unassigned
+
+	// Deduplicate instruction operand sets and keep only those involving a
+	// replicable value (others are fixed and unaffected by the search).
+	replSet := unassignedSet(in)
+	var relevant [][]int
+	for _, instr := range in.Instrs {
+		ops := instr.Normalize()
+		hasRepl := false
+		for _, v := range ops {
+			if replSet[v] {
+				hasRepl = true
+				break
+			}
+		}
+		if hasRepl {
+			relevant = append(relevant, ops)
+		}
+	}
+
+	full := Full(in.K)
+	// Candidate module sets per value, cheapest (fewest copies) first.
+	var candidates []ModSet
+	for s := ModSet(1); s <= full; s++ {
+		candidates = append(candidates, s)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Count() != candidates[j].Count() {
+			return candidates[i].Count() < candidates[j].Count()
+		}
+		return candidates[i] < candidates[j]
+	})
+
+	bestCost := 1 << 30
+	var best Copies
+
+	var rec func(idx, cost int, cur Copies)
+	rec = func(idx, cost int, cur Copies) {
+		if cost >= bestCost {
+			return
+		}
+		if idx == len(repl) {
+			for _, ops := range relevant {
+				if !ConflictFree(ops, cur) {
+					return
+				}
+			}
+			bestCost = cost
+			best = cur.Clone()
+			return
+		}
+		v := repl[idx]
+		for _, s := range candidates {
+			if s&base[v] != base[v] {
+				continue // existing copies of carried-over values are kept
+			}
+			cur[v] = s
+			// Prune: instructions whose replicable operands are all
+			// decided must already be conflict-free.
+			ok := true
+			for _, ops := range relevant {
+				decided := true
+				involved := false
+				for _, o := range ops {
+					if o == v {
+						involved = true
+					}
+					if replSet[o] && cur[o] == 0 {
+						decided = false
+					}
+				}
+				if involved && decided && !ConflictFree(ops, cur) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(idx+1, cost+s.Count(), cur)
+			}
+		}
+		delete(cur, v)
+	}
+	// Fixed storage cost; replicable values' sets are chosen by the search
+	// (as supersets of any carried-over copies).
+	cost0 := base.TotalCopies()
+	for _, v := range repl {
+		cost0 -= base[v].Count()
+	}
+	rec(0, cost0, base.Clone())
+
+	if best == nil {
+		// No feasible placement (fixed values clash); fall back to full
+		// replication so Residual reporting is meaningful.
+		cur := base.Clone()
+		for _, v := range repl {
+			cur[v] = full
+		}
+		best = cur
+	}
+	res := Result{Copies: best}
+	for i, instr := range in.Instrs {
+		if !ConflictFree(instr.Normalize(), best) {
+			res.Residual = append(res.Residual, i)
+		}
+	}
+	res.NewCopies = best.TotalCopies() - len(best)
+	return res
+}

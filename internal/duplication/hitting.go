@@ -1,0 +1,296 @@
+package duplication
+
+import (
+	"sort"
+
+	"parmem/internal/conflict"
+)
+
+// HittingSet implements the greedy heuristic of paper Fig. 9.
+//
+// Given candidate sets (each listing the values whose duplication would
+// resolve one conflicting operand combination), it returns a set of values
+// hitting every candidate set. All singleton sets are taken outright; then
+// sets are processed by increasing size, and from each not-yet-hit set the
+// element occurring in the most sets is chosen, comparing occurrence counts
+// lexicographically from the current size upward (S_{v,size}, S_{v,size+1},
+// ...), with ties broken toward the smaller value id. The approximation
+// ratio is the harmonic bound H_m stated in the paper.
+func HittingSet(sets [][]int) []int {
+	if len(sets) == 0 {
+		return nil
+	}
+	maxSize := 0
+	for _, s := range sets {
+		if len(s) > maxSize {
+			maxSize = len(s)
+		}
+	}
+	// occ[v][p] = number of sets of size p containing v.
+	occ := map[int][]int{}
+	for _, s := range sets {
+		for _, v := range s {
+			if occ[v] == nil {
+				occ[v] = make([]int, maxSize+1)
+			}
+			occ[v][len(s)]++
+		}
+	}
+
+	hs := map[int]bool{}
+	for _, s := range sets {
+		if len(s) == 1 {
+			hs[s[0]] = true
+		}
+	}
+
+	// Deterministic processing order: by size, then lexicographic content.
+	ordered := make([][]int, len(sets))
+	copy(ordered, sets)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if len(ordered[i]) != len(ordered[j]) {
+			return len(ordered[i]) < len(ordered[j])
+		}
+		for x := range ordered[i] {
+			if ordered[i][x] != ordered[j][x] {
+				return ordered[i][x] < ordered[j][x]
+			}
+		}
+		return false
+	})
+
+	for size := 2; size <= maxSize; size++ {
+		for _, s := range ordered {
+			if len(s) != size {
+				continue
+			}
+			hit := false
+			for _, v := range s {
+				if hs[v] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				continue
+			}
+			// Choose the element with the lexicographically largest
+			// occurrence vector (S_{v,size}, ..., S_{v,maxSize}).
+			best := -1
+			for _, v := range s {
+				if best == -1 || occLess(occ[best], occ[v], size, maxSize) ||
+					(!occLess(occ[v], occ[best], size, maxSize) && v < best) {
+					best = v
+				}
+			}
+			hs[best] = true
+		}
+	}
+
+	out := make([]int, 0, len(hs))
+	for v := range hs {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// occLess reports whether a's occurrence vector is lexicographically smaller
+// than b's over sizes [from, to].
+func occLess(a, b []int, from, to int) bool {
+	for p := from; p <= to; p++ {
+		av, bv := 0, 0
+		if a != nil && p < len(a) {
+			av = a[p]
+		}
+		if b != nil && p < len(b) {
+			bv = b[p]
+		}
+		if av != bv {
+			return av < bv
+		}
+	}
+	return false
+}
+
+// Place implements the placement algorithm of paper Fig. 10: place one new
+// copy of each value in hs so that as many conflicting instructions as
+// possible become conflict-free.
+//
+// Instructions are grouped by how many of their operands are replicable
+// (I_y = instructions with y operands in V_unassigned): an instruction with
+// a single replicable operand has the least placement freedom, so group I_1
+// dominates every comparison. Values are placed one at a time, most
+// constrained first; each value goes to the module whose vector of
+// "conflicts newly avoided per group" is lexicographically largest. The
+// choice is deterministic (smallest module index on ties; the paper makes a
+// random choice).
+func Place(instrs []conflict.Instruction, copies Copies, hs []int, repl map[int]bool, k int) {
+	type ginstr struct {
+		ops   []int
+		group int // number of replicable operands, 1..k
+	}
+	var gis []ginstr
+	for _, in := range instrs {
+		ops := in.Normalize()
+		y := 0
+		for _, v := range ops {
+			if repl[v] {
+				y++
+			}
+		}
+		if y >= 1 {
+			gis = append(gis, ginstr{ops: ops, group: y})
+		}
+	}
+
+	// conflicting instructions that involve v, counted per group.
+	conflVector := func(v int) []int {
+		vec := make([]int, k+1)
+		for _, gi := range gis {
+			if ConflictFree(gi.ops, copies) {
+				continue
+			}
+			for _, o := range gi.ops {
+				if o == v {
+					vec[gi.group]++
+					break
+				}
+			}
+		}
+		return vec
+	}
+
+	// Order the values: the one involved in the most group-1 conflicts
+	// first, comparing group vectors lexicographically.
+	order := append([]int(nil), hs...)
+	sort.SliceStable(order, func(a, b int) bool {
+		va, vb := conflVector(order[a]), conflVector(order[b])
+		for y := 1; y <= k; y++ {
+			if va[y] != vb[y] {
+				return va[y] > vb[y]
+			}
+		}
+		return order[a] < order[b]
+	})
+
+	for _, v := range order {
+		if copies[v].Count() >= k {
+			continue // already everywhere; nothing to place
+		}
+		// Instructions that involve v. Because adding a copy can only
+		// enlarge a value's module set, an instruction that is free stays
+		// free, so maximizing "free after the trial placement" equals
+		// maximizing C_{M_x,I_y}(v) = "became free" — and it additionally
+		// steers the *first* copy of a value (whose placement narrows the
+		// value from a wildcard to one module) away from modules that
+		// would create new conflicts.
+		var involved []ginstr
+		for _, gi := range gis {
+			for _, o := range gi.ops {
+				if o == v {
+					involved = append(involved, gi)
+					break
+				}
+			}
+		}
+		old := copies[v]
+		bestM := -1
+		var bestVec []int
+		for m := 0; m < k; m++ {
+			if old.Has(m) {
+				continue
+			}
+			vec := make([]int, k+1)
+			copies[v] = old.Add(m)
+			for _, gi := range involved {
+				if ConflictFree(gi.ops, copies) {
+					vec[gi.group]++
+				}
+			}
+			copies[v] = old
+			if bestM == -1 || vecGreater(vec, bestVec, k) {
+				bestM, bestVec = m, vec
+			}
+		}
+		if bestM >= 0 {
+			copies[v] = old.Add(bestM)
+		}
+	}
+}
+
+// vecGreater reports a > b lexicographically over groups 1..k.
+func vecGreater(a, b []int, k int) bool {
+	for y := 1; y <= k; y++ {
+		if a[y] != b[y] {
+			return a[y] > b[y]
+		}
+	}
+	return false
+}
+
+// HittingSetApproach implements the overall strategy of paper Fig. 7.
+//
+// First one copy of every replicable value is placed (greedy placement),
+// then a second copy of each, which makes every operand *pair* conflict-free
+// by construction. Then, for combination sizes 3..k, the operand
+// combinations that still conflict are collected; each contributes the
+// candidate set of its replicable members, a hitting set of those candidate
+// sets is duplicated, and the new copies are placed. Sizes are re-examined
+// until clean, which terminates because each round adds at least one copy
+// and a value held by all k modules can never conflict.
+func HittingSetApproach(in Input) Result {
+	copies := baseCopies(in)
+	repl := unassignedSet(in)
+
+	// First and second copies of every replicable value (paper: the two
+	// initial Place(V_unassigned) calls). Values carried over from an
+	// earlier phase may already have storage; only top each value up to
+	// two copies, which is what makes every operand *pair* conflict-free.
+	for round := 0; round < 2; round++ {
+		var todo []int
+		for _, v := range in.Unassigned {
+			if copies[v].Count() <= round {
+				todo = append(todo, v)
+			}
+		}
+		Place(in.Instrs, copies, todo, repl, in.K)
+	}
+
+	for num := 3; num <= in.K; num++ {
+		for round := 0; ; round++ {
+			combs := conflict.Combinations(in.Instrs, num)
+			var candSets [][]int
+			for _, comb := range combs {
+				if ConflictFree(comb, copies) {
+					continue
+				}
+				var cand []int
+				for _, v := range comb {
+					if repl[v] && copies[v].Count() < in.K {
+						cand = append(cand, v)
+					}
+				}
+				if len(cand) > 0 {
+					candSets = append(candSets, cand)
+				}
+			}
+			if len(candSets) == 0 {
+				break
+			}
+			hs := HittingSet(candSets)
+			before := copies.TotalCopies()
+			Place(in.Instrs, copies, hs, repl, in.K)
+			if copies.TotalCopies() == before {
+				// No progress is possible (every candidate already has a
+				// copy in all modules); the remaining conflicts involve
+				// fixed values and surface as Residual.
+				break
+			}
+			if round > in.K*len(in.Unassigned)+1 {
+				break // safety valve; cannot trigger with progressing rounds
+			}
+		}
+	}
+	return finishResult(in, copies)
+}

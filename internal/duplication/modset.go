@@ -1,0 +1,200 @@
+// Package duplication resolves the memory-access conflicts that survive
+// graph coloring by replicating data values across memory modules
+// (Gupta & Soffa, PPOPP 1988, §2.2).
+//
+// Two strategies are implemented:
+//
+//   - Backtrack (paper Fig. 6): instructions are processed one at a time in
+//     order of how many replicable operands they contain; for each, an
+//     exhaustive search over module placements finds the assignment that
+//     creates the fewest new copies.
+//   - HittingSet (paper Figs. 7, 9, 10): all instructions are examined
+//     before any replication decision; for every operand-combination size
+//     3..k, the still-conflicting combinations define candidate sets whose
+//     minimum hitting set (approximated greedily) is duplicated, and the new
+//     copies are placed by a grouped greedy placement.
+//
+// A combination of values is conflict-free when the modules holding their
+// copies admit a system of distinct representatives — each value can be
+// fetched from its own module in the same cycle.
+package duplication
+
+import "math/bits"
+
+// ModSet is a set of memory-module indices packed into a bitmask.
+// Module indices must lie in [0,64).
+type ModSet uint64
+
+// Has reports whether module m is in the set.
+func (s ModSet) Has(m int) bool { return s&(1<<uint(m)) != 0 }
+
+// Add returns the set with module m added.
+func (s ModSet) Add(m int) ModSet { return s | 1<<uint(m) }
+
+// Remove returns the set with module m removed.
+func (s ModSet) Remove(m int) ModSet { return s &^ (1 << uint(m)) }
+
+// Count returns the number of modules in the set.
+func (s ModSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Modules returns the module indices in ascending order.
+func (s ModSet) Modules() []int {
+	out := make([]int, 0, s.Count())
+	for m := 0; s != 0; m++ {
+		if s.Has(m) {
+			out = append(out, m)
+			s = s.Remove(m)
+		}
+	}
+	return out
+}
+
+// Full returns the set of all k modules.
+func Full(k int) ModSet {
+	if k >= 64 {
+		return ^ModSet(0)
+	}
+	return ModSet(1)<<uint(k) - 1
+}
+
+// Copies records where each data value is stored: value id → set of memory
+// modules holding a copy. Values absent from the map have no storage yet.
+type Copies map[int]ModSet
+
+// Clone returns a deep copy.
+func (c Copies) Clone() Copies {
+	out := make(Copies, len(c))
+	for v, s := range c {
+		out[v] = s
+	}
+	return out
+}
+
+// TotalCopies returns the total number of stored copies.
+func (c Copies) TotalCopies() int {
+	n := 0
+	for _, s := range c {
+		n += s.Count()
+	}
+	return n
+}
+
+// Multi returns how many values have more than one copy.
+func (c Copies) Multi() int {
+	n := 0
+	for _, s := range c {
+		if s.Count() > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// HasSDR reports whether the given values can be fetched in parallel: their
+// copy sets admit a system of distinct representatives (one private module
+// per value). Values with no copies yet are treated as wildcards — they can
+// later be placed in any module — so they only require the total operand
+// count to stay within k, which the scheduler guarantees.
+//
+// The check is a bipartite matching (values → modules) by augmenting paths;
+// combination sizes are at most k ≤ 64, so this is effectively constant
+// time.
+func HasSDR(values []int, copies Copies) bool {
+	// Collect the constrained values (those that already have copies).
+	sets := make([]ModSet, 0, len(values))
+	for _, v := range values {
+		if s := copies[v]; s != 0 {
+			sets = append(sets, s)
+		}
+	}
+	return matchAll(sets)
+}
+
+// matchAll reports whether every set can be matched to a distinct module.
+func matchAll(sets []ModSet) bool {
+	matchedBy := make(map[int]int) // module -> set index
+	var try func(i int, visited *ModSet) bool
+	try = func(i int, visited *ModSet) bool {
+		for _, m := range sets[i].Modules() {
+			if visited.Has(m) {
+				continue
+			}
+			*visited = visited.Add(m)
+			holder, taken := matchedBy[m]
+			if !taken || try(holder, visited) {
+				matchedBy[m] = i
+				return true
+			}
+		}
+		return false
+	}
+	for i := range sets {
+		visited := ModSet(0)
+		if !try(i, &visited) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConflictFree reports whether a whole instruction (operand set) is
+// fetchable in one cycle under the current copies.
+func ConflictFree(operands []int, copies Copies) bool {
+	return HasSDR(operands, copies)
+}
+
+// MatchModules computes the concrete fetch schedule for an instruction: for
+// every value with storage it picks the module that supplies the fetch, all
+// pairwise distinct if possible. The boolean reports whether a complete
+// matching exists; values that could not be matched (hardware conflict) are
+// assigned the first module of their copy set. Values without storage are
+// omitted from the result.
+func MatchModules(values []int, copies Copies) (map[int]int, bool) {
+	type entry struct {
+		v int
+		s ModSet
+	}
+	var es []entry
+	for _, v := range values {
+		if s := copies[v]; s != 0 {
+			es = append(es, entry{v, s})
+		}
+	}
+	matchedBy := make(map[int]int) // module -> entry index
+	var try func(i int, visited *ModSet) bool
+	try = func(i int, visited *ModSet) bool {
+		for _, m := range es[i].s.Modules() {
+			if visited.Has(m) {
+				continue
+			}
+			*visited = visited.Add(m)
+			holder, taken := matchedBy[m]
+			if !taken || try(holder, visited) {
+				matchedBy[m] = i
+				return true
+			}
+		}
+		return false
+	}
+	ok := true
+	matched := make(map[int]int, len(es)) // entry index -> module
+	for i := range es {
+		visited := ModSet(0)
+		if try(i, &visited) {
+			continue
+		}
+		ok = false
+	}
+	for m, i := range matchedBy {
+		matched[i] = m
+	}
+	out := make(map[int]int, len(es))
+	for i, e := range es {
+		if m, has := matched[i]; has {
+			out[e.v] = m
+		} else {
+			out[e.v] = e.s.Modules()[0]
+		}
+	}
+	return out, ok
+}

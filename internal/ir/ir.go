@@ -1,0 +1,354 @@
+// Package ir defines the three-address intermediate representation the MPL
+// front end lowers to and the LIW scheduler consumes.
+//
+// The unit of storage allocation is the Value: a scalar variable, a renamed
+// definition of one (see internal/dfa), or a compiler temporary. Values of
+// kind Const are immediates and never occupy a memory module; everything
+// else is memory-resident, exactly as on the paper's RLIW machine, where
+// functional units fetch their operands from the parallel memory modules on
+// every instruction.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a value type.
+type Type int
+
+const (
+	Int Type = iota
+	Float
+)
+
+func (t Type) String() string {
+	if t == Float {
+		return "float"
+	}
+	return "int"
+}
+
+// Kind classifies values.
+type Kind int
+
+const (
+	// Var is a program variable (or a renamed web of one).
+	Var Kind = iota
+	// Temp is a compiler temporary.
+	Temp
+	// Const is an immediate; it consumes no memory-module storage.
+	Const
+)
+
+// Value is a compile-time data value.
+type Value struct {
+	ID   int
+	Name string
+	Type Type
+	Kind Kind
+	// ConstInt/ConstFloat hold the immediate for Kind == Const.
+	ConstInt   int64
+	ConstFloat float64
+}
+
+// IsMem reports whether the value lives in a memory module (i.e. fetching
+// it can conflict with other fetches).
+func (v *Value) IsMem() bool { return v != nil && v.Kind != Const }
+
+func (v *Value) String() string {
+	if v == nil {
+		return "_"
+	}
+	if v.Kind == Const {
+		if v.Type == Float {
+			return fmt.Sprintf("%g", v.ConstFloat)
+		}
+		return fmt.Sprintf("%d", v.ConstInt)
+	}
+	return v.Name
+}
+
+// Array is a program array. Its elements are addressed at run time, so the
+// compiler cannot predict which module an element access hits; the machine
+// model distributes elements across modules according to a storage scheme.
+type Array struct {
+	ID   int
+	Name string
+	Size int
+	Type Type
+}
+
+// Op is a three-address opcode.
+type Op int
+
+const (
+	Nop Op = iota
+	// Arithmetic: Dst = A op B (Neg/Not: Dst = op A).
+	Add
+	Sub
+	Mul
+	Div
+	Mod
+	Neg
+	// Comparisons: Dst = A op B as 0/1 int.
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	// Not is logical negation: Dst = (A == 0).
+	Not
+	// Mov: Dst = A.
+	Mov
+	// Load: Dst = Array[Index]. Store: Array[Index] = A.
+	Load
+	Store
+	// Br: if A != 0 jump to block Target, else fall through.
+	// Jmp: jump to block Target.
+	Br
+	Jmp
+	// Ret ends execution of the function.
+	Ret
+)
+
+var opNames = map[Op]string{
+	Nop: "nop", Add: "add", Sub: "sub", Mul: "mul", Div: "div", Mod: "mod",
+	Neg: "neg", Eq: "eq", Ne: "ne", Lt: "lt", Le: "le", Gt: "gt", Ge: "ge",
+	Not: "not", Mov: "mov", Load: "load", Store: "store", Br: "br", Jmp: "jmp",
+	Ret: "ret",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsBranch reports whether the op ends a basic block.
+func (o Op) IsBranch() bool { return o == Br || o == Jmp || o == Ret }
+
+// IsCompare reports whether the op is a comparison.
+func (o Op) IsCompare() bool { return o >= Eq && o <= Ge }
+
+// Instr is one three-address instruction.
+type Instr struct {
+	Op     Op
+	Dst    *Value // defined value; nil for Store/Br/Jmp/Ret/Nop
+	A, B   *Value // operands; B nil for unary/Mov/Load
+	Arr    *Array // Load/Store target array
+	Index  *Value // Load/Store index
+	Target int    // Br/Jmp target block id
+	// Seq is the instruction's position in original program order, stamped
+	// by the scheduler. Operations packed into the same word commit their
+	// results in Seq order, which keeps "which write was last"
+	// observations (machine.Result.Scalar) schedule-independent.
+	Seq int
+}
+
+// Uses returns the memory-resident values the instruction fetches.
+func (in *Instr) Uses() []*Value {
+	var out []*Value
+	add := func(v *Value) {
+		if v.IsMem() {
+			out = append(out, v)
+		}
+	}
+	if in.A != nil {
+		add(in.A)
+	}
+	if in.B != nil {
+		add(in.B)
+	}
+	if in.Index != nil {
+		add(in.Index)
+	}
+	return out
+}
+
+// Def returns the value the instruction defines, or nil.
+func (in *Instr) Def() *Value { return in.Dst }
+
+func (in *Instr) String() string {
+	switch in.Op {
+	case Load:
+		return fmt.Sprintf("%s = %s[%s]", in.Dst, in.Arr.Name, in.Index)
+	case Store:
+		return fmt.Sprintf("%s[%s] = %s", in.Arr.Name, in.Index, in.A)
+	case Br:
+		return fmt.Sprintf("br %s -> b%d", in.A, in.Target)
+	case Jmp:
+		return fmt.Sprintf("jmp b%d", in.Target)
+	case Ret:
+		return "ret"
+	case Mov:
+		return fmt.Sprintf("%s = %s", in.Dst, in.A)
+	case Neg, Not:
+		return fmt.Sprintf("%s = %s %s", in.Dst, in.Op, in.A)
+	default:
+		if in.B != nil {
+			return fmt.Sprintf("%s = %s %s %s", in.Dst, in.A, in.Op, in.B)
+		}
+		return fmt.Sprintf("%s = %s %s", in.Dst, in.Op, in.A)
+	}
+}
+
+// Block is a basic block. Control falls through to the next block in layout
+// order unless the last instruction is an unconditional transfer.
+type Block struct {
+	ID     int
+	Instrs []Instr
+}
+
+// Func is a function (MPL programs are a single main function).
+type Func struct {
+	Name   string
+	Blocks []*Block
+	Values []*Value // all values, indexed by ID
+	Arrays []*Array // all arrays, indexed by ID
+}
+
+// NewFunc returns an empty function with one entry block.
+func NewFunc(name string) *Func {
+	f := &Func{Name: name}
+	f.NewBlock()
+	return f
+}
+
+// NewBlock appends a new empty block and returns it.
+func (f *Func) NewBlock() *Block {
+	b := &Block{ID: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NewValue creates a memory-resident value.
+func (f *Func) NewValue(name string, t Type, k Kind) *Value {
+	v := &Value{ID: len(f.Values), Name: name, Type: t, Kind: k}
+	f.Values = append(f.Values, v)
+	return v
+}
+
+// NewTemp creates a fresh compiler temporary.
+func (f *Func) NewTemp(t Type) *Value {
+	return f.NewValue(fmt.Sprintf("t%d", len(f.Values)), t, Temp)
+}
+
+// IntConst returns an integer immediate.
+func (f *Func) IntConst(x int64) *Value {
+	v := &Value{ID: len(f.Values), Name: fmt.Sprintf("%d", x), Type: Int, Kind: Const, ConstInt: x}
+	f.Values = append(f.Values, v)
+	return v
+}
+
+// FloatConst returns a floating-point immediate.
+func (f *Func) FloatConst(x float64) *Value {
+	v := &Value{ID: len(f.Values), Name: fmt.Sprintf("%g", x), Type: Float, Kind: Const, ConstFloat: x}
+	f.Values = append(f.Values, v)
+	return v
+}
+
+// NewArray declares an array.
+func (f *Func) NewArray(name string, size int, t Type) *Array {
+	a := &Array{ID: len(f.Arrays), Name: name, Size: size, Type: t}
+	f.Arrays = append(f.Arrays, a)
+	return a
+}
+
+// Emit appends an instruction to block b.
+func (b *Block) Emit(in Instr) { b.Instrs = append(b.Instrs, in) }
+
+// Terminated reports whether the block already ends in a branch.
+func (b *Block) Terminated() bool {
+	return len(b.Instrs) > 0 && b.Instrs[len(b.Instrs)-1].Op.IsBranch()
+}
+
+// Succs returns the possible successor block ids of block b within f,
+// taking the fallthrough edge into account.
+func (f *Func) Succs(b *Block) []int {
+	if len(b.Instrs) == 0 {
+		if b.ID+1 < len(f.Blocks) {
+			return []int{b.ID + 1}
+		}
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	switch last.Op {
+	case Jmp:
+		return []int{last.Target}
+	case Ret:
+		return nil
+	case Br:
+		if b.ID+1 < len(f.Blocks) {
+			if last.Target == b.ID+1 {
+				return []int{last.Target}
+			}
+			return []int{last.Target, b.ID + 1}
+		}
+		return []int{last.Target}
+	default:
+		if b.ID+1 < len(f.Blocks) {
+			return []int{b.ID + 1}
+		}
+		return nil
+	}
+}
+
+// Validate checks structural invariants: branch targets exist, operands are
+// registered, Load/Store have arrays and indices, every block reaches a
+// terminator or has a fallthrough.
+func (f *Func) Validate() error {
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op.IsBranch() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("%s: b%d instr %d: branch in the middle of a block", f.Name, b.ID, i)
+			}
+			if (in.Op == Br || in.Op == Jmp) && (in.Target < 0 || in.Target >= len(f.Blocks)) {
+				return fmt.Errorf("%s: b%d instr %d: branch target b%d out of range", f.Name, b.ID, i, in.Target)
+			}
+			if (in.Op == Load || in.Op == Store) && (in.Arr == nil || in.Index == nil) {
+				return fmt.Errorf("%s: b%d instr %d: %s without array or index", f.Name, b.ID, i, in.Op)
+			}
+			for _, v := range []*Value{in.Dst, in.A, in.B, in.Index} {
+				if v == nil {
+					continue
+				}
+				if v.ID < 0 || v.ID >= len(f.Values) || f.Values[v.ID] != v {
+					return fmt.Errorf("%s: b%d instr %d: value %q not registered with this function", f.Name, b.ID, i, v.Name)
+				}
+			}
+		}
+	}
+	// The last block must end execution.
+	if len(f.Blocks) > 0 {
+		last := f.Blocks[len(f.Blocks)-1]
+		if !last.Terminated() {
+			return fmt.Errorf("%s: final block b%d does not terminate", f.Name, last.ID)
+		}
+	}
+	return nil
+}
+
+// String renders the function for debugging.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s:\n", f.Name)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:\n", b.ID)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", in.String())
+		}
+	}
+	return sb.String()
+}
+
+// NumInstrs counts three-address instructions in f.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}

@@ -1,0 +1,223 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// sample builds: t0 = x + y; if t0 < 10 jump b1 else fall to b1... a small
+// two-block function used across tests.
+func sample() (*Func, *Value, *Value) {
+	f := NewFunc("sample")
+	x := f.NewValue("x", Int, Var)
+	y := f.NewValue("y", Int, Var)
+	t := f.NewTemp(Int)
+	b0 := f.Blocks[0]
+	b0.Emit(Instr{Op: Add, Dst: t, A: x, B: y})
+	b0.Emit(Instr{Op: Br, A: t, Target: 1})
+	b1 := f.NewBlock()
+	b1.Emit(Instr{Op: Ret})
+	return f, x, y
+}
+
+func TestNewFuncHasEntryBlock(t *testing.T) {
+	f := NewFunc("f")
+	if len(f.Blocks) != 1 || f.Blocks[0].ID != 0 {
+		t.Fatalf("blocks = %v", f.Blocks)
+	}
+}
+
+func TestValueIDsDense(t *testing.T) {
+	f := NewFunc("f")
+	a := f.NewValue("a", Int, Var)
+	b := f.NewTemp(Float)
+	c := f.IntConst(7)
+	d := f.FloatConst(2.5)
+	for i, v := range []*Value{a, b, c, d} {
+		if v.ID != i || f.Values[i] != v {
+			t.Fatalf("value %d has ID %d", i, v.ID)
+		}
+	}
+	if c.ConstInt != 7 || d.ConstFloat != 2.5 {
+		t.Fatal("constant payloads")
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	f := NewFunc("f")
+	if !f.NewValue("v", Int, Var).IsMem() {
+		t.Fatal("variables are memory-resident")
+	}
+	if !f.NewTemp(Int).IsMem() {
+		t.Fatal("temps are memory-resident")
+	}
+	if f.IntConst(1).IsMem() {
+		t.Fatal("constants are immediates")
+	}
+	var nilV *Value
+	if nilV.IsMem() {
+		t.Fatal("nil is not a memory value")
+	}
+}
+
+func TestUsesSkipsConstants(t *testing.T) {
+	f := NewFunc("f")
+	x := f.NewValue("x", Int, Var)
+	c := f.IntConst(3)
+	t1 := f.NewTemp(Int)
+	in := Instr{Op: Add, Dst: t1, A: x, B: c}
+	uses := in.Uses()
+	if len(uses) != 1 || uses[0] != x {
+		t.Fatalf("uses = %v", uses)
+	}
+}
+
+func TestUsesIncludesIndex(t *testing.T) {
+	f := NewFunc("f")
+	arr := f.NewArray("a", 10, Int)
+	i := f.NewValue("i", Int, Var)
+	x := f.NewValue("x", Int, Var)
+	st := Instr{Op: Store, Arr: arr, Index: i, A: x}
+	if got := st.Uses(); len(got) != 2 {
+		t.Fatalf("store uses = %v, want [x i]", got)
+	}
+}
+
+func TestSuccsFallthrough(t *testing.T) {
+	f, _, _ := sample()
+	// b0 ends in Br to b1 with fallthrough also b1: dedup to one successor.
+	succs := f.Succs(f.Blocks[0])
+	if len(succs) != 1 || succs[0] != 1 {
+		t.Fatalf("succs(b0) = %v, want [1]", succs)
+	}
+	if got := f.Succs(f.Blocks[1]); got != nil {
+		t.Fatalf("succs(ret block) = %v, want nil", got)
+	}
+}
+
+func TestSuccsBranchAndFallthrough(t *testing.T) {
+	f := NewFunc("f")
+	x := f.NewValue("x", Int, Var)
+	f.Blocks[0].Emit(Instr{Op: Br, A: x, Target: 2})
+	f.NewBlock().Emit(Instr{Op: Jmp, Target: 2})
+	f.NewBlock().Emit(Instr{Op: Ret})
+	succs := f.Succs(f.Blocks[0])
+	if len(succs) != 2 || succs[0] != 2 || succs[1] != 1 {
+		t.Fatalf("succs = %v, want [2 1]", succs)
+	}
+	if got := f.Succs(f.Blocks[1]); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("jmp succs = %v", got)
+	}
+}
+
+func TestSuccsEmptyBlock(t *testing.T) {
+	f := NewFunc("f")
+	f.NewBlock().Emit(Instr{Op: Ret})
+	if got := f.Succs(f.Blocks[0]); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("empty block succs = %v, want [1]", got)
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	f, _, _ := sample()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateBranchTarget(t *testing.T) {
+	f := NewFunc("f")
+	f.Blocks[0].Emit(Instr{Op: Jmp, Target: 42})
+	if err := f.Validate(); err == nil {
+		t.Fatal("out-of-range target must fail")
+	}
+}
+
+func TestValidateMidBlockBranch(t *testing.T) {
+	f := NewFunc("f")
+	f.Blocks[0].Emit(Instr{Op: Jmp, Target: 0})
+	f.Blocks[0].Emit(Instr{Op: Ret})
+	if err := f.Validate(); err == nil {
+		t.Fatal("branch in the middle of a block must fail")
+	}
+}
+
+func TestValidateForeignValue(t *testing.T) {
+	f := NewFunc("f")
+	g := NewFunc("g")
+	alien := g.NewValue("alien", Int, Var)
+	f.Blocks[0].Emit(Instr{Op: Mov, Dst: alien, A: alien})
+	f.Blocks[0].Emit(Instr{Op: Ret})
+	if err := f.Validate(); err == nil {
+		t.Fatal("foreign value must fail validation")
+	}
+}
+
+func TestValidateLoadWithoutArray(t *testing.T) {
+	f := NewFunc("f")
+	tv := f.NewTemp(Int)
+	f.Blocks[0].Emit(Instr{Op: Load, Dst: tv})
+	f.Blocks[0].Emit(Instr{Op: Ret})
+	if err := f.Validate(); err == nil {
+		t.Fatal("load without array must fail")
+	}
+}
+
+func TestValidateUnterminatedFinalBlock(t *testing.T) {
+	f := NewFunc("f")
+	x := f.NewValue("x", Int, Var)
+	f.Blocks[0].Emit(Instr{Op: Mov, Dst: x, A: f.IntConst(1)})
+	if err := f.Validate(); err == nil {
+		t.Fatal("unterminated final block must fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f, _, _ := sample()
+	s := f.String()
+	for _, want := range []string{"func sample:", "b0:", "t2 = x add y", "br t2 -> b1", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q in:\n%s", want, s)
+		}
+	}
+	arrF := NewFunc("g")
+	arr := arrF.NewArray("data", 8, Float)
+	i := arrF.NewValue("i", Int, Var)
+	d := arrF.NewTemp(Float)
+	load := Instr{Op: Load, Dst: d, Arr: arr, Index: i}
+	if got := load.String(); got != "t1 = data[i]" {
+		t.Fatalf("load string = %q", got)
+	}
+	store := Instr{Op: Store, Arr: arr, Index: i, A: d}
+	if got := store.String(); got != "data[i] = t1" {
+		t.Fatalf("store string = %q", got)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if Add.String() != "add" || Not.String() != "not" || Ret.String() != "ret" {
+		t.Fatal("op names")
+	}
+	if Op(999).String() != "op(999)" {
+		t.Fatal("unknown op formatting")
+	}
+	if !Br.IsBranch() || !Jmp.IsBranch() || !Ret.IsBranch() || Add.IsBranch() {
+		t.Fatal("IsBranch")
+	}
+	if !Lt.IsCompare() || !Eq.IsCompare() || Add.IsCompare() || Not.IsCompare() {
+		t.Fatal("IsCompare")
+	}
+}
+
+func TestNumInstrs(t *testing.T) {
+	f, _, _ := sample()
+	if f.NumInstrs() != 3 {
+		t.Fatalf("NumInstrs = %d, want 3", f.NumInstrs())
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Int.String() != "int" || Float.String() != "float" {
+		t.Fatal("type names")
+	}
+}

@@ -1,0 +1,111 @@
+package lang
+
+import "parmem/internal/ir"
+
+// Program is a parsed MPL program.
+type Program struct {
+	Name  string
+	Decls []Decl
+	Body  []Stmt
+	// ImplicitInts lists variables that transformations (loop unrolling)
+	// now assign outside any for-statement; lowering declares them as int
+	// scalars if the program has not declared them itself.
+	ImplicitInts []string
+}
+
+// Decl declares one or more variables of a common type.
+type Decl struct {
+	Names     []string
+	Type      ir.Type
+	ArraySize int // 0 for scalars, element count for arrays
+	Line      int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// AssignStmt is "name := expr" or "name[index] := expr".
+type AssignStmt struct {
+	Name  string
+	Index Expr // nil for scalar assignment
+	Value Expr
+	Line  int
+}
+
+// IfStmt is "if cond then ... [else ...] end".
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// WhileStmt is "while cond do ... end".
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ForStmt is "for v := lo to|downto hi do ... end".
+type ForStmt struct {
+	Var      string
+	Lo, Hi   Expr
+	Downward bool
+	Body     []Stmt
+	Line     int
+}
+
+func (*AssignStmt) stmt() {}
+func (*IfStmt) stmt()     {}
+func (*WhileStmt) stmt()  {}
+func (*ForStmt) stmt()    {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// IntExpr is an integer literal.
+type IntExpr struct {
+	Val  int64
+	Line int
+}
+
+// FloatExpr is a floating-point literal.
+type FloatExpr struct {
+	Val  float64
+	Line int
+}
+
+// IdentExpr is a scalar variable reference.
+type IdentExpr struct {
+	Name string
+	Line int
+}
+
+// IndexExpr is an array element reference "name[index]".
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// UnaryExpr is "-x" or "not x".
+type UnaryExpr struct {
+	Op   TokKind // Minus or KwNot
+	X    Expr
+	Line int
+}
+
+// BinaryExpr is "x op y" for arithmetic, comparison and logic operators.
+type BinaryExpr struct {
+	Op   TokKind
+	X, Y Expr
+	Line int
+}
+
+func (*IntExpr) expr()    {}
+func (*FloatExpr) expr()  {}
+func (*IdentExpr) expr()  {}
+func (*IndexExpr) expr()  {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}

@@ -1,0 +1,143 @@
+package lang
+
+import "fmt"
+
+// If-conversion, an AST-level transformation applied before lowering.
+//
+// Branchy code defeats a lock-step LIW machine: every basic-block boundary
+// drains the instruction word. The RLIW work this paper belongs to
+// (Gupta & Soffa, "A Matching Approach to Utilizing Fine-Grained
+// Parallelism") converts short conditionals into straight-line arithmetic.
+// MPL's version rewrites
+//
+//	if c then x := e1; else x := e2; end
+//
+// into
+//
+//	_ic := c
+//	x := _ic * (e1) + (1 - _ic) * x
+//	x := (1 - _ic) * (e2) + _ic * x
+//
+// which is branch-free and schedules into wide words. The rewrite is sound
+// because MPL conditions are 0/1 integers and both arms' expressions are
+// restricted to fault-free arithmetic (no division, no modulo, no array
+// accesses), so evaluating the not-taken arm is harmless.
+
+// IfConvert rewrites every eligible conditional of prog. maxAssigns bounds
+// the total number of assignments across both arms (code-bloat guard); 0
+// applies a default of 8.
+func IfConvert(prog *Program, maxAssigns int) int {
+	if maxAssigns <= 0 {
+		maxAssigns = 8
+	}
+	c := &ifConverter{max: maxAssigns}
+	prog.Body = c.stmts(prog.Body)
+	prog.ImplicitInts = append(prog.ImplicitInts, c.implicit...)
+	return c.converted
+}
+
+type ifConverter struct {
+	max       int
+	nextID    int
+	converted int
+	implicit  []string
+}
+
+func (c *ifConverter) stmts(ss []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range ss {
+		out = append(out, c.stmt(s)...)
+	}
+	return out
+}
+
+func (c *ifConverter) stmt(s Stmt) []Stmt {
+	switch st := s.(type) {
+	case *IfStmt:
+		// Convert inner conditionals first: a nested eligible if becomes
+		// plain assignments, which may make the outer one eligible too.
+		st.Then = c.stmts(st.Then)
+		st.Else = c.stmts(st.Else)
+		return c.convert(st)
+	case *WhileStmt:
+		st.Body = c.stmts(st.Body)
+		return []Stmt{st}
+	case *ForStmt:
+		st.Body = c.stmts(st.Body)
+		return []Stmt{st}
+	default:
+		return []Stmt{s}
+	}
+}
+
+// convert rewrites one conditional if both arms are eligible.
+func (c *ifConverter) convert(st *IfStmt) []Stmt {
+	if len(st.Then)+len(st.Else) > c.max {
+		return []Stmt{st}
+	}
+	for _, arm := range [][]Stmt{st.Then, st.Else} {
+		for _, s := range arm {
+			as, ok := s.(*AssignStmt)
+			if !ok || as.Index != nil || !safeExpr(as.Value) {
+				return []Stmt{st}
+			}
+		}
+	}
+	c.converted++
+	cond := fmt.Sprintf("_ic%d", c.nextID)
+	c.nextID++
+	c.implicit = append(c.implicit, cond)
+
+	// Normalize to 0/1: "if x then" is taken for any nonzero x.
+	norm := &BinaryExpr{Op: NeOp, X: st.Cond, Y: &IntExpr{Val: 0, Line: st.Line}, Line: st.Line}
+	out := []Stmt{&AssignStmt{Name: cond, Value: norm, Line: st.Line}}
+	condRef := func() Expr { return &IdentExpr{Name: cond, Line: st.Line} }
+	oneMinus := func() Expr {
+		return &BinaryExpr{Op: Minus, X: &IntExpr{Val: 1, Line: st.Line}, Y: condRef(), Line: st.Line}
+	}
+	blend := func(as *AssignStmt, taken, notTaken Expr) Stmt {
+		// target := taken*(expr) + notTaken*target
+		return &AssignStmt{
+			Name: as.Name,
+			Value: &BinaryExpr{
+				Op:   Plus,
+				X:    &BinaryExpr{Op: Star, X: taken, Y: parenValue(as.Value), Line: as.Line},
+				Y:    &BinaryExpr{Op: Star, X: notTaken, Y: &IdentExpr{Name: as.Name, Line: as.Line}, Line: as.Line},
+				Line: as.Line,
+			},
+			Line: as.Line,
+		}
+	}
+	for _, s := range st.Then {
+		out = append(out, blend(s.(*AssignStmt), condRef(), oneMinus()))
+	}
+	for _, s := range st.Else {
+		out = append(out, blend(s.(*AssignStmt), oneMinus(), condRef()))
+	}
+	return out
+}
+
+// parenValue returns the expression as-is; precedence is preserved because
+// the AST already encodes it (no re-parsing happens).
+func parenValue(e Expr) Expr { return e }
+
+// safeExpr reports whether evaluating e speculatively can neither fault nor
+// touch memory whose address might be invalid: no division, no modulo, no
+// array indexing.
+func safeExpr(e Expr) bool {
+	switch ex := e.(type) {
+	case *IntExpr, *FloatExpr, *IdentExpr:
+		return true
+	case *IndexExpr:
+		return false
+	case *UnaryExpr:
+		return safeExpr(ex.X)
+	case *BinaryExpr:
+		if ex.Op == Slash || ex.Op == Percent {
+			return false
+		}
+		return safeExpr(ex.X) && safeExpr(ex.Y)
+	default:
+		return false
+	}
+}

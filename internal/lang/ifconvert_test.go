@@ -1,0 +1,112 @@
+package lang
+
+import (
+	"testing"
+)
+
+func TestIfConvertSimple(t *testing.T) {
+	p := parseT(t, `program p; var x, c: int;
+begin
+  if c > 0 then
+    x := 5;
+  else
+    x := 7;
+  end
+end`)
+	n := IfConvert(p, 0)
+	if n != 1 {
+		t.Fatalf("converted = %d, want 1", n)
+	}
+	// The if is gone: body is now _ic0 assignment + 2 blends.
+	if len(p.Body) != 3 {
+		t.Fatalf("body = %d stmts, want 3", len(p.Body))
+	}
+	for _, s := range p.Body {
+		if _, ok := s.(*IfStmt); ok {
+			t.Fatal("conditional survived conversion")
+		}
+	}
+	if len(p.ImplicitInts) == 0 || p.ImplicitInts[0] != "_ic0" {
+		t.Fatalf("implicit condition variable missing: %v", p.ImplicitInts)
+	}
+	if _, err := Lower(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIfConvertRejectsUnsafe(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"division", `program p; var x, c: int; begin if c > 0 then x := 1 / c; end end`},
+		{"modulo", `program p; var x, c: int; begin if c > 0 then x := c % 2; end end`},
+		{"array read", `program p; var a: array[4] of int; var x, c: int; begin if c > 0 then x := a[c]; end end`},
+		{"array write", `program p; var a: array[4] of int; var c: int; begin if c > 0 then a[c] := 1; end end`},
+		{"nested while", `program p; var x, c: int; begin if c > 0 then while x > 0 do x := x - 1; end end end`},
+	}
+	for _, tc := range cases {
+		p := parseT(t, tc.src)
+		if n := IfConvert(p, 0); n != 0 {
+			t.Errorf("%s: converted %d, want 0", tc.name, n)
+		}
+		if _, ok := p.Body[0].(*IfStmt); !ok {
+			t.Errorf("%s: conditional was rewritten", tc.name)
+		}
+	}
+}
+
+func TestIfConvertRespectsSizeLimit(t *testing.T) {
+	p := parseT(t, `program p; var a, b, c, d, x: int;
+begin
+  if x > 0 then
+    a := 1; b := 2; c := 3; d := 4;
+  end
+end`)
+	if n := IfConvert(p, 2); n != 0 {
+		t.Fatalf("converted despite size limit: %d", n)
+	}
+	if n := IfConvert(p, 8); n != 1 {
+		t.Fatalf("not converted within limit: %d", n)
+	}
+}
+
+func TestIfConvertNestedInnerFirst(t *testing.T) {
+	// The inner if converts first, turning the outer arm into plain
+	// assignments, which makes the outer if convertible too.
+	p := parseT(t, `program p; var x, y, c, d: int;
+begin
+  if c > 0 then
+    if d > 0 then
+      x := 1;
+    end
+    y := 2;
+  end
+end`)
+	if n := IfConvert(p, 0); n != 2 {
+		t.Fatalf("converted = %d, want 2 (inner then outer)", n)
+	}
+	for _, s := range p.Body {
+		if _, ok := s.(*IfStmt); ok {
+			t.Fatal("conditionals survived")
+		}
+	}
+}
+
+func TestIfConvertInsideLoops(t *testing.T) {
+	p := parseT(t, `program p; var best, v: int;
+begin
+  for i := 0 to 9 do
+    v := i * 3 % 7;
+    if v > best then
+      best := v;
+    end
+  end
+end`)
+	if n := IfConvert(p, 0); n != 1 {
+		t.Fatalf("converted = %d, want 1", n)
+	}
+	f := p.Body[0].(*ForStmt)
+	for _, s := range f.Body {
+		if _, ok := s.(*IfStmt); ok {
+			t.Fatal("conditional in loop body survived")
+		}
+	}
+}

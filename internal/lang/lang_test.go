@@ -1,0 +1,358 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"parmem/internal/ir"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("program p; var x: int; begin x := 1 + 2; end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{KwProgram, Ident, Semi, KwVar, Ident, Colon, KwInt,
+		Semi, KwBegin, Ident, Assign, IntLit, Plus, IntLit, Semi, KwEnd, EOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("42 3.5 1e3 2.5e-2 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != IntLit || toks[0].Int != 42 {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Kind != FloatLit || toks[1].Flt != 3.5 {
+		t.Fatalf("tok1 = %+v", toks[1])
+	}
+	if toks[2].Kind != FloatLit || toks[2].Flt != 1000 {
+		t.Fatalf("tok2 = %+v", toks[2])
+	}
+	if toks[3].Kind != FloatLit || toks[3].Flt != 0.025 {
+		t.Fatalf("tok3 = %+v", toks[3])
+	}
+	if toks[4].Kind != IntLit || toks[4].Int != 7 {
+		t.Fatalf("tok4 = %+v", toks[4])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("x -- the whole rest vanishes := ; while\ny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "x" || toks[1].Text != "y" {
+		t.Fatalf("toks = %+v", toks)
+	}
+}
+
+func TestLexTwoCharOps(t *testing.T) {
+	toks, err := Lex(":= <> <= >= < > =")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{Assign, NeOp, LeOp, GeOp, LtOp, GtOp, EqOp, EOF}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Fatalf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Fatalf("b at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexBadChar(t *testing.T) {
+	if _, err := Lex("x @ y"); err == nil || !strings.Contains(err.Error(), "@") {
+		t.Fatalf("want error naming '@', got %v", err)
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Lex("PROGRAM While BEGIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != KwProgram || toks[1].Kind != KwWhile || toks[2].Kind != KwBegin {
+		t.Fatalf("toks = %+v", toks)
+	}
+}
+
+const miniProg = `
+program mini;
+var x, y: int;
+var a: array[8] of float;
+begin
+  x := 1;
+  y := x + 2 * 3;
+  if x < y then
+    a[x] := 1.5;
+  else
+    a[0] := 0.0;
+  end
+  while x < 10 do
+    x := x + 1;
+  end
+  for i := 0 to 7 do
+    a[i] := a[i] + 1.0;
+  end
+end
+`
+
+func TestParseMini(t *testing.T) {
+	prog, err := Parse(miniProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "mini" {
+		t.Fatalf("name = %q", prog.Name)
+	}
+	if len(prog.Decls) != 2 {
+		t.Fatalf("decls = %d", len(prog.Decls))
+	}
+	if prog.Decls[0].Names[0] != "x" || prog.Decls[0].Names[1] != "y" || prog.Decls[0].Type != ir.Int {
+		t.Fatalf("decl0 = %+v", prog.Decls[0])
+	}
+	if prog.Decls[1].ArraySize != 8 || prog.Decls[1].Type != ir.Float {
+		t.Fatalf("decl1 = %+v", prog.Decls[1])
+	}
+	if len(prog.Body) != 5 {
+		t.Fatalf("body statements = %d, want 5", len(prog.Body))
+	}
+	if _, ok := prog.Body[2].(*IfStmt); !ok {
+		t.Fatalf("stmt 2 is %T, want IfStmt", prog.Body[2])
+	}
+	if _, ok := prog.Body[3].(*WhileStmt); !ok {
+		t.Fatalf("stmt 3 is %T, want WhileStmt", prog.Body[3])
+	}
+	f, ok := prog.Body[4].(*ForStmt)
+	if !ok {
+		t.Fatalf("stmt 4 is %T, want ForStmt", prog.Body[4])
+	}
+	if f.Var != "i" || f.Downward {
+		t.Fatalf("for = %+v", f)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse("program p; var x: int; begin x := 1 + 2 * 3; end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := prog.Body[0].(*AssignStmt)
+	top, ok := as.Value.(*BinaryExpr)
+	if !ok || top.Op != Plus {
+		t.Fatalf("top = %+v, want +", as.Value)
+	}
+	if inner, ok := top.Y.(*BinaryExpr); !ok || inner.Op != Star {
+		t.Fatalf("right = %+v, want *", top.Y)
+	}
+}
+
+func TestParseLogicPrecedence(t *testing.T) {
+	prog, err := Parse("program p; var x: int; begin x := 1 < 2 and 3 < 4 or 0; end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := prog.Body[0].(*AssignStmt).Value.(*BinaryExpr)
+	if top.Op != KwOr {
+		t.Fatalf("top op = %v, want or", top.Op)
+	}
+	if l, ok := top.X.(*BinaryExpr); !ok || l.Op != KwAnd {
+		t.Fatalf("left = %+v, want and", top.X)
+	}
+}
+
+func TestParseDownto(t *testing.T) {
+	prog, err := Parse("program p; begin for i := 9 downto 0 do x := i; end end")
+	if err == nil {
+		f := prog.Body[0].(*ForStmt)
+		if !f.Downward {
+			t.Fatal("downto not recorded")
+		}
+		return
+	}
+	t.Fatal(err)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"missing program", "var x: int; begin end"},
+		{"missing semi after name", "program p var x: int; begin end"},
+		{"bad decl type", "program p; var x: banana; begin end"},
+		{"zero array", "program p; var a: array[0] of int; begin end"},
+		{"unclosed paren", "program p; var x: int; begin x := (1 + 2; end"},
+		{"missing then", "program p; var x: int; begin if x end end"},
+		{"missing do", "program p; var x: int; begin while x x := 1; end end"},
+		{"bad for", "program p; begin for i := 1 bananas 10 do end end"},
+		{"trailing input", "program p; begin end extra"},
+		{"statement keyword", "program p; begin of; end"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: want parse error", c.name)
+		}
+	}
+}
+
+func TestCompileMini(t *testing.T) {
+	f, err := Compile(miniProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "mini" {
+		t.Fatalf("func name %q", f.Name)
+	}
+	if len(f.Blocks) < 8 {
+		t.Fatalf("expected at least 8 blocks (if/while/for lowering), got %d", len(f.Blocks))
+	}
+	// Ends in Ret.
+	last := f.Blocks[len(f.Blocks)-1]
+	if !last.Terminated() {
+		t.Fatal("final block unterminated")
+	}
+}
+
+func TestCompileSemanticErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"undeclared", "program p; begin x := 1; end"},
+		{"redeclared", "program p; var x: int; var x: int; begin end"},
+		{"array without index", "program p; var a: array[4] of int; var x: int; begin x := a; end"},
+		{"scalar indexed", "program p; var x: int; begin x[0] := 1; end"},
+		{"index not int", "program p; var a: array[4] of int; begin a[1.5] := 1; end"},
+		{"float to int", "program p; var x: int; begin x := 1.5; end"},
+		{"mod float", "program p; var x: int; begin x := 1.0 % 2; end"},
+		{"not on float", "program p; var x: int; begin x := not 1.5; end"},
+		{"and on float", "program p; var x: int; begin x := 1.0 and 1; end"},
+		{"float condition", "program p; var x: float; begin if x then x := 1.0; end end"},
+		{"float loop var", "program p; var i: float; begin for i := 0 to 3 do end end"},
+		{"array loop var", "program p; var i: array[2] of int; begin for i := 0 to 3 do end end"},
+		{"float loop bound", "program p; begin for i := 0 to 3.5 do end end"},
+		{"undeclared array", "program p; var x: int; begin y[0] := 1; end"},
+		{"store to non-array", "program p; var x: int; var y: int; begin y[x] := 1; end"},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.src); err == nil {
+			t.Errorf("%s: want compile error", c.name)
+		}
+	}
+}
+
+func TestCompileIntToFloatPromotion(t *testing.T) {
+	f, err := Compile("program p; var x: float; var n: int; begin x := n + 1; end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The add is int (both operands int) and a widening Mov feeds x.
+	found := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.Mov && in.Dst.Name == "x" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no assignment to x emitted")
+	}
+}
+
+func TestCompileLoopShape(t *testing.T) {
+	f, err := Compile("program p; var s: int; begin for i := 1 to 3 do s := s + i; end end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect a backedge: some block ends in Jmp to a lower-numbered block.
+	hasBackedge := false
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			continue
+		}
+		last := b.Instrs[len(b.Instrs)-1]
+		if last.Op == ir.Jmp && last.Target < b.ID {
+			hasBackedge = true
+		}
+	}
+	if !hasBackedge {
+		t.Fatalf("no loop backedge in:\n%s", f)
+	}
+}
+
+func TestCompileImplicitLoopVarReuse(t *testing.T) {
+	// The same implicit loop variable used twice must refer to one value.
+	f, err := Compile("program p; var s: int; begin for i := 0 to 1 do s := s + i; end for i := 0 to 1 do s := s - i; end end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, v := range f.Values {
+		if v.Name == "i" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("loop variable i declared %d times, want 1", count)
+	}
+}
+
+// TestParserNeverPanics feeds mangled inputs to the full front end: every
+// outcome must be a value or an error, never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	inputs := []string{
+		"", ";;;", "program", "program ;", "begin end",
+		"program p; begin end end end", "program p; var : int; begin end",
+		"\x00\x01\x02", "program p; begin x := ((((1; end",
+	}
+	// Mutations of a valid program.
+	base := miniProg
+	for i := 0; i < 200; i++ {
+		b := []byte(base)
+		for j := 0; j < 1+r.Intn(4); j++ {
+			pos := r.Intn(len(b))
+			switch r.Intn(3) {
+			case 0:
+				b[pos] = byte(r.Intn(128))
+			case 1:
+				b = append(b[:pos], b[pos+1:]...)
+			default:
+				b = append(b[:pos], append([]byte{byte(r.Intn(128))}, b[pos:]...)...)
+			}
+		}
+		inputs = append(inputs, string(b))
+	}
+	for _, src := range inputs {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on input %q: %v", src, p)
+				}
+			}()
+			_, _ = Compile(src)
+		}()
+	}
+}

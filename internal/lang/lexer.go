@@ -1,0 +1,166 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lex tokenizes MPL source. Comments run from "--" to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	emit := func(kind TokKind, text string, l, c int) {
+		toks = append(toks, Token{Kind: kind, Text: text, Line: l, Col: c})
+	}
+
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case isAlpha(c):
+			l0, c0 := line, col
+			j := i
+			for j < n && (isAlpha(src[j]) || isDigit(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			advance(j - i)
+			if kw, ok := keywords[strings.ToLower(word)]; ok {
+				emit(kw, word, l0, c0)
+			} else {
+				emit(Ident, word, l0, c0)
+			}
+		case isDigit(c):
+			l0, c0 := line, col
+			j := i
+			for j < n && isDigit(src[j]) {
+				j++
+			}
+			isFloat := false
+			if j < n && src[j] == '.' && j+1 < n && isDigit(src[j+1]) {
+				isFloat = true
+				j++
+				for j < n && isDigit(src[j]) {
+					j++
+				}
+			}
+			if j < n && (src[j] == 'e' || src[j] == 'E') {
+				k := j + 1
+				if k < n && (src[k] == '+' || src[k] == '-') {
+					k++
+				}
+				if k < n && isDigit(src[k]) {
+					isFloat = true
+					j = k
+					for j < n && isDigit(src[j]) {
+						j++
+					}
+				}
+			}
+			text := src[i:j]
+			advance(j - i)
+			if isFloat {
+				f, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%d:%d: bad float literal %q: %v", l0, c0, text, err)
+				}
+				toks = append(toks, Token{Kind: FloatLit, Text: text, Flt: f, Line: l0, Col: c0})
+			} else {
+				v, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%d:%d: bad integer literal %q: %v", l0, c0, text, err)
+				}
+				toks = append(toks, Token{Kind: IntLit, Text: text, Int: v, Line: l0, Col: c0})
+			}
+		default:
+			l0, c0 := line, col
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case ":=":
+				emit(Assign, two, l0, c0)
+				advance(2)
+				continue
+			case "<>":
+				emit(NeOp, two, l0, c0)
+				advance(2)
+				continue
+			case "<=":
+				emit(LeOp, two, l0, c0)
+				advance(2)
+				continue
+			case ">=":
+				emit(GeOp, two, l0, c0)
+				advance(2)
+				continue
+			}
+			var kind TokKind
+			switch c {
+			case ';':
+				kind = Semi
+			case ',':
+				kind = Comma
+			case ':':
+				kind = Colon
+			case '(':
+				kind = LParen
+			case ')':
+				kind = RParen
+			case '[':
+				kind = LBracket
+			case ']':
+				kind = RBracket
+			case '+':
+				kind = Plus
+			case '-':
+				kind = Minus
+			case '*':
+				kind = Star
+			case '/':
+				kind = Slash
+			case '%':
+				kind = Percent
+			case '=':
+				kind = EqOp
+			case '<':
+				kind = LtOp
+			case '>':
+				kind = GtOp
+			default:
+				return nil, fmt.Errorf("%d:%d: unexpected character %q", l0, c0, string(c))
+			}
+			emit(kind, string(c), l0, c0)
+			advance(1)
+		}
+	}
+	toks = append(toks, Token{Kind: EOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

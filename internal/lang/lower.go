@@ -1,0 +1,387 @@
+package lang
+
+import (
+	"fmt"
+
+	"parmem/internal/ir"
+)
+
+// Compile parses, type-checks and lowers MPL source to an ir.Func.
+func Compile(src string) (*ir.Func, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(prog)
+}
+
+// symbol is a declared name.
+type symbol struct {
+	val *ir.Value // scalars
+	arr *ir.Array // arrays
+}
+
+// lowerer walks the AST emitting IR, type-checking as it goes.
+type lowerer struct {
+	f    *ir.Func
+	cur  *ir.Block
+	syms map[string]symbol
+}
+
+// Lower type-checks prog and lowers it to IR.
+func Lower(prog *Program) (*ir.Func, error) {
+	lo := &lowerer{
+		f:    ir.NewFunc(prog.Name),
+		syms: map[string]symbol{},
+	}
+	lo.cur = lo.f.Blocks[0]
+	for _, d := range prog.Decls {
+		for _, name := range d.Names {
+			if _, dup := lo.syms[name]; dup {
+				return nil, fmt.Errorf("line %d: %q redeclared", d.Line, name)
+			}
+			if d.ArraySize > 0 {
+				lo.syms[name] = symbol{arr: lo.f.NewArray(name, d.ArraySize, d.Type)}
+			} else {
+				lo.syms[name] = symbol{val: lo.f.NewValue(name, d.Type, ir.Var)}
+			}
+		}
+	}
+	for _, name := range prog.ImplicitInts {
+		if _, ok := lo.syms[name]; !ok {
+			lo.syms[name] = symbol{val: lo.f.NewValue(name, ir.Int, ir.Var)}
+		}
+	}
+	if err := lo.stmts(prog.Body); err != nil {
+		return nil, err
+	}
+	lo.cur.Emit(ir.Instr{Op: ir.Ret})
+	if err := lo.f.Validate(); err != nil {
+		return nil, fmt.Errorf("internal error: generated invalid IR: %v", err)
+	}
+	return lo.f, nil
+}
+
+func (lo *lowerer) stmts(ss []Stmt) error {
+	for _, s := range ss {
+		if err := lo.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *AssignStmt:
+		return lo.assign(st)
+	case *IfStmt:
+		return lo.ifStmt(st)
+	case *WhileStmt:
+		return lo.whileStmt(st)
+	case *ForStmt:
+		return lo.forStmt(st)
+	default:
+		return fmt.Errorf("internal error: unknown statement %T", s)
+	}
+}
+
+func (lo *lowerer) assign(st *AssignStmt) error {
+	sym, ok := lo.syms[st.Name]
+	if !ok {
+		return fmt.Errorf("line %d: %q undeclared", st.Line, st.Name)
+	}
+	val, err := lo.expr(st.Value)
+	if err != nil {
+		return err
+	}
+	if st.Index != nil {
+		if sym.arr == nil {
+			return fmt.Errorf("line %d: %q is not an array", st.Line, st.Name)
+		}
+		idx, err := lo.intExpr(st.Index, "array index")
+		if err != nil {
+			return err
+		}
+		v, err := lo.coerce(val, sym.arr.Type, st.Line)
+		if err != nil {
+			return err
+		}
+		lo.cur.Emit(ir.Instr{Op: ir.Store, Arr: sym.arr, Index: idx, A: v})
+		return nil
+	}
+	if sym.val == nil {
+		return fmt.Errorf("line %d: array %q assigned without index", st.Line, st.Name)
+	}
+	v, err := lo.coerce(val, sym.val.Type, st.Line)
+	if err != nil {
+		return err
+	}
+	lo.cur.Emit(ir.Instr{Op: ir.Mov, Dst: sym.val, A: v})
+	return nil
+}
+
+// branchPatch records a branch whose target is filled in later.
+type branchPatch struct {
+	blk *ir.Block
+	idx int
+}
+
+func (lo *lowerer) patch(p branchPatch, target int) {
+	p.blk.Instrs[p.idx].Target = target
+}
+
+// emitBranchIfFalse emits "t = not cond; br t -> ?" and returns the patch.
+func (lo *lowerer) emitBranchIfFalse(cond *ir.Value) branchPatch {
+	inv := lo.f.NewTemp(ir.Int)
+	lo.cur.Emit(ir.Instr{Op: ir.Not, Dst: inv, A: cond})
+	lo.cur.Emit(ir.Instr{Op: ir.Br, A: inv, Target: -1})
+	return branchPatch{blk: lo.cur, idx: len(lo.cur.Instrs) - 1}
+}
+
+func (lo *lowerer) ifStmt(st *IfStmt) error {
+	cond, err := lo.condExpr(st.Cond)
+	if err != nil {
+		return err
+	}
+	toElse := lo.emitBranchIfFalse(cond)
+	lo.cur = lo.f.NewBlock() // then, falls through from cond block
+	if err := lo.stmts(st.Then); err != nil {
+		return err
+	}
+	if len(st.Else) == 0 {
+		end := lo.f.NewBlock()
+		lo.patch(toElse, end.ID)
+		lo.cur = end
+		return nil
+	}
+	lo.cur.Emit(ir.Instr{Op: ir.Jmp, Target: -1})
+	toEnd := branchPatch{blk: lo.cur, idx: len(lo.cur.Instrs) - 1}
+	elseBlk := lo.f.NewBlock()
+	lo.patch(toElse, elseBlk.ID)
+	lo.cur = elseBlk
+	if err := lo.stmts(st.Else); err != nil {
+		return err
+	}
+	end := lo.f.NewBlock()
+	lo.patch(toEnd, end.ID)
+	lo.cur = end
+	return nil
+}
+
+func (lo *lowerer) whileStmt(st *WhileStmt) error {
+	header := lo.f.NewBlock() // fallthrough from current block
+	lo.cur = header
+	cond, err := lo.condExpr(st.Cond)
+	if err != nil {
+		return err
+	}
+	toExit := lo.emitBranchIfFalse(cond)
+	lo.cur = lo.f.NewBlock() // body
+	if err := lo.stmts(st.Body); err != nil {
+		return err
+	}
+	lo.cur.Emit(ir.Instr{Op: ir.Jmp, Target: header.ID})
+	exit := lo.f.NewBlock()
+	lo.patch(toExit, exit.ID)
+	lo.cur = exit
+	return nil
+}
+
+func (lo *lowerer) forStmt(st *ForStmt) error {
+	// The loop variable is implicitly an int scalar; declare on first use.
+	sym, ok := lo.syms[st.Var]
+	if !ok {
+		sym = symbol{val: lo.f.NewValue(st.Var, ir.Int, ir.Var)}
+		lo.syms[st.Var] = sym
+	}
+	if sym.val == nil {
+		return fmt.Errorf("line %d: loop variable %q is an array", st.Line, st.Var)
+	}
+	if sym.val.Type != ir.Int {
+		return fmt.Errorf("line %d: loop variable %q must be int", st.Line, st.Var)
+	}
+	lov, err := lo.intExpr(st.Lo, "loop bound")
+	if err != nil {
+		return err
+	}
+	lo.cur.Emit(ir.Instr{Op: ir.Mov, Dst: sym.val, A: lov})
+	hiv, err := lo.intExpr(st.Hi, "loop bound")
+	if err != nil {
+		return err
+	}
+	// Evaluate the bound once (Pascal semantics).
+	bound := lo.f.NewTemp(ir.Int)
+	lo.cur.Emit(ir.Instr{Op: ir.Mov, Dst: bound, A: hiv})
+
+	header := lo.f.NewBlock()
+	lo.cur = header
+	done := lo.f.NewTemp(ir.Int)
+	cmp := ir.Gt
+	if st.Downward {
+		cmp = ir.Lt
+	}
+	lo.cur.Emit(ir.Instr{Op: cmp, Dst: done, A: sym.val, B: bound})
+	lo.cur.Emit(ir.Instr{Op: ir.Br, A: done, Target: -1})
+	toExit := branchPatch{blk: lo.cur, idx: len(lo.cur.Instrs) - 1}
+
+	lo.cur = lo.f.NewBlock() // body
+	if err := lo.stmts(st.Body); err != nil {
+		return err
+	}
+	step := ir.Add
+	if st.Downward {
+		step = ir.Sub
+	}
+	lo.cur.Emit(ir.Instr{Op: step, Dst: sym.val, A: sym.val, B: lo.f.IntConst(1)})
+	lo.cur.Emit(ir.Instr{Op: ir.Jmp, Target: header.ID})
+	exit := lo.f.NewBlock()
+	lo.patch(toExit, exit.ID)
+	lo.cur = exit
+	return nil
+}
+
+// condExpr evaluates a condition to an int (0/1) value.
+func (lo *lowerer) condExpr(e Expr) (*ir.Value, error) {
+	v, err := lo.expr(e)
+	if err != nil {
+		return nil, err
+	}
+	if v.Type != ir.Int {
+		return nil, fmt.Errorf("condition must be int (comparisons and logic yield int), got %v", v.Type)
+	}
+	return v, nil
+}
+
+// intExpr evaluates e and requires an int result.
+func (lo *lowerer) intExpr(e Expr, what string) (*ir.Value, error) {
+	v, err := lo.expr(e)
+	if err != nil {
+		return nil, err
+	}
+	if v.Type != ir.Int {
+		return nil, fmt.Errorf("%s must be int, got %v", what, v.Type)
+	}
+	return v, nil
+}
+
+// coerce converts v to type t, emitting a Mov when widening int to float.
+// Narrowing float to int is a type error.
+func (lo *lowerer) coerce(v *ir.Value, t ir.Type, line int) (*ir.Value, error) {
+	if v.Type == t {
+		return v, nil
+	}
+	if v.Type == ir.Int && t == ir.Float {
+		tmp := lo.f.NewTemp(ir.Float)
+		lo.cur.Emit(ir.Instr{Op: ir.Mov, Dst: tmp, A: v})
+		return tmp, nil
+	}
+	return nil, fmt.Errorf("line %d: cannot assign float to int without explicit truncation", line)
+}
+
+var binOps = map[TokKind]ir.Op{
+	Plus: ir.Add, Minus: ir.Sub, Star: ir.Mul, Slash: ir.Div, Percent: ir.Mod,
+	EqOp: ir.Eq, NeOp: ir.Ne, LtOp: ir.Lt, LeOp: ir.Le, GtOp: ir.Gt, GeOp: ir.Ge,
+}
+
+func (lo *lowerer) expr(e Expr) (*ir.Value, error) {
+	switch ex := e.(type) {
+	case *IntExpr:
+		return lo.f.IntConst(ex.Val), nil
+	case *FloatExpr:
+		return lo.f.FloatConst(ex.Val), nil
+	case *IdentExpr:
+		sym, ok := lo.syms[ex.Name]
+		if !ok {
+			return nil, fmt.Errorf("line %d: %q undeclared", ex.Line, ex.Name)
+		}
+		if sym.val == nil {
+			return nil, fmt.Errorf("line %d: array %q used without index", ex.Line, ex.Name)
+		}
+		return sym.val, nil
+	case *IndexExpr:
+		sym, ok := lo.syms[ex.Name]
+		if !ok {
+			return nil, fmt.Errorf("line %d: %q undeclared", ex.Line, ex.Name)
+		}
+		if sym.arr == nil {
+			return nil, fmt.Errorf("line %d: %q is not an array", ex.Line, ex.Name)
+		}
+		idx, err := lo.intExpr(ex.Index, "array index")
+		if err != nil {
+			return nil, err
+		}
+		dst := lo.f.NewTemp(sym.arr.Type)
+		lo.cur.Emit(ir.Instr{Op: ir.Load, Dst: dst, Arr: sym.arr, Index: idx})
+		return dst, nil
+	case *UnaryExpr:
+		x, err := lo.expr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		if ex.Op == KwNot {
+			if x.Type != ir.Int {
+				return nil, fmt.Errorf("line %d: 'not' needs an int operand", ex.Line)
+			}
+			dst := lo.f.NewTemp(ir.Int)
+			lo.cur.Emit(ir.Instr{Op: ir.Not, Dst: dst, A: x})
+			return dst, nil
+		}
+		dst := lo.f.NewTemp(x.Type)
+		lo.cur.Emit(ir.Instr{Op: ir.Neg, Dst: dst, A: x})
+		return dst, nil
+	case *BinaryExpr:
+		x, err := lo.expr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := lo.expr(ex.Y)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.Op {
+		case KwAnd, KwOr:
+			if x.Type != ir.Int || y.Type != ir.Int {
+				return nil, fmt.Errorf("line %d: logic operators need int operands", ex.Line)
+			}
+			op := ir.Mul // and: both nonzero — normalize below
+			dst := lo.f.NewTemp(ir.Int)
+			if ex.Op == KwAnd {
+				// x and y  ->  (x != 0) * (y != 0) != 0: since comparisons
+				// already yield 0/1 and MPL logic is used on 0/1 values,
+				// multiplication implements 'and' and addition-then-compare
+				// implements 'or'.
+				lo.cur.Emit(ir.Instr{Op: op, Dst: dst, A: x, B: y})
+				norm := lo.f.NewTemp(ir.Int)
+				lo.cur.Emit(ir.Instr{Op: ir.Ne, Dst: norm, A: dst, B: lo.f.IntConst(0)})
+				return norm, nil
+			}
+			lo.cur.Emit(ir.Instr{Op: ir.Add, Dst: dst, A: x, B: y})
+			norm := lo.f.NewTemp(ir.Int)
+			lo.cur.Emit(ir.Instr{Op: ir.Ne, Dst: norm, A: dst, B: lo.f.IntConst(0)})
+			return norm, nil
+		case Percent:
+			if x.Type != ir.Int || y.Type != ir.Int {
+				return nil, fmt.Errorf("line %d: '%%' needs int operands", ex.Line)
+			}
+		}
+		op, ok := binOps[ex.Op]
+		if !ok {
+			return nil, fmt.Errorf("internal error: unknown binary operator %v", ex.Op)
+		}
+		resType := ir.Int
+		if x.Type == ir.Float || y.Type == ir.Float {
+			resType = ir.Float
+		}
+		if op.IsCompare() {
+			dst := lo.f.NewTemp(ir.Int)
+			lo.cur.Emit(ir.Instr{Op: op, Dst: dst, A: x, B: y})
+			return dst, nil
+		}
+		dst := lo.f.NewTemp(resType)
+		lo.cur.Emit(ir.Instr{Op: op, Dst: dst, A: x, B: y})
+		return dst, nil
+	default:
+		return nil, fmt.Errorf("internal error: unknown expression %T", e)
+	}
+}

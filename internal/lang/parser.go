@@ -1,0 +1,432 @@
+package lang
+
+import (
+	"fmt"
+
+	"parmem/internal/ir"
+)
+
+// Parse lexes and parses MPL source into an AST.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, fmt.Errorf("%s: expected %v, found %v %q", t.Pos(), k, t.Kind, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) program() (*Program, error) {
+	if _, err := p.expect(KwProgram); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: name.Text}
+	for p.cur().Kind == KwVar {
+		d, err := p.decl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Decls = append(prog.Decls, d)
+	}
+	if _, err := p.expect(KwBegin); err != nil {
+		return nil, err
+	}
+	body, err := p.stmts(KwEnd)
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = body
+	if _, err := p.expect(KwEnd); err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.Kind != EOF {
+		return nil, fmt.Errorf("%s: trailing input after final 'end'", t.Pos())
+	}
+	return prog, nil
+}
+
+func (p *parser) decl() (Decl, error) {
+	kw, _ := p.expect(KwVar)
+	d := Decl{Line: kw.Line}
+	for {
+		id, err := p.expect(Ident)
+		if err != nil {
+			return d, err
+		}
+		d.Names = append(d.Names, id.Text)
+		if !p.accept(Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(Colon); err != nil {
+		return d, err
+	}
+	switch t := p.next(); t.Kind {
+	case KwInt:
+		d.Type = ir.Int
+	case KwFloat:
+		d.Type = ir.Float
+	case KwArray:
+		if _, err := p.expect(LBracket); err != nil {
+			return d, err
+		}
+		size, err := p.expect(IntLit)
+		if err != nil {
+			return d, err
+		}
+		if size.Int <= 0 {
+			return d, fmt.Errorf("%s: array size must be positive, got %d", size.Pos(), size.Int)
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return d, err
+		}
+		if _, err := p.expect(KwOf); err != nil {
+			return d, err
+		}
+		switch et := p.next(); et.Kind {
+		case KwInt:
+			d.Type = ir.Int
+		case KwFloat:
+			d.Type = ir.Float
+		default:
+			return d, fmt.Errorf("%s: expected element type, found %v", et.Pos(), et.Kind)
+		}
+		d.ArraySize = int(size.Int)
+	default:
+		return d, fmt.Errorf("%s: expected type, found %v", t.Pos(), t.Kind)
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+// stmts parses statements until one of the given terminators (not consumed).
+func (p *parser) stmts(stops ...TokKind) ([]Stmt, error) {
+	isStop := func(k TokKind) bool {
+		if k == EOF {
+			return true
+		}
+		for _, s := range stops {
+			if k == s {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Stmt
+	for !isStop(p.cur().Kind) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		// Semicolons between statements are accepted but optional after
+		// block statements.
+		p.accept(Semi)
+	}
+	return out, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Ident:
+		return p.assign()
+	case KwIf:
+		return p.ifStmt()
+	case KwWhile:
+		return p.whileStmt()
+	case KwFor:
+		return p.forStmt()
+	default:
+		return nil, fmt.Errorf("%s: expected statement, found %v %q", t.Pos(), t.Kind, t.Text)
+	}
+}
+
+func (p *parser) assign() (Stmt, error) {
+	id, _ := p.expect(Ident)
+	st := &AssignStmt{Name: id.Text, Line: id.Line}
+	if p.accept(LBracket) {
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Index = idx
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Assign); err != nil {
+		return nil, err
+	}
+	val, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	st.Value = val
+	return st, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	kw, _ := p.expect(KwIf)
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwThen); err != nil {
+		return nil, err
+	}
+	then, err := p.stmts(KwElse, KwEnd)
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Line: kw.Line}
+	if p.accept(KwElse) {
+		els, err := p.stmts(KwEnd)
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	if _, err := p.expect(KwEnd); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	kw, _ := p.expect(KwWhile)
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwDo); err != nil {
+		return nil, err
+	}
+	body, err := p.stmts(KwEnd)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwEnd); err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Line: kw.Line}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	kw, _ := p.expect(KwFor)
+	id, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Assign); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	down := false
+	switch t := p.next(); t.Kind {
+	case KwTo:
+	case KwDownto:
+		down = true
+	default:
+		return nil, fmt.Errorf("%s: expected 'to' or 'downto', found %v", t.Pos(), t.Kind)
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwDo); err != nil {
+		return nil, err
+	}
+	body, err := p.stmts(KwEnd)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwEnd); err != nil {
+		return nil, err
+	}
+	return &ForStmt{Var: id.Text, Lo: lo, Hi: hi, Downward: down, Body: body, Line: kw.Line}, nil
+}
+
+// Expression precedence, loosest first: or, and, comparisons, additive,
+// multiplicative, unary.
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	x, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == KwOr {
+		op := p.next()
+		y, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: KwOr, X: x, Y: y, Line: op.Line}
+	}
+	return x, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	x, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == KwAnd {
+		op := p.next()
+		y, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: KwAnd, X: x, Y: y, Line: op.Line}
+	}
+	return x, nil
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	x, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch k := p.cur().Kind; k {
+	case EqOp, NeOp, LtOp, LeOp, GtOp, GeOp:
+		op := p.next()
+		y, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: k, X: x, Y: y, Line: op.Line}, nil
+	}
+	return x, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	x, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		if k != Plus && k != Minus {
+			return x, nil
+		}
+		op := p.next()
+		y, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: k, X: x, Y: y, Line: op.Line}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	x, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		if k != Star && k != Slash && k != Percent {
+			return x, nil
+		}
+		op := p.next()
+		y, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Op: k, X: x, Y: y, Line: op.Line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch t := p.cur(); t.Kind {
+	case Minus:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: Minus, X: x, Line: t.Line}, nil
+	case KwNot:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: KwNot, X: x, Line: t.Line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch t := p.next(); t.Kind {
+	case IntLit:
+		return &IntExpr{Val: t.Int, Line: t.Line}, nil
+	case FloatLit:
+		return &FloatExpr{Val: t.Flt, Line: t.Line}, nil
+	case Ident:
+		if p.accept(LBracket) {
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.Text, Index: idx, Line: t.Line}, nil
+		}
+		return &IdentExpr{Name: t.Text, Line: t.Line}, nil
+	case LParen:
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, fmt.Errorf("%s: expected expression, found %v %q", t.Pos(), t.Kind, t.Text)
+	}
+}

@@ -1,0 +1,112 @@
+// Package lang implements MPL, the small imperative language the benchmark
+// programs are written in. MPL plays the role of the source language of the
+// paper's RLIW compiler: scalar int/float variables, fixed-size arrays,
+// structured control flow, and nothing else. A program is lexed, parsed,
+// type-checked and lowered to the three-address IR of internal/ir.
+//
+//	program demo;
+//	var x, y: int;
+//	var a: array[16] of float;
+//	begin
+//	  x := 0;
+//	  for i := 0 to 15 do
+//	    a[i] := a[i] * 2.0;
+//	  end
+//	end
+package lang
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+const (
+	EOF TokKind = iota
+	Ident
+	IntLit
+	FloatLit
+
+	// Keywords.
+	KwProgram
+	KwVar
+	KwBegin
+	KwEnd
+	KwIf
+	KwThen
+	KwElse
+	KwWhile
+	KwDo
+	KwFor
+	KwTo
+	KwDownto
+	KwArray
+	KwOf
+	KwInt
+	KwFloat
+	KwAnd
+	KwOr
+	KwNot
+
+	// Punctuation and operators.
+	Semi     // ;
+	Comma    // ,
+	Colon    // :
+	Assign   // :=
+	LParen   // (
+	RParen   // )
+	LBracket // [
+	RBracket // ]
+	Plus     // +
+	Minus    // -
+	Star     // *
+	Slash    // /
+	Percent  // %
+	EqOp     // =
+	NeOp     // <>
+	LtOp     // <
+	LeOp     // <=
+	GtOp     // >
+	GeOp     // >=
+)
+
+var kindNames = map[TokKind]string{
+	EOF: "end of input", Ident: "identifier", IntLit: "integer literal",
+	FloatLit: "float literal", KwProgram: "'program'", KwVar: "'var'",
+	KwBegin: "'begin'", KwEnd: "'end'", KwIf: "'if'", KwThen: "'then'",
+	KwElse: "'else'", KwWhile: "'while'", KwDo: "'do'", KwFor: "'for'",
+	KwTo: "'to'", KwDownto: "'downto'", KwArray: "'array'", KwOf: "'of'",
+	KwInt: "'int'", KwFloat: "'float'", KwAnd: "'and'", KwOr: "'or'",
+	KwNot: "'not'", Semi: "';'", Comma: "','", Colon: "':'", Assign: "':='",
+	LParen: "'('", RParen: "')'", LBracket: "'['", RBracket: "']'",
+	Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'", Percent: "'%'",
+	EqOp: "'='", NeOp: "'<>'", LtOp: "'<'", LeOp: "'<='", GtOp: "'>'",
+	GeOp: "'>='",
+}
+
+func (k TokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"program": KwProgram, "var": KwVar, "begin": KwBegin, "end": KwEnd,
+	"if": KwIf, "then": KwThen, "else": KwElse, "while": KwWhile,
+	"do": KwDo, "for": KwFor, "to": KwTo, "downto": KwDownto,
+	"array": KwArray, "of": KwOf, "int": KwInt, "float": KwFloat,
+	"and": KwAnd, "or": KwOr, "not": KwNot,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int64   // for IntLit
+	Flt  float64 // for FloatLit
+	Line int
+	Col  int
+}
+
+// Pos formats the token position for error messages.
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }

@@ -1,0 +1,218 @@
+package lang
+
+// Loop unrolling, an AST-level transformation applied before lowering.
+//
+// The paper's RLIW compiler exposes instruction-level parallelism across
+// loop iterations through region scheduling; MPL's equivalent is unrolling:
+// a counted loop with constant bounds is rewritten so that several copies
+// of the body execute per iteration, each preceded by an explicit
+// assignment of the loop variable. The definition-renaming pass
+// (internal/dfa) then splits the per-copy loop-variable assignments and
+// temporaries into independent webs, letting the scheduler pack iterations
+// side by side in the same long instruction words.
+
+// Unroll rewrites every counted for-loop of prog whose bounds are integer
+// literals. Loops with at most maxFull iterations are fully unrolled;
+// longer loops are unrolled by the given factor, with a remainder loop when
+// the trip count does not divide evenly. factor < 2 leaves the program
+// unchanged. Nested loops are processed inside-out, so a short inner loop
+// fully unrolls inside an unrolled outer body.
+func Unroll(prog *Program, factor, maxFull int) {
+	if factor < 2 {
+		return
+	}
+	u := &unroller{factor: factor, maxFull: maxFull}
+	prog.Body = u.stmts(prog.Body)
+	prog.ImplicitInts = append(prog.ImplicitInts, u.implicit...)
+}
+
+type unroller struct {
+	factor, maxFull int
+	implicit        []string // loop variables now assigned outside a for
+}
+
+func (u *unroller) stmts(ss []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range ss {
+		out = append(out, u.stmt(s)...)
+	}
+	return out
+}
+
+func (u *unroller) stmt(s Stmt) []Stmt {
+	switch st := s.(type) {
+	case *IfStmt:
+		st.Then = u.stmts(st.Then)
+		st.Else = u.stmts(st.Else)
+		return []Stmt{st}
+	case *WhileStmt:
+		st.Body = u.stmts(st.Body)
+		return []Stmt{st}
+	case *ForStmt:
+		st.Body = u.stmts(st.Body)
+		return u.unrollFor(st)
+	default:
+		return []Stmt{s}
+	}
+}
+
+// unrollFor rewrites one counted loop. Only literal bounds are handled —
+// variable bounds would need runtime trip-count dispatch, which buys
+// nothing for the fixed-size benchmark programs.
+func (u *unroller) unrollFor(st *ForStmt) []Stmt {
+	factor, maxFull := u.factor, u.maxFull
+	lo, okLo := st.Lo.(*IntExpr)
+	hi, okHi := st.Hi.(*IntExpr)
+	if !okLo || !okHi {
+		return []Stmt{st}
+	}
+	// A body that assigns its own loop variable controls the iteration
+	// sequence itself; unrolling it with a static sequence is unsound.
+	if assignsTo(st.Body, st.Var) {
+		return []Stmt{st}
+	}
+	u.implicit = append(u.implicit, st.Var)
+	var trip int64
+	if st.Downward {
+		trip = lo.Val - hi.Val + 1
+	} else {
+		trip = hi.Val - lo.Val + 1
+	}
+	if trip <= 0 {
+		return []Stmt{st} // degenerate; keep the (empty) loop semantics
+	}
+	step := int64(1)
+	if st.Downward {
+		step = -1
+	}
+	iter := func(n int64) int64 { return lo.Val + step*n }
+	// The original loop exits with the variable one step past the bound;
+	// every rewrite ends with this assignment to preserve that.
+	finalAssign := &AssignStmt{
+		Name: st.Var, Value: &IntExpr{Val: hi.Val + step, Line: st.Line}, Line: st.Line,
+	}
+
+	// Full unroll of short loops.
+	if trip <= int64(maxFull) {
+		var out []Stmt
+		for n := int64(0); n < trip; n++ {
+			out = append(out, bodyCopy(st, iter(n))...)
+		}
+		return append(out, finalAssign)
+	}
+
+	// Partial unroll: whole chunks of `factor` iterations, then remainder.
+	chunks := trip / int64(factor)
+	var out []Stmt
+	if chunks > 0 {
+		// for u := 0 to chunks-1 do  i := lo + step*(u*factor + c); body ...
+		uVar := "_u_" + st.Var
+		var body []Stmt
+		for c := 0; c < factor; c++ {
+			// i := lo + step*(u*factor + c)
+			idx := &BinaryExpr{
+				Op: Plus,
+				X:  &IntExpr{Val: lo.Val + step*int64(c), Line: st.Line},
+				Y: &BinaryExpr{
+					Op:   Star,
+					X:    &IntExpr{Val: step * int64(factor), Line: st.Line},
+					Y:    &IdentExpr{Name: uVar, Line: st.Line},
+					Line: st.Line,
+				},
+				Line: st.Line,
+			}
+			body = append(body, &AssignStmt{Name: st.Var, Value: idx, Line: st.Line})
+			body = append(body, cloneStmts(st.Body)...)
+		}
+		out = append(out, &ForStmt{
+			Var:  uVar,
+			Lo:   &IntExpr{Val: 0, Line: st.Line},
+			Hi:   &IntExpr{Val: chunks - 1, Line: st.Line},
+			Body: body,
+			Line: st.Line,
+		})
+	}
+	for n := chunks * int64(factor); n < trip; n++ {
+		out = append(out, bodyCopy(st, iter(n))...)
+	}
+	return append(out, finalAssign)
+}
+
+// bodyCopy emits "i := <value>" followed by a deep copy of the body.
+func bodyCopy(st *ForStmt, val int64) []Stmt {
+	out := []Stmt{&AssignStmt{Name: st.Var, Value: &IntExpr{Val: val, Line: st.Line}, Line: st.Line}}
+	return append(out, cloneStmts(st.Body)...)
+}
+
+// assignsTo reports whether any statement in ss (recursively) assigns the
+// named scalar, including by using it as a nested loop variable.
+func assignsTo(ss []Stmt, name string) bool {
+	for _, s := range ss {
+		switch st := s.(type) {
+		case *AssignStmt:
+			if st.Name == name && st.Index == nil {
+				return true
+			}
+		case *IfStmt:
+			if assignsTo(st.Then, name) || assignsTo(st.Else, name) {
+				return true
+			}
+		case *WhileStmt:
+			if assignsTo(st.Body, name) {
+				return true
+			}
+		case *ForStmt:
+			if st.Var == name || assignsTo(st.Body, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cloneStmts deep-copies statements so each unrolled body copy can be
+// rewritten independently by later passes.
+func cloneStmts(ss []Stmt) []Stmt {
+	out := make([]Stmt, len(ss))
+	for i, s := range ss {
+		out[i] = cloneStmt(s)
+	}
+	return out
+}
+
+func cloneStmt(s Stmt) Stmt {
+	switch st := s.(type) {
+	case *AssignStmt:
+		return &AssignStmt{Name: st.Name, Index: cloneExpr(st.Index), Value: cloneExpr(st.Value), Line: st.Line}
+	case *IfStmt:
+		return &IfStmt{Cond: cloneExpr(st.Cond), Then: cloneStmts(st.Then), Else: cloneStmts(st.Else), Line: st.Line}
+	case *WhileStmt:
+		return &WhileStmt{Cond: cloneExpr(st.Cond), Body: cloneStmts(st.Body), Line: st.Line}
+	case *ForStmt:
+		return &ForStmt{Var: st.Var, Lo: cloneExpr(st.Lo), Hi: cloneExpr(st.Hi),
+			Downward: st.Downward, Body: cloneStmts(st.Body), Line: st.Line}
+	default:
+		return s
+	}
+}
+
+func cloneExpr(e Expr) Expr {
+	switch ex := e.(type) {
+	case nil:
+		return nil
+	case *IntExpr:
+		return &IntExpr{Val: ex.Val, Line: ex.Line}
+	case *FloatExpr:
+		return &FloatExpr{Val: ex.Val, Line: ex.Line}
+	case *IdentExpr:
+		return &IdentExpr{Name: ex.Name, Line: ex.Line}
+	case *IndexExpr:
+		return &IndexExpr{Name: ex.Name, Index: cloneExpr(ex.Index), Line: ex.Line}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: ex.Op, X: cloneExpr(ex.X), Line: ex.Line}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: ex.Op, X: cloneExpr(ex.X), Y: cloneExpr(ex.Y), Line: ex.Line}
+	default:
+		return e
+	}
+}

@@ -1,0 +1,165 @@
+package lang
+
+import (
+	"testing"
+)
+
+func parseT(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestUnrollFactorOneNoop(t *testing.T) {
+	p := parseT(t, "program p; var s: int; begin for i := 0 to 9 do s := s + i; end end")
+	Unroll(p, 1, 4)
+	if len(p.Body) != 1 {
+		t.Fatalf("factor 1 must not change the program, body = %d stmts", len(p.Body))
+	}
+	if _, ok := p.Body[0].(*ForStmt); !ok {
+		t.Fatal("loop replaced")
+	}
+}
+
+func TestUnrollFull(t *testing.T) {
+	p := parseT(t, "program p; var s: int; begin for i := 0 to 3 do s := s + i; end end")
+	Unroll(p, 4, 8)
+	// Full unroll: 4 copies of (i := const; s := s + i) plus the final
+	// i := 4 that preserves the post-loop value = 9 statements.
+	if len(p.Body) != 9 {
+		t.Fatalf("body = %d stmts, want 9", len(p.Body))
+	}
+	for n := 0; n < 4; n++ {
+		as, ok := p.Body[2*n].(*AssignStmt)
+		if !ok || as.Name != "i" {
+			t.Fatalf("stmt %d is not an i assignment", 2*n)
+		}
+		if v, ok := as.Value.(*IntExpr); !ok || v.Val != int64(n) {
+			t.Fatalf("copy %d sets i to %v", n, as.Value)
+		}
+	}
+}
+
+func TestUnrollDowntoFull(t *testing.T) {
+	p := parseT(t, "program p; var s: int; begin for i := 3 downto 1 do s := s + i; end end")
+	Unroll(p, 4, 8)
+	if len(p.Body) != 7 { // 3 copies x 2 stmts + final i := 0
+		t.Fatalf("body = %d stmts, want 7", len(p.Body))
+	}
+	vals := []int64{3, 2, 1}
+	for n, want := range vals {
+		as := p.Body[2*n].(*AssignStmt)
+		if v := as.Value.(*IntExpr); v.Val != want {
+			t.Fatalf("copy %d sets i to %d, want %d", n, v.Val, want)
+		}
+	}
+}
+
+func TestUnrollPartialWithRemainder(t *testing.T) {
+	// 10 iterations, factor 4: one chunk loop of 2 rounds + 2 remainder
+	// copies.
+	p := parseT(t, "program p; var s: int; begin for i := 0 to 9 do s := s + i; end end")
+	Unroll(p, 4, 4)
+	f, ok := p.Body[0].(*ForStmt)
+	if !ok {
+		t.Fatalf("first stmt %T, want chunk loop", p.Body[0])
+	}
+	if f.Var != "_u_i" {
+		t.Fatalf("chunk variable %q", f.Var)
+	}
+	if hi := f.Hi.(*IntExpr); hi.Val != 1 {
+		t.Fatalf("chunk loop bound %d, want 1", hi.Val)
+	}
+	if len(f.Body) != 8 { // 4 copies of (assign + body stmt)
+		t.Fatalf("chunk body = %d stmts, want 8", len(f.Body))
+	}
+	// Remainder: i := 8; body; i := 9; body; final i := 10.
+	if len(p.Body) != 1+4+1 {
+		t.Fatalf("top-level stmts = %d, want 6", len(p.Body))
+	}
+}
+
+func TestUnrollVariableBoundsLeftAlone(t *testing.T) {
+	p := parseT(t, "program p; var s, n: int; begin n := 5; for i := 0 to n do s := s + i; end end")
+	Unroll(p, 4, 8)
+	if len(p.Body) != 2 {
+		t.Fatalf("body = %d stmts", len(p.Body))
+	}
+	if _, ok := p.Body[1].(*ForStmt); !ok {
+		t.Fatal("variable-bound loop must stay")
+	}
+}
+
+func TestUnrollNestedLoops(t *testing.T) {
+	p := parseT(t, `program p; var s: int;
+begin
+  for i := 0 to 99 do
+    for j := 0 to 1 do
+      s := s + i * j;
+    end
+  end
+end`)
+	Unroll(p, 4, 4)
+	// Outer partially unrolled into a chunk loop; inner (2 iterations)
+	// fully unrolled inside each copy.
+	f, ok := p.Body[0].(*ForStmt)
+	if !ok {
+		t.Fatal("chunk loop missing")
+	}
+	// Each of the 4 copies contributes: i assign + inner fully unrolled
+	// (2 x (j assign + stmt) + final j assign) = 6 statements.
+	if len(f.Body) != 4*6 {
+		t.Fatalf("chunk body = %d stmts, want 24", len(f.Body))
+	}
+}
+
+func TestUnrollSemanticsPreserved(t *testing.T) {
+	src := `program p; var s: int; var a: array[16] of int;
+begin
+  s := 0;
+  for i := 0 to 15 do
+    a[i] := i * i;
+  end
+  for i := 0 to 15 do
+    s := s + a[i];
+  end
+end`
+	// Lower both versions and compare structurally impossible — instead
+	// check the unrolled program still compiles.
+	p := parseT(t, src)
+	Unroll(p, 4, 8)
+	f, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnrollKeepsIfWhileBodies(t *testing.T) {
+	p := parseT(t, `program p; var s, x: int;
+begin
+  if x > 0 then
+    for i := 0 to 1 do s := s + i; end
+  end
+  while x > 0 do
+    for i := 0 to 1 do s := s - i; end
+    x := x - 1;
+  end
+end`)
+	Unroll(p, 4, 4)
+	// Each inner loop fully unrolls to 2 x (assign + stmt) + the final
+	// post-loop assignment = 5 statements.
+	ifSt := p.Body[0].(*IfStmt)
+	if len(ifSt.Then) != 5 {
+		t.Fatalf("if-then not unrolled: %d stmts", len(ifSt.Then))
+	}
+	whSt := p.Body[1].(*WhileStmt)
+	if len(whSt.Body) != 6 {
+		t.Fatalf("while body not unrolled: %d stmts", len(whSt.Body))
+	}
+}

@@ -1,0 +1,560 @@
+// Package machine is a cycle-level simulator of the paper's lock-step LIW
+// machine: functional units execute the operations of each long instruction
+// word together, fetching every memory-resident operand from the parallel
+// memory modules in the same cycle.
+//
+// Scalar fetches are routed by the compile-time allocation (each value may
+// have copies in several modules; the hardware picks a conflict-free
+// matching when one exists). Array element accesses are routed by the
+// array Layout, because their indices are runtime values — these are the
+// accesses the compiler cannot predict and Table 2 quantifies.
+//
+// A word whose module sees m accesses stalls the machine m-1 extra cycles
+// (every transfer costs Δ; Δ is the unit of all reported times).
+package machine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"parmem/internal/duplication"
+	"parmem/internal/ir"
+	"parmem/internal/memory"
+	"parmem/internal/sched"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Layout routes array element accesses; required when the program
+	// touches arrays. Defaults to interleaving across the machine's
+	// modules.
+	Layout memory.Layout
+	// MaxWords bounds dynamic execution (runaway-loop guard). Default 50M.
+	MaxWords int64
+	// InitScalars presets named scalar variables before execution.
+	InitScalars map[string]float64
+	// InitArrays presets named arrays before execution.
+	InitArrays map[string][]float64
+	// Trace, when non-nil, receives one line per executed word:
+	// "w<index> b<block>  [op] [op] ...". For debugging and the
+	// parmemc -trace flag; tracing does not affect results.
+	Trace io.Writer
+	// CountWrites adds result write-backs to the per-module traffic. The
+	// paper's model counts operand fetches only (write-backs are buffered
+	// a cycle behind on the RLIW); enabling this is the pessimistic
+	// variant used by the write-contention ablation. A scalar result is
+	// written to every module holding a copy of the destination value.
+	CountWrites bool
+}
+
+// Profile aggregates the dynamic memory behaviour of one word shape: which
+// modules its scalar fetches used and how many array accesses it performed.
+// internal/stats consumes profiles to compute the paper's t_min, t_ave and
+// t_max analytically.
+type Profile struct {
+	ScalarModules []int // sorted distinct modules used by scalar fetches
+	ArrayOps      int   // array accesses in the word
+	Count         int64 // dynamic occurrences
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// DynamicWords is the number of long instruction words executed.
+	DynamicWords int64
+	// DynamicOps is the number of operations executed — the cycle count of
+	// a sequential machine running the same program.
+	DynamicOps int64
+	// MemWords counts words with at least one memory access; each costs at
+	// least Δ of transfer time (this is the paper's t_min).
+	MemWords int64
+	// TransferTime is Δ-weighted transfer time under the configured
+	// layout: the sum over words of the maximum per-module access count.
+	TransferTime int64
+	// Stalls = TransferTime − MemWords: extra cycles lost to conflicts.
+	Stalls int64
+	// Cycles is total execution time: one issue cycle per word plus
+	// stalls.
+	Cycles int64
+	// ScalarConflicts counts words whose scalar fetches could not be
+	// matched to distinct modules. Zero whenever the allocation verified.
+	ScalarConflicts int64
+	// Profiles aggregates dynamic word shapes for the analytic model.
+	Profiles map[string]*Profile
+
+	fn   *ir.Func
+	vals []word
+	arrs [][]word
+	// lastWrite maps a base variable name to the renamed web that was
+	// written last in program terms — that web holds the variable's final
+	// value even when renaming split it (e.g. after unrolling). "Last in
+	// program terms" means: later dynamic basic-block execution wins;
+	// within one block execution, higher original program position (Seq)
+	// wins, because the scheduler may legally reorder independent writes
+	// to different webs across words.
+	lastWrite map[string]lastWriteInfo
+}
+
+type lastWriteInfo struct {
+	id    int   // value id of the web
+	epoch int64 // dynamic block-execution counter
+	seq   int   // original program position
+}
+
+// baseName strips a renaming suffix: "s.3" -> "s", "s" -> "s".
+func baseName(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		c := name[i]
+		if c == '.' {
+			if i > 0 && i < len(name)-1 {
+				return name[:i]
+			}
+			return name
+		}
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name
+}
+
+type word struct {
+	i int64
+	f float64
+}
+
+// Run executes p under the storage allocation copies.
+func Run(p *sched.Program, copies duplication.Copies, opt Options) (*Result, error) {
+	f := p.F
+	if opt.MaxWords == 0 {
+		opt.MaxWords = 50_000_000
+	}
+	if opt.Layout == nil {
+		opt.Layout = memory.Interleaved{K: p.Config.Modules}
+	}
+	res := &Result{Profiles: map[string]*Profile{}, fn: f, lastWrite: map[string]lastWriteInfo{}}
+	res.vals = make([]word, len(f.Values))
+	res.arrs = make([][]word, len(f.Arrays))
+	for i, a := range f.Arrays {
+		res.arrs[i] = make([]word, a.Size)
+	}
+	for name, x := range opt.InitScalars {
+		// Initialize every web of the variable: a web's uses are only ever
+		// reached by its own definitions, so presetting all of them is
+		// equivalent to presetting the initial value.
+		found := false
+		for _, v := range f.Values {
+			if v.Kind != ir.Const && baseName(v.Name) == name {
+				res.setVal(v, x)
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("machine: no scalar %q to initialize", name)
+		}
+	}
+	for name, xs := range opt.InitArrays {
+		var arr *ir.Array
+		for _, a := range f.Arrays {
+			if a.Name == name {
+				arr = a
+			}
+		}
+		if arr == nil {
+			return nil, fmt.Errorf("machine: no array %q to initialize", name)
+		}
+		if len(xs) > arr.Size {
+			return nil, fmt.Errorf("machine: initializer for %q has %d elements, array holds %d", name, len(xs), arr.Size)
+		}
+		for i, x := range xs {
+			if arr.Type == ir.Float {
+				res.arrs[arr.ID][i] = word{f: x}
+			} else {
+				res.arrs[arr.ID][i] = word{i: int64(x)}
+			}
+		}
+	}
+
+	wi := int64(0)    // word index (program counter)
+	epoch := int64(0) // dynamic basic-block execution counter
+	curBlock := -1
+	for wi >= 0 && wi < int64(len(p.Words)) {
+		if res.DynamicWords >= opt.MaxWords {
+			return nil, fmt.Errorf("machine: exceeded %d dynamic words (likely an infinite loop)", opt.MaxWords)
+		}
+		w := &p.Words[wi]
+		if w.Block != curBlock {
+			curBlock = w.Block
+			epoch++
+		}
+		res.DynamicWords++
+		res.DynamicOps += int64(len(w.Ops))
+		if opt.Trace != nil {
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "w%d b%d ", wi, w.Block)
+			for oi := range w.Ops {
+				sb.WriteString(" [")
+				sb.WriteString(w.Ops[oi].String())
+				sb.WriteString("]")
+			}
+			sb.WriteByte('\n')
+			if _, err := io.WriteString(opt.Trace, sb.String()); err != nil {
+				return nil, fmt.Errorf("machine: trace write: %w", err)
+			}
+		}
+
+		// ---- Memory accounting for this word.
+		load := map[int]int{}
+		scalars := w.MemUses()
+		match, ok := duplication.MatchModules(scalars, copies)
+		if !ok {
+			res.ScalarConflicts++
+		}
+		for _, v := range scalars {
+			m, has := match[v]
+			if !has {
+				return nil, fmt.Errorf("machine: value %s (id %d) has no storage allocation", f.Values[v].Name, v)
+			}
+			load[m]++
+		}
+		var scalarMods []int
+		for m := range load {
+			scalarMods = append(scalarMods, m)
+		}
+		sort.Ints(scalarMods)
+		arrayOps := 0
+		for oi := range w.Ops {
+			op := &w.Ops[oi]
+			if op.Op == ir.Load || op.Op == ir.Store {
+				idx := res.getInt(op.Index)
+				load[opt.Layout.ModuleOf(op.Arr.ID, int(idx))]++
+				arrayOps++
+			}
+			if opt.CountWrites {
+				// Scalar results are written back to every module holding a
+				// copy of the destination. (Array stores already counted
+				// above: the store access IS the write.)
+				if d := op.Def(); d != nil && d.IsMem() {
+					for _, m := range copies[d.ID].Modules() {
+						load[m]++
+					}
+				}
+			}
+		}
+		if len(load) > 0 {
+			maxLoad := 0
+			for _, c := range load {
+				if c > maxLoad {
+					maxLoad = c
+				}
+			}
+			res.MemWords++
+			res.TransferTime += int64(maxLoad)
+			res.Stalls += int64(maxLoad - 1)
+			key := profileKey(scalarMods, arrayOps)
+			pr := res.Profiles[key]
+			if pr == nil {
+				pr = &Profile{ScalarModules: scalarMods, ArrayOps: arrayOps}
+				res.Profiles[key] = pr
+			}
+			pr.Count++
+		}
+
+		// ---- Execute: all reads happen before any write (lock-step).
+		type writeback struct {
+			dst *ir.Value
+			arr *ir.Array
+			idx int64
+			val word
+			seq int
+		}
+		var writes []writeback
+		next := wi + 1
+		halted := false
+		for oi := range w.Ops {
+			op := &w.Ops[oi]
+			switch op.Op {
+			case ir.Nop:
+			case ir.Ret:
+				halted = true
+			case ir.Jmp:
+				next = int64(p.BlockStart[op.Target])
+			case ir.Br:
+				if res.getInt(op.A) != 0 {
+					next = int64(p.BlockStart[op.Target])
+				}
+			case ir.Load:
+				idx := res.getInt(op.Index)
+				if idx < 0 || idx >= int64(op.Arr.Size) {
+					return nil, fmt.Errorf("machine: %s[%d] out of bounds (size %d)", op.Arr.Name, idx, op.Arr.Size)
+				}
+				writes = append(writes, writeback{dst: op.Dst, val: res.arrs[op.Arr.ID][idx], seq: op.Seq})
+			case ir.Store:
+				idx := res.getInt(op.Index)
+				if idx < 0 || idx >= int64(op.Arr.Size) {
+					return nil, fmt.Errorf("machine: %s[%d] out of bounds (size %d)", op.Arr.Name, idx, op.Arr.Size)
+				}
+				var val word
+				if op.Arr.Type == ir.Float {
+					val = word{f: res.getFloat(op.A)}
+				} else {
+					val = word{i: res.getInt(op.A)}
+				}
+				writes = append(writes, writeback{arr: op.Arr, idx: idx, val: val, seq: op.Seq})
+			default:
+				v, err := res.compute(op)
+				if err != nil {
+					return nil, err
+				}
+				writes = append(writes, writeback{dst: op.Dst, val: v, seq: op.Seq})
+			}
+		}
+		// Commit in original program order: results within a word are
+		// independent, but observations of "the last write to x" must not
+		// depend on how the scheduler packed the word.
+		sort.Slice(writes, func(a, b int) bool { return writes[a].seq < writes[b].seq })
+		for _, wb := range writes {
+			if wb.arr != nil {
+				res.arrs[wb.arr.ID][wb.idx] = wb.val
+			} else if wb.dst != nil {
+				if wb.dst.Type == ir.Float {
+					res.vals[wb.dst.ID] = word{f: wb.val.f}
+				} else {
+					res.vals[wb.dst.ID] = word{i: wb.val.i}
+				}
+				if wb.dst.Kind == ir.Var {
+					key := baseName(wb.dst.Name)
+					prev, seen := res.lastWrite[key]
+					if !seen || epoch > prev.epoch || (epoch == prev.epoch && wb.seq >= prev.seq) {
+						res.lastWrite[key] = lastWriteInfo{id: wb.dst.ID, epoch: epoch, seq: wb.seq}
+					}
+				}
+			}
+		}
+		if halted {
+			break
+		}
+		if next != wi+1 {
+			// A taken branch starts a new block execution even when the
+			// target is the current block (self-loop).
+			curBlock = -1
+		}
+		wi = next
+	}
+	res.Cycles = res.DynamicWords + res.Stalls
+	return res, nil
+}
+
+// compute evaluates a non-memory, non-control op.
+func (r *Result) compute(op *ir.Instr) (word, error) {
+	isFloat := op.Dst != nil && op.Dst.Type == ir.Float
+	if op.Op.IsCompare() {
+		// Compare in float domain if either side is float.
+		if (op.A != nil && op.A.Type == ir.Float) || (op.B != nil && op.B.Type == ir.Float) {
+			a, b := r.getFloat(op.A), r.getFloat(op.B)
+			return word{i: b2i(cmpFloat(op.Op, a, b))}, nil
+		}
+		a, b := r.getInt(op.A), r.getInt(op.B)
+		return word{i: b2i(cmpInt(op.Op, a, b))}, nil
+	}
+	switch op.Op {
+	case ir.Mov:
+		if isFloat {
+			return word{f: r.getFloat(op.A)}, nil
+		}
+		return word{i: r.getInt(op.A)}, nil
+	case ir.Neg:
+		if isFloat {
+			return word{f: -r.getFloat(op.A)}, nil
+		}
+		return word{i: -r.getInt(op.A)}, nil
+	case ir.Not:
+		if r.getInt(op.A) == 0 {
+			return word{i: 1}, nil
+		}
+		return word{i: 0}, nil
+	case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod:
+		if isFloat {
+			a, b := r.getFloat(op.A), r.getFloat(op.B)
+			switch op.Op {
+			case ir.Add:
+				return word{f: a + b}, nil
+			case ir.Sub:
+				return word{f: a - b}, nil
+			case ir.Mul:
+				return word{f: a * b}, nil
+			case ir.Div:
+				if b == 0 {
+					return word{}, fmt.Errorf("machine: float division by zero")
+				}
+				return word{f: a / b}, nil
+			default:
+				return word{}, fmt.Errorf("machine: %v on floats", op.Op)
+			}
+		}
+		a, b := r.getInt(op.A), r.getInt(op.B)
+		switch op.Op {
+		case ir.Add:
+			return word{i: a + b}, nil
+		case ir.Sub:
+			return word{i: a - b}, nil
+		case ir.Mul:
+			return word{i: a * b}, nil
+		case ir.Div:
+			if b == 0 {
+				return word{}, fmt.Errorf("machine: integer division by zero")
+			}
+			return word{i: a / b}, nil
+		default: // Mod
+			if b == 0 {
+				return word{}, fmt.Errorf("machine: modulo by zero")
+			}
+			return word{i: a % b}, nil
+		}
+	}
+	return word{}, fmt.Errorf("machine: cannot execute %v", op.Op)
+}
+
+func cmpInt(op ir.Op, a, b int64) bool {
+	switch op {
+	case ir.Eq:
+		return a == b
+	case ir.Ne:
+		return a != b
+	case ir.Lt:
+		return a < b
+	case ir.Le:
+		return a <= b
+	case ir.Gt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func cmpFloat(op ir.Op, a, b float64) bool {
+	switch op {
+	case ir.Eq:
+		return a == b
+	case ir.Ne:
+		return a != b
+	case ir.Lt:
+		return a < b
+	case ir.Le:
+		return a <= b
+	case ir.Gt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// getInt reads an operand as an integer (truncating floats).
+func (r *Result) getInt(v *ir.Value) int64 {
+	if v.Kind == ir.Const {
+		if v.Type == ir.Float {
+			return int64(v.ConstFloat)
+		}
+		return v.ConstInt
+	}
+	w := r.vals[v.ID]
+	if v.Type == ir.Float {
+		return int64(w.f)
+	}
+	return w.i
+}
+
+// getFloat reads an operand as a float (widening ints).
+func (r *Result) getFloat(v *ir.Value) float64 {
+	if v.Kind == ir.Const {
+		if v.Type == ir.Float {
+			return v.ConstFloat
+		}
+		return float64(v.ConstInt)
+	}
+	w := r.vals[v.ID]
+	if v.Type == ir.Float {
+		return w.f
+	}
+	return float64(w.i)
+}
+
+// setVal writes a scalar by value descriptor.
+func (r *Result) setVal(v *ir.Value, x float64) {
+	if v.Type == ir.Float {
+		r.vals[v.ID] = word{f: x}
+	} else {
+		r.vals[v.ID] = word{i: int64(x)}
+	}
+}
+
+// Scalar returns the final value of the named scalar variable. When
+// renaming split the variable into webs, the web written last during
+// execution holds the final value.
+func (r *Result) Scalar(name string) (float64, bool) {
+	var best *ir.Value
+	if info, ok := r.lastWrite[name]; ok {
+		best = r.fn.Values[info.id]
+	} else {
+		for _, v := range r.fn.Values {
+			if v.Kind != ir.Const && baseName(v.Name) == name {
+				best = v
+				break
+			}
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	if best.Type == ir.Float {
+		return r.vals[best.ID].f, true
+	}
+	return float64(r.vals[best.ID].i), true
+}
+
+// Array returns the final contents of the named array.
+func (r *Result) Array(name string) ([]float64, bool) {
+	for _, a := range r.fn.Arrays {
+		if a.Name != name {
+			continue
+		}
+		out := make([]float64, a.Size)
+		for i, w := range r.arrs[a.ID] {
+			if a.Type == ir.Float {
+				out[i] = w.f
+			} else {
+				out[i] = float64(w.i)
+			}
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// Speedup is the ratio of sequential to parallel execution time.
+func (r *Result) Speedup() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.DynamicOps) / float64(r.Cycles)
+}
+
+func profileKey(mods []int, arrayOps int) string {
+	var sb strings.Builder
+	for _, m := range mods {
+		sb.WriteString(strconv.Itoa(m))
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('|')
+	sb.WriteString(strconv.Itoa(arrayOps))
+	return sb.String()
+}

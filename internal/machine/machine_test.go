@@ -1,0 +1,415 @@
+package machine
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"parmem/internal/assign"
+	"parmem/internal/dfa"
+	"parmem/internal/duplication"
+	"parmem/internal/lang"
+	"parmem/internal/memory"
+	"parmem/internal/sched"
+)
+
+// build compiles MPL source, renames, schedules for k modules, and runs
+// memory-module assignment, returning everything a simulation needs.
+func build(t *testing.T, src string, k int) (*sched.Program, duplication.Copies) {
+	t.Helper()
+	f, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	dfa.Rename(f)
+	p, err := sched.Schedule(f, sched.Config{Modules: k, Units: k})
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	prog := assign.Program{Instrs: p.Instructions(), RegionOf: p.RegionOf}
+	al, err := assign.Assign(prog, assign.Options{K: k})
+	if err != nil {
+		t.Fatalf("assign: %v", err)
+	}
+	if bad := assign.Verify(prog, al); bad != nil {
+		t.Fatalf("allocation leaves conflicts: %v", bad)
+	}
+	return p, al.Copies
+}
+
+func run(t *testing.T, src string, k int, opt Options) *Result {
+	t.Helper()
+	p, copies := build(t, src, k)
+	res, err := Run(p, copies, opt)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestFactorial(t *testing.T) {
+	res := run(t, `
+program fact;
+var n, f: int;
+begin
+  n := 10;
+  f := 1;
+  while n > 1 do
+    f := f * n;
+    n := n - 1;
+  end
+end`, 4, Options{})
+	got, ok := res.Scalar("f")
+	if !ok || got != 3628800 {
+		t.Fatalf("10! = %v (ok=%v), want 3628800", got, ok)
+	}
+}
+
+func TestFibonacciArray(t *testing.T) {
+	res := run(t, `
+program fib;
+var fib: array[20] of int;
+begin
+  fib[0] := 0;
+  fib[1] := 1;
+  for i := 2 to 19 do
+    fib[i] := fib[i-1] + fib[i-2];
+  end
+end`, 4, Options{})
+	arr, ok := res.Array("fib")
+	if !ok {
+		t.Fatal("array fib missing")
+	}
+	want := []float64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987, 1597, 2584, 4181}
+	for i, w := range want {
+		if arr[i] != w {
+			t.Fatalf("fib[%d] = %v, want %v", i, arr[i], w)
+		}
+	}
+}
+
+func TestFloatMath(t *testing.T) {
+	res := run(t, `
+program flo;
+var x, y: float;
+var n: int;
+begin
+  n := 3;
+  x := 2.5;
+  y := x * n + 0.5;
+  x := y / 2.0 - 1.0;
+end`, 4, Options{})
+	y, _ := res.Scalar("y")
+	if math.Abs(y-8.0) > 1e-12 {
+		t.Fatalf("y = %v, want 8.0", y)
+	}
+	x, _ := res.Scalar("x")
+	if math.Abs(x-3.0) > 1e-12 {
+		t.Fatalf("x = %v, want 3.0", x)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	res := run(t, `
+program sel;
+var a, b, r: int;
+begin
+  a := 7;
+  b := 9;
+  if a > b then
+    r := a;
+  else
+    r := b;
+  end
+end`, 4, Options{})
+	r, _ := res.Scalar("r")
+	if r != 9 {
+		t.Fatalf("max = %v, want 9", r)
+	}
+}
+
+func TestModAndLogic(t *testing.T) {
+	res := run(t, `
+program ml;
+var n, evens: int;
+begin
+  evens := 0;
+  for i := 1 to 20 do
+    if (i % 2 = 0) and (i < 15) then
+      evens := evens + 1;
+    end
+  end
+end`, 4, Options{})
+	e, _ := res.Scalar("evens")
+	if e != 7 {
+		t.Fatalf("evens = %v, want 7 (2,4,...,14)", e)
+	}
+}
+
+func TestInitScalarsAndArrays(t *testing.T) {
+	p, copies := build(t, `
+program init;
+var x, y: int;
+var a: array[4] of float;
+var s: float;
+begin
+  y := x * 2;
+  s := a[0] + a[1] + a[2] + a[3];
+end`, 4)
+	res, err := Run(p, copies, Options{
+		InitScalars: map[string]float64{"x": 21},
+		InitArrays:  map[string][]float64{"a": {1, 2, 3, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := res.Scalar("y")
+	if y != 42 {
+		t.Fatalf("y = %v, want 42", y)
+	}
+	s, _ := res.Scalar("s")
+	if s != 10 {
+		t.Fatalf("s = %v, want 10", s)
+	}
+}
+
+func TestInitErrors(t *testing.T) {
+	p, copies := build(t, "program p; var x: int; begin x := 1; end", 4)
+	if _, err := Run(p, copies, Options{InitScalars: map[string]float64{"nope": 1}}); err == nil {
+		t.Fatal("unknown scalar must fail")
+	}
+	if _, err := Run(p, copies, Options{InitArrays: map[string][]float64{"nope": {1}}}); err == nil {
+		t.Fatal("unknown array must fail")
+	}
+}
+
+func TestOutOfBounds(t *testing.T) {
+	p, copies := build(t, `
+program oob;
+var a: array[4] of int;
+var i: int;
+begin
+  i := 9;
+  a[i] := 1;
+end`, 4)
+	if _, err := Run(p, copies, Options{}); err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Fatalf("want bounds error, got %v", err)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	p, copies := build(t, `
+program dz;
+var a, b: int;
+begin
+  b := 0;
+  a := 1 / b;
+end`, 4)
+	if _, err := Run(p, copies, Options{}); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("want division error, got %v", err)
+	}
+}
+
+func TestMaxWordsGuard(t *testing.T) {
+	p, copies := build(t, `
+program spin;
+var x: int;
+begin
+  x := 1;
+  while x > 0 do
+    x := x + 1;
+  end
+end`, 4)
+	if _, err := Run(p, copies, Options{MaxWords: 1000}); err == nil || !strings.Contains(err.Error(), "dynamic words") {
+		t.Fatalf("want word-budget error, got %v", err)
+	}
+}
+
+const arrayHeavy = `
+program ah;
+var a, b: array[64] of int;
+var s: int;
+begin
+  for i := 0 to 63 do
+    a[i] := i;
+  end
+  s := 0;
+  for i := 0 to 63 do
+    b[i] := a[i] * 2;
+    s := s + b[i];
+  end
+end`
+
+func TestNoScalarConflictsWithValidAllocation(t *testing.T) {
+	res := run(t, arrayHeavy, 8, Options{})
+	if res.ScalarConflicts != 0 {
+		t.Fatalf("scalar conflicts = %d with a verified allocation", res.ScalarConflicts)
+	}
+	s, _ := res.Scalar("s")
+	if s != 2*(63*64/2) {
+		t.Fatalf("s = %v, want %v", s, 2*(63*64/2))
+	}
+}
+
+func TestSingleModuleLayoutStallsMore(t *testing.T) {
+	p, copies := build(t, arrayHeavy, 8)
+	inter, err := Run(p, copies, Options{Layout: memory.Interleaved{K: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(p, copies, Options{Layout: memory.SingleModule{M: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Stalls < inter.Stalls {
+		t.Fatalf("single-module stalls %d < interleaved stalls %d", single.Stalls, inter.Stalls)
+	}
+	if single.TransferTime <= single.MemWords {
+		t.Fatal("single-module layout should conflict at least once in this program")
+	}
+	// Results must be identical regardless of layout.
+	s1, _ := inter.Scalar("s")
+	s2, _ := single.Scalar("s")
+	if s1 != s2 {
+		t.Fatalf("layout changed program semantics: %v vs %v", s1, s2)
+	}
+}
+
+func TestSpeedupOverSequential(t *testing.T) {
+	res := run(t, arrayHeavy, 8, Options{})
+	if res.Speedup() <= 1.0 {
+		t.Fatalf("speedup = %.2f, want > 1 (the whole point of the LIW machine)", res.Speedup())
+	}
+	if res.DynamicOps <= res.DynamicWords {
+		t.Fatal("words must pack more than one op on average for this program")
+	}
+}
+
+func TestProfilesAggregated(t *testing.T) {
+	res := run(t, arrayHeavy, 8, Options{})
+	if len(res.Profiles) == 0 {
+		t.Fatal("no profiles recorded")
+	}
+	var totalCount int64
+	hasArrays := false
+	for _, pr := range res.Profiles {
+		totalCount += pr.Count
+		if pr.ArrayOps > 0 {
+			hasArrays = true
+		}
+	}
+	if totalCount != res.MemWords {
+		t.Fatalf("profile counts %d != MemWords %d", totalCount, res.MemWords)
+	}
+	if !hasArrays {
+		t.Fatal("array-heavy program must record array profiles")
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	res := run(t, arrayHeavy, 8, Options{})
+	if res.Cycles != res.DynamicWords+res.Stalls {
+		t.Fatalf("cycles %d != words %d + stalls %d", res.Cycles, res.DynamicWords, res.Stalls)
+	}
+	if res.TransferTime != res.MemWords+res.Stalls {
+		t.Fatalf("transfer %d != memwords %d + stalls %d", res.TransferTime, res.MemWords, res.Stalls)
+	}
+}
+
+func TestScalarMissing(t *testing.T) {
+	res := run(t, "program p; var x: int; begin x := 1; end", 4, Options{})
+	if _, ok := res.Scalar("zzz"); ok {
+		t.Fatal("unknown scalar must report !ok")
+	}
+	if _, ok := res.Array("zzz"); ok {
+		t.Fatal("unknown array must report !ok")
+	}
+}
+
+func TestRenamedScalarReadback(t *testing.T) {
+	// x splits into webs; Scalar must still retrieve the final value.
+	res := run(t, `
+program rn;
+var x, a, b: int;
+begin
+  x := 1;
+  a := x + 1;
+  x := 50;
+  b := x + 1;
+end`, 4, Options{})
+	b, _ := res.Scalar("b")
+	if b != 51 {
+		t.Fatalf("b = %v, want 51", b)
+	}
+	x, ok := res.Scalar("x")
+	if !ok || x != 50 {
+		t.Fatalf("x = %v (ok=%v), want 50", x, ok)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	res := run(t, `
+program mm;
+var c: array[16] of int;
+var acc: int;
+begin
+  for i := 0 to 3 do
+    for j := 0 to 3 do
+      acc := 0;
+      for k := 0 to 3 do
+        acc := acc + (i*4+k) * (k*4+j);
+      end
+      c[i*4+j] := acc;
+    end
+  end
+end`, 8, Options{})
+	// c = A*B with A[i][k] = i*4+k and B[k][j] = k*4+j.
+	arr, _ := res.Array("c")
+	// Check one entry by hand: c[0][0] = sum_k k*(4k) = 4*(0+1+4+9) = 56.
+	if arr[0] != 56 {
+		t.Fatalf("c[0] = %v, want 56", arr[0])
+	}
+	// c[3][3]: sum_k (12+k)*(k*4+3) = 12*3+13*7+14*11+15*15 = 36+91+154+225 = 506.
+	if arr[15] != 506 {
+		t.Fatalf("c[15] = %v, want 506", arr[15])
+	}
+}
+
+func TestCountWritesIncreasesTraffic(t *testing.T) {
+	p, copies := build(t, arrayHeavy, 8)
+	base, err := Run(p, copies, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes, err := Run(p, copies, Options{CountWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if writes.TransferTime <= base.TransferTime {
+		t.Fatalf("write accounting must increase transfer time: %d vs %d",
+			writes.TransferTime, base.TransferTime)
+	}
+	// Semantics unchanged.
+	s1, _ := base.Scalar("s")
+	s2, _ := writes.Scalar("s")
+	if s1 != s2 {
+		t.Fatalf("accounting changed semantics: %v vs %v", s1, s2)
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	p, copies := build(t, "program p; var x: int; begin x := 1 + 2; end", 4)
+	var buf bytes.Buffer
+	if _, err := Run(p, copies, Options{Trace: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "w0 b0") || !strings.Contains(out, "[ret]") {
+		t.Fatalf("trace missing expected lines:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 2 {
+		t.Fatalf("trace lines = %d", lines)
+	}
+}

@@ -1,0 +1,104 @@
+// Package memory models how array elements are distributed over the
+// parallel memory modules.
+//
+// Scalar placement is decided at compile time by internal/assign; array
+// element placement is a hardware/runtime property because indices are
+// computed at run time. The paper's Table 2 quantifies the conflicts caused
+// by array accesses under three assumptions: best case (no array conflicts),
+// worst case (every array in one module) and the uniform-distribution
+// average. The layouts here realize those assumptions plus the classic
+// skewed scheme of Budnik & Kuck / Harper & Jump that the paper cites as
+// prior work for vector access.
+package memory
+
+import "fmt"
+
+// Layout maps an array element to the memory module that stores it.
+type Layout interface {
+	// ModuleOf returns the module of element index of array arrID.
+	ModuleOf(arrID, index int) int
+	// Name identifies the layout in reports.
+	Name() string
+}
+
+// Interleaved distributes consecutive elements round-robin across all K
+// modules (low-order interleaving). This is the "realistic" layout behind
+// the paper's t_ave estimate: element residence is uniform across modules.
+type Interleaved struct {
+	K int
+}
+
+// ModuleOf implements Layout.
+func (l Interleaved) ModuleOf(arrID, index int) int {
+	m := index % l.K
+	if m < 0 {
+		m += l.K
+	}
+	return m
+}
+
+// Name implements Layout.
+func (l Interleaved) Name() string { return fmt.Sprintf("interleaved(k=%d)", l.K) }
+
+// SingleModule stores every array entirely in one module — the paper's
+// worst-case t_max assumption ("storage required for all of the arrays ...
+// allocated from the same memory module").
+type SingleModule struct {
+	M int
+}
+
+// ModuleOf implements Layout.
+func (l SingleModule) ModuleOf(arrID, index int) int { return l.M }
+
+// Name implements Layout.
+func (l SingleModule) Name() string { return fmt.Sprintf("single(m=%d)", l.M) }
+
+// Skewed applies the classic skewing transform: element i of array a lives
+// in module (i + i/K + a) mod K. For row-major matrices with row length K
+// this makes both rows and columns conflict-free; for the scalar-heavy
+// programs here it mainly decorrelates arrays from one another.
+type Skewed struct {
+	K int
+}
+
+// ModuleOf implements Layout.
+func (l Skewed) ModuleOf(arrID, index int) int {
+	m := (index + index/l.K + arrID) % l.K
+	if m < 0 {
+		m += l.K
+	}
+	return m
+}
+
+// Name implements Layout.
+func (l Skewed) Name() string { return fmt.Sprintf("skewed(k=%d)", l.K) }
+
+// Blocked splits each array into K contiguous chunks, one per module
+// (high-order interleaving). Sequential scans of one array then hammer a
+// single module at a time — a useful contrast to Interleaved in ablations.
+type Blocked struct {
+	K int
+	// SizeOf reports each array's element count; required to compute the
+	// chunk boundaries.
+	SizeOf func(arrID int) int
+}
+
+// ModuleOf implements Layout.
+func (l Blocked) ModuleOf(arrID, index int) int {
+	size := l.SizeOf(arrID)
+	if size <= 0 {
+		return 0
+	}
+	chunk := (size + l.K - 1) / l.K
+	m := index / chunk
+	if m < 0 {
+		m = 0
+	}
+	if m >= l.K {
+		m = l.K - 1
+	}
+	return m
+}
+
+// Name implements Layout.
+func (l Blocked) Name() string { return fmt.Sprintf("blocked(k=%d)", l.K) }

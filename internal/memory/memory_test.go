@@ -1,0 +1,127 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleaved(t *testing.T) {
+	l := Interleaved{K: 4}
+	for i := 0; i < 16; i++ {
+		if got := l.ModuleOf(0, i); got != i%4 {
+			t.Fatalf("ModuleOf(0,%d) = %d, want %d", i, got, i%4)
+		}
+	}
+	if l.ModuleOf(3, 5) != 1 {
+		t.Fatal("interleaving must ignore the array id")
+	}
+}
+
+func TestSingleModule(t *testing.T) {
+	l := SingleModule{M: 3}
+	for i := 0; i < 10; i++ {
+		if l.ModuleOf(i, i*7) != 3 {
+			t.Fatal("single module must always answer M")
+		}
+	}
+}
+
+func TestSkewedRange(t *testing.T) {
+	l := Skewed{K: 4}
+	for a := 0; a < 3; a++ {
+		for i := 0; i < 64; i++ {
+			m := l.ModuleOf(a, i)
+			if m < 0 || m >= 4 {
+				t.Fatalf("module %d out of range", m)
+			}
+		}
+	}
+}
+
+func TestSkewedShiftsRows(t *testing.T) {
+	// With row length K, the same column of consecutive rows maps to
+	// different modules — the property skewing exists for.
+	l := Skewed{K: 4}
+	col := 2
+	m0 := l.ModuleOf(0, 0*4+col)
+	m1 := l.ModuleOf(0, 1*4+col)
+	if m0 == m1 {
+		t.Fatalf("column elements of adjacent rows collide on module %d", m0)
+	}
+}
+
+func TestBlocked(t *testing.T) {
+	l := Blocked{K: 4, SizeOf: func(int) int { return 16 }}
+	// 16 elements over 4 modules: chunks of 4.
+	for i := 0; i < 16; i++ {
+		if got, want := l.ModuleOf(0, i), i/4; got != want {
+			t.Fatalf("ModuleOf(0,%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Non-divisible size still stays in range.
+	l7 := Blocked{K: 4, SizeOf: func(int) int { return 7 }}
+	for i := 0; i < 7; i++ {
+		if m := l7.ModuleOf(0, i); m < 0 || m >= 4 {
+			t.Fatalf("module %d out of range", m)
+		}
+	}
+	// Degenerate size.
+	l0 := Blocked{K: 4, SizeOf: func(int) int { return 0 }}
+	if l0.ModuleOf(0, 0) != 0 {
+		t.Fatal("zero-size arrays map to module 0")
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, l := range []Layout{Interleaved{K: 8}, SingleModule{M: 0}, Skewed{K: 8},
+		Blocked{K: 8, SizeOf: func(int) int { return 1 }}} {
+		if l.Name() == "" {
+			t.Fatalf("%T has empty name", l)
+		}
+	}
+}
+
+// Property: every layout answers a module within [0, K) for any inputs.
+func TestLayoutRangeProperty(t *testing.T) {
+	f := func(arrID, index uint8, kRaw uint8) bool {
+		k := int(kRaw%8) + 2
+		layouts := []Layout{
+			Interleaved{K: k},
+			SingleModule{M: int(arrID) % k},
+			Skewed{K: k},
+			Blocked{K: k, SizeOf: func(int) int { return int(index) + 1 }},
+		}
+		for _, l := range layouts {
+			m := l.ModuleOf(int(arrID), int(index))
+			if m < 0 || m >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving spreads a contiguous scan evenly — over any window
+// of length K, every module is hit exactly once.
+func TestInterleavedUniformProperty(t *testing.T) {
+	f := func(start uint16, kRaw uint8) bool {
+		k := int(kRaw%8) + 2
+		l := Interleaved{K: k}
+		seen := map[int]int{}
+		for i := 0; i < k; i++ {
+			seen[l.ModuleOf(0, int(start)+i)]++
+		}
+		for m := 0; m < k; m++ {
+			if seen[m] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package memory
+
+// Vector access analysis — the prior work the paper positions itself
+// against (Budnik & Kuck 1971; Harper & Jump 1987; Mace & Wagner). Those
+// techniques pick an array storage scheme so that *regular* vector accesses
+// (constant stride) hit distinct modules; the paper's point is that scalar
+// accesses have no such regularity and need the compile-time assignment of
+// §2 instead. This file quantifies the vector side so the contrast is
+// measurable: how many conflicts a k-element stride burst costs under each
+// layout.
+
+// VectorAccess describes one burst of a regular vector access pattern:
+// k consecutive requests i, i+stride, i+2·stride, ... issued in one cycle,
+// as a vector unit or unrolled loop would.
+type VectorAccess struct {
+	ArrID  int
+	Start  int
+	Stride int
+}
+
+// BurstCost returns the number of cycles (max per-module load) needed to
+// serve k simultaneous requests of the access pattern under the layout.
+// A conflict-free burst costs 1.
+func BurstCost(l Layout, a VectorAccess, k int) int {
+	load := map[int]int{}
+	max := 0
+	for j := 0; j < k; j++ {
+		m := l.ModuleOf(a.ArrID, a.Start+j*a.Stride)
+		load[m]++
+		if load[m] > max {
+			max = load[m]
+		}
+	}
+	return max
+}
+
+// StrideProfile reports the burst cost of every stride in [1, k] for the
+// layout, normalized by the ideal cost 1. Classic results this reproduces:
+//
+//   - interleaving is conflict-free for stride 1 but serializes completely
+//     for stride k (all requests hit one module);
+//   - skewing spreads both rows (stride 1) and columns (stride k) of a
+//     k-wide matrix, the case it was designed for.
+func StrideProfile(l Layout, arrID, k int) []int {
+	costs := make([]int, k+1)
+	for stride := 1; stride <= k; stride++ {
+		worst := 0
+		// The cost can depend on the start offset; report the worst.
+		for start := 0; start < k; start++ {
+			c := BurstCost(l, VectorAccess{ArrID: arrID, Start: start, Stride: stride}, k)
+			if c > worst {
+				worst = c
+			}
+		}
+		costs[stride] = worst
+	}
+	return costs
+}

@@ -1,0 +1,155 @@
+package opt
+
+import "parmem/internal/ir"
+
+// Basic-block merging. Lowering creates a fresh block after every
+// structured statement, so straight-line stretches end up chopped into
+// short blocks that drain the instruction word at each boundary. Merging a
+// block with its unique fallthrough successor (when that successor has no
+// other predecessors) restores long scheduling regions; it matters most
+// after if-conversion has already removed the branches themselves.
+
+// MergeBlocks repeatedly merges fallthrough-only block pairs and drops
+// empty interior blocks, returning the number of blocks removed.
+func MergeBlocks(f *ir.Func) int {
+	removed := 0
+	for {
+		n := mergeOnce(f)
+		if n == 0 {
+			return removed
+		}
+		removed += n
+	}
+}
+
+// FoldBranches resolves conditional branches whose condition is a constant
+// (exposed by constant folding and copy propagation): a taken branch
+// becomes a Jmp, an untaken one disappears. Returns the number of branches
+// resolved. Unreachable blocks this creates are removed by
+// RemoveUnreachable, and the resulting fallthrough chains by MergeBlocks.
+func FoldBranches(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			continue
+		}
+		last := &b.Instrs[len(b.Instrs)-1]
+		if last.Op != ir.Br || last.A.Kind != ir.Const {
+			continue
+		}
+		taken := last.A.ConstInt != 0
+		if last.A.Type == ir.Float {
+			taken = last.A.ConstFloat != 0
+		}
+		if taken {
+			*last = ir.Instr{Op: ir.Jmp, Target: last.Target, Seq: last.Seq}
+		} else {
+			b.Instrs = b.Instrs[:len(b.Instrs)-1]
+		}
+		n++
+	}
+	return n
+}
+
+// RemoveUnreachable deletes blocks that no path from the entry reaches.
+// Returns the number of blocks removed.
+func RemoveUnreachable(f *ir.Func) int {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+	reached := make([]bool, len(f.Blocks))
+	stack := []int{0}
+	reached[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range f.Succs(f.Blocks[b]) {
+			if !reached[s] {
+				reached[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	removed := 0
+	for i := len(f.Blocks) - 1; i >= 1; i-- {
+		if !reached[i] {
+			deleteBlock(f, i)
+			removed++
+		}
+	}
+	return removed
+}
+
+// mergeOnce performs one scan, merging the first eligible pair it finds.
+func mergeOnce(f *ir.Func) int {
+	if len(f.Blocks) < 2 {
+		return 0
+	}
+	// preds[b] = number of blocks branching or falling through to b.
+	preds := make([]int, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range f.Succs(b) {
+			preds[s]++
+		}
+	}
+
+	for i := 0; i+1 < len(f.Blocks); i++ {
+		b, next := f.Blocks[i], f.Blocks[i+1]
+		fallsThrough := !b.Terminated()
+		// A Jmp to the next block is also pure fallthrough; it is stripped
+		// only if the merge commits.
+		jmpToNext := false
+		if !fallsThrough && len(b.Instrs) > 0 {
+			last := b.Instrs[len(b.Instrs)-1]
+			if last.Op == ir.Jmp && last.Target == next.ID {
+				jmpToNext = true
+			}
+		}
+		if (!fallsThrough && !jmpToNext) || preds[next.ID] != 1 {
+			continue
+		}
+		// Merge next into b and renumber everything after it.
+		if jmpToNext {
+			b.Instrs = b.Instrs[:len(b.Instrs)-1]
+		}
+		b.Instrs = append(b.Instrs, next.Instrs...)
+		deleteBlock(f, i+1)
+		return 1
+	}
+
+	// Drop empty interior blocks: an empty block just falls through, so
+	// retargeting its predecessors to the next block is equivalent.
+	for i := 1; i < len(f.Blocks)-1; i++ {
+		if len(f.Blocks[i].Instrs) == 0 {
+			deleteBlock(f, i)
+			return 1
+		}
+	}
+	return 0
+}
+
+// deleteBlock removes block at index idx, renumbering ids and retargeting
+// branches. Branches to the deleted block go to the block that now occupies
+// its position (its fallthrough successor).
+func deleteBlock(f *ir.Func, idx int) {
+	f.Blocks = append(f.Blocks[:idx], f.Blocks[idx+1:]...)
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.Br && in.Op != ir.Jmp {
+				continue
+			}
+			if in.Target > idx {
+				in.Target--
+			} else if in.Target == idx {
+				// The deleted block was empty or merged into its
+				// predecessor's fallthrough; its old position now holds
+				// what followed it.
+				in.Target = idx
+			}
+		}
+	}
+	for i, b := range f.Blocks {
+		b.ID = i
+	}
+}

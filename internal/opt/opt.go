@@ -1,0 +1,288 @@
+// Package opt provides the classic scalar optimizations a real LIW compiler
+// runs before scheduling: constant folding, block-local copy and constant
+// propagation, and dead temporary elimination.
+//
+// The passes matter to memory-module assignment because every surviving
+// temporary is a data value that needs a module: removing the Mov chatter
+// of naive lowering shrinks the conflict graph and shortens the dependence
+// chains the word scheduler sees.
+//
+// Program variables (ir.Var) are never deleted: they are memory-resident
+// outputs observable after execution. Only temporaries whose values are
+// provably unused disappear.
+package opt
+
+import (
+	"parmem/internal/ir"
+)
+
+// Result reports what a Run changed.
+type Result struct {
+	Folded     int // instructions turned into constant Movs
+	Propagated int // operand slots rewritten by copy/constant propagation
+	Eliminated int // dead temporary definitions removed
+	Merged     int // basic blocks merged away
+}
+
+// Run applies all passes to a fixpoint (bounded by a few iterations; each
+// pass only shrinks the program). Block merging participates in the loop
+// because longer blocks expose more block-local propagation.
+func Run(f *ir.Func) Result {
+	var total Result
+	for i := 0; i < 10; i++ {
+		r := Result{
+			Folded:     FoldConstants(f),
+			Propagated: PropagateCopies(f),
+			Eliminated: EliminateDeadTemps(f),
+		}
+		r.Folded += FoldBranches(f)
+		r.Merged = RemoveUnreachable(f) + MergeBlocks(f)
+		total.Folded += r.Folded
+		total.Propagated += r.Propagated
+		total.Eliminated += r.Eliminated
+		total.Merged += r.Merged
+		if r.Folded+r.Propagated+r.Eliminated+r.Merged == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// FoldConstants rewrites operations whose operands are all constants into
+// constant moves. Folding never introduces a fault that the original did
+// not have: division and modulo by a constant zero are left alone (the
+// machine reports them at run time, as the original would).
+func FoldConstants(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Dst == nil || in.Dst.Kind == ir.Const {
+				continue
+			}
+			folded, ok := fold(f, in)
+			if ok {
+				in.Op = ir.Mov
+				in.A = folded
+				in.B = nil
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func isConst(v *ir.Value) bool { return v != nil && v.Kind == ir.Const }
+
+func cInt(v *ir.Value) int64 {
+	if v.Type == ir.Float {
+		return int64(v.ConstFloat)
+	}
+	return v.ConstInt
+}
+
+func cFloat(v *ir.Value) float64 {
+	if v.Type == ir.Float {
+		return v.ConstFloat
+	}
+	return float64(v.ConstInt)
+}
+
+// fold evaluates one instruction over constant operands.
+func fold(f *ir.Func, in *ir.Instr) (*ir.Value, bool) {
+	switch in.Op {
+	case ir.Neg:
+		if !isConst(in.A) {
+			return nil, false
+		}
+		if in.Dst.Type == ir.Float {
+			return f.FloatConst(-cFloat(in.A)), true
+		}
+		return f.IntConst(-cInt(in.A)), true
+	case ir.Not:
+		if !isConst(in.A) {
+			return nil, false
+		}
+		if cInt(in.A) == 0 {
+			return f.IntConst(1), true
+		}
+		return f.IntConst(0), true
+	case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod:
+		if !isConst(in.A) || !isConst(in.B) {
+			return nil, false
+		}
+		if in.Dst.Type == ir.Float {
+			a, b := cFloat(in.A), cFloat(in.B)
+			switch in.Op {
+			case ir.Add:
+				return f.FloatConst(a + b), true
+			case ir.Sub:
+				return f.FloatConst(a - b), true
+			case ir.Mul:
+				return f.FloatConst(a * b), true
+			case ir.Div:
+				if b == 0 {
+					return nil, false // preserve the runtime fault
+				}
+				return f.FloatConst(a / b), true
+			}
+			return nil, false
+		}
+		a, b := cInt(in.A), cInt(in.B)
+		switch in.Op {
+		case ir.Add:
+			return f.IntConst(a + b), true
+		case ir.Sub:
+			return f.IntConst(a - b), true
+		case ir.Mul:
+			return f.IntConst(a * b), true
+		case ir.Div:
+			if b == 0 {
+				return nil, false
+			}
+			return f.IntConst(a / b), true
+		case ir.Mod:
+			if b == 0 {
+				return nil, false
+			}
+			return f.IntConst(a % b), true
+		}
+		return nil, false
+	case ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge:
+		if !isConst(in.A) || !isConst(in.B) {
+			return nil, false
+		}
+		var res bool
+		if in.A.Type == ir.Float || in.B.Type == ir.Float {
+			a, b := cFloat(in.A), cFloat(in.B)
+			res = cmpF(in.Op, a, b)
+		} else {
+			a, b := cInt(in.A), cInt(in.B)
+			res = cmpI(in.Op, a, b)
+		}
+		if res {
+			return f.IntConst(1), true
+		}
+		return f.IntConst(0), true
+	}
+	return nil, false
+}
+
+func cmpI(op ir.Op, a, b int64) bool {
+	switch op {
+	case ir.Eq:
+		return a == b
+	case ir.Ne:
+		return a != b
+	case ir.Lt:
+		return a < b
+	case ir.Le:
+		return a <= b
+	case ir.Gt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func cmpF(op ir.Op, a, b float64) bool {
+	switch op {
+	case ir.Eq:
+		return a == b
+	case ir.Ne:
+		return a != b
+	case ir.Lt:
+		return a < b
+	case ir.Le:
+		return a <= b
+	case ir.Gt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// PropagateCopies rewrites, within each basic block, uses of a temporary t
+// defined by "t = Mov x" to use x directly, as long as neither t nor x has
+// been redefined in between. Only same-type moves propagate (a widening
+// int→float Mov is a conversion, not a copy). Cross-block propagation would
+// need SSA and buys little here.
+func PropagateCopies(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		// copyOf[v] = the value v currently mirrors.
+		copyOf := map[int]*ir.Value{}
+		invalidate := func(v *ir.Value) {
+			if v == nil {
+				return
+			}
+			delete(copyOf, v.ID)
+			for id, src := range copyOf {
+				if src.ID == v.ID {
+					delete(copyOf, id)
+				}
+			}
+		}
+		rewrite := func(slot **ir.Value) {
+			v := *slot
+			if v == nil || v.Kind == ir.Const {
+				return
+			}
+			if src, ok := copyOf[v.ID]; ok {
+				*slot = src
+				n++
+			}
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			rewrite(&in.A)
+			rewrite(&in.B)
+			rewrite(&in.Index)
+			if d := in.Def(); d != nil && d.IsMem() {
+				invalidate(d)
+				if in.Op == ir.Mov && in.A != nil &&
+					(in.A.Kind == ir.Const || in.A.IsMem()) &&
+					in.A.Type == d.Type && in.A.ID != d.ID {
+					copyOf[d.ID] = in.A
+				}
+			}
+		}
+	}
+	return n
+}
+
+// EliminateDeadTemps removes definitions of temporaries that are never
+// used anywhere in the function. Stores, branches and definitions of
+// program variables are never removed. Returns the number of instructions
+// deleted.
+func EliminateDeadTemps(f *ir.Func) int {
+	used := map[int]bool{}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			for _, u := range b.Instrs[i].Uses() {
+				used[u.ID] = true
+			}
+		}
+	}
+	removed := 0
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			d := in.Def()
+			dead := d != nil && d.Kind == ir.Temp && !used[d.ID]
+			if dead && in.Op == ir.Load {
+				// Removing a load also removes its bounds check; only do so
+				// when the index is provably in range.
+				dead = in.Index.Kind == ir.Const &&
+					in.Index.ConstInt >= 0 && in.Index.ConstInt < int64(in.Arr.Size)
+			}
+			if dead {
+				removed++
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return removed
+}

@@ -1,0 +1,362 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parmem/internal/ir"
+	"parmem/internal/lang"
+)
+
+func compile(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	f, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestFoldConstants(t *testing.T) {
+	f := compile(t, "program p; var x: int; begin x := 2 + 3 * 4; end")
+	folded := FoldConstants(f)
+	if folded < 1 {
+		t.Fatalf("folded = %d, want >= 1", folded)
+	}
+	// After a full Run the assignment is a single constant move.
+	Run(f)
+	if got := countOps(f, ir.Add) + countOps(f, ir.Mul); got != 0 {
+		t.Fatalf("arithmetic left after folding: %d\n%s", got, f)
+	}
+}
+
+func TestFoldPreservesDivByZeroFault(t *testing.T) {
+	f := compile(t, "program p; var x: int; begin x := 1 / 0; end")
+	if n := FoldConstants(f); n != 0 {
+		t.Fatalf("folded a division by zero (%d)", n)
+	}
+	ff := compile(t, "program p; var x: float; begin x := 1.0 / 0.0; end")
+	if n := FoldConstants(ff); n != 0 {
+		t.Fatalf("folded a float division by zero (%d)", n)
+	}
+}
+
+func TestFoldComparisonsAndLogic(t *testing.T) {
+	f := compile(t, "program p; var x: int; begin x := (1 < 2) and (3 >= 4); end")
+	Run(f)
+	// Everything constant: no compares left.
+	for _, op := range []ir.Op{ir.Lt, ir.Ge, ir.Mul, ir.Ne} {
+		if countOps(f, op) != 0 {
+			t.Fatalf("%v left after folding:\n%s", op, f)
+		}
+	}
+}
+
+func TestFoldUnary(t *testing.T) {
+	f := compile(t, "program p; var x, y: int; begin x := -(3); y := not 0; end")
+	Run(f)
+	if countOps(f, ir.Neg) != 0 || countOps(f, ir.Not) != 0 {
+		t.Fatalf("unary ops left:\n%s", f)
+	}
+}
+
+func TestPropagateCopies(t *testing.T) {
+	// Lowering produces t := a+b; s := t. Propagation rewrites nothing here
+	// (the Mov defines a Var, which must stay), but chains of temp copies
+	// collapse.
+	f := compile(t, "program p; var a, b, s: int; begin s := a + b; s := s + s; end")
+	before := f.NumInstrs()
+	Run(f)
+	if f.NumInstrs() > before {
+		t.Fatal("optimization grew the program")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropagationRespectsRedefinition(t *testing.T) {
+	// t := x; x := 7; y := t  — t must NOT be replaced by x after the
+	// redefinition.
+	f := ir.NewFunc("m")
+	x := f.NewValue("x", ir.Int, ir.Var)
+	y := f.NewValue("y", ir.Int, ir.Var)
+	tv := f.NewTemp(ir.Int)
+	b := f.Blocks[0]
+	b.Emit(ir.Instr{Op: ir.Mov, Dst: tv, A: x})
+	b.Emit(ir.Instr{Op: ir.Mov, Dst: x, A: f.IntConst(7)})
+	b.Emit(ir.Instr{Op: ir.Mov, Dst: y, A: tv})
+	b.Emit(ir.Instr{Op: ir.Ret})
+	PropagateCopies(f)
+	if b.Instrs[2].A != tv {
+		t.Fatalf("use of t rewritten to a redefined source: %s", b.Instrs[2].String())
+	}
+}
+
+func TestPropagationSkipsWideningMov(t *testing.T) {
+	// fl := i  (int->float conversion) is not a copy.
+	f := ir.NewFunc("m")
+	i := f.NewValue("i", ir.Int, ir.Var)
+	fl := f.NewTemp(ir.Float)
+	out := f.NewValue("o", ir.Float, ir.Var)
+	b := f.Blocks[0]
+	b.Emit(ir.Instr{Op: ir.Mov, Dst: fl, A: i})
+	b.Emit(ir.Instr{Op: ir.Mov, Dst: out, A: fl})
+	b.Emit(ir.Instr{Op: ir.Ret})
+	PropagateCopies(f)
+	if b.Instrs[1].A != fl {
+		t.Fatal("widening conversion propagated as a copy")
+	}
+}
+
+func TestEliminateDeadTemps(t *testing.T) {
+	f := ir.NewFunc("m")
+	x := f.NewValue("x", ir.Int, ir.Var)
+	dead := f.NewTemp(ir.Int)
+	b := f.Blocks[0]
+	b.Emit(ir.Instr{Op: ir.Add, Dst: dead, A: f.IntConst(1), B: f.IntConst(2)})
+	b.Emit(ir.Instr{Op: ir.Mov, Dst: x, A: f.IntConst(3)})
+	b.Emit(ir.Instr{Op: ir.Ret})
+	if n := EliminateDeadTemps(f); n != 1 {
+		t.Fatalf("eliminated = %d, want 1", n)
+	}
+	if f.NumInstrs() != 2 {
+		t.Fatalf("instrs = %d, want 2", f.NumInstrs())
+	}
+}
+
+func TestDeadVarNotEliminated(t *testing.T) {
+	// Program variables are observable outputs; never delete their defs.
+	f := compile(t, "program p; var unusedvar: int; begin unusedvar := 42; end")
+	Run(f)
+	if countOps(f, ir.Mov) == 0 {
+		t.Fatal("assignment to a program variable was eliminated")
+	}
+}
+
+func TestDeadLoadKeptWhenIndexUnknown(t *testing.T) {
+	f := ir.NewFunc("m")
+	arr := f.NewArray("a", 4, ir.Int)
+	i := f.NewValue("i", ir.Int, ir.Var)
+	dead := f.NewTemp(ir.Int)
+	b := f.Blocks[0]
+	b.Emit(ir.Instr{Op: ir.Load, Dst: dead, Arr: arr, Index: i})
+	b.Emit(ir.Instr{Op: ir.Ret})
+	if n := EliminateDeadTemps(f); n != 0 {
+		t.Fatal("load with runtime index removed; its bounds check is observable")
+	}
+	// Constant in-range index: removable.
+	f2 := ir.NewFunc("m2")
+	arr2 := f2.NewArray("a", 4, ir.Int)
+	dead2 := f2.NewTemp(ir.Int)
+	f2.Blocks[0].Emit(ir.Instr{Op: ir.Load, Dst: dead2, Arr: arr2, Index: f2.IntConst(2)})
+	f2.Blocks[0].Emit(ir.Instr{Op: ir.Ret})
+	if n := EliminateDeadTemps(f2); n != 1 {
+		t.Fatal("provably safe dead load not removed")
+	}
+}
+
+func TestRunShrinks(t *testing.T) {
+	f := compile(t, `program p; var s: int; var a: array[8] of int;
+begin
+  s := 1 + 2;
+  for i := 0 to 7 do
+    a[i] := s * 1 + 0 + i;
+  end
+end`)
+	before := f.NumInstrs()
+	res := Run(f)
+	if f.NumInstrs() >= before {
+		t.Fatalf("Run did not shrink: %d -> %d (%+v)", before, f.NumInstrs(), res)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randProgram emits a random but valid straight-line MPL program exercising
+// the optimizer.
+func randProgram(r *rand.Rand) string {
+	vars := []string{"a", "b", "c", "d"}
+	src := "program fz; var a, b, c, d: int;\nbegin\n"
+	for i := 0; i < 3+r.Intn(12); i++ {
+		dst := vars[r.Intn(len(vars))]
+		x := vars[r.Intn(len(vars))]
+		y := vars[r.Intn(len(vars))]
+		ops := []string{"+", "-", "*"}
+		switch r.Intn(4) {
+		case 0:
+			src += dst + " := " + x + " " + ops[r.Intn(3)] + " " + y + ";\n"
+		case 1:
+			src += dst + " := 3 " + ops[r.Intn(3)] + " 5;\n"
+		case 2:
+			src += dst + " := " + x + ";\n"
+		default:
+			src += dst + " := " + x + " * 2 + 1;\n"
+		}
+	}
+	return src + "end\n"
+}
+
+// Property: optimization preserves the final values of all variables under
+// direct IR interpretation (straight-line programs, so a simple sequential
+// walk suffices).
+func TestOptimizationPreservesSemanticsProperty(t *testing.T) {
+	interp := func(f *ir.Func) map[string]int64 {
+		env := make([]int64, len(f.Values))
+		get := func(v *ir.Value) int64 {
+			if v.Kind == ir.Const {
+				return v.ConstInt
+			}
+			return env[v.ID]
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				switch in.Op {
+				case ir.Mov:
+					env[in.Dst.ID] = get(in.A)
+				case ir.Add:
+					env[in.Dst.ID] = get(in.A) + get(in.B)
+				case ir.Sub:
+					env[in.Dst.ID] = get(in.A) - get(in.B)
+				case ir.Mul:
+					env[in.Dst.ID] = get(in.A) * get(in.B)
+				}
+			}
+		}
+		out := map[string]int64{}
+		for _, v := range f.Values {
+			if v.Kind == ir.Var {
+				out[v.Name] = env[v.ID]
+			}
+		}
+		return out
+	}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := randProgram(r)
+		f1, err := lang.Compile(src)
+		if err != nil {
+			t.Fatalf("generator produced invalid program: %v\n%s", err, src)
+		}
+		f2, err := lang.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Run(f2)
+		if err := f2.Validate(); err != nil {
+			t.Logf("seed %d: invalid after opt: %v", seed, err)
+			return false
+		}
+		w1, w2 := interp(f1), interp(f2)
+		for k, v := range w1 {
+			if w2[k] != v {
+				t.Logf("seed %d: %s = %d before, %d after\n%s", seed, k, v, w2[k], src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldFloatArithmeticAndCompares(t *testing.T) {
+	f := compile(t, `program p; var x, y: float; var b, c, d, e, g, h: int;
+begin
+  x := 1.5 + 2.5 * 2.0 - 1.0 / 4.0;
+  y := -(2.5);
+  b := 1.5 < 2.5;
+  c := 2.5 <= 2.5;
+  d := 3.5 > 2.5;
+  e := 2.5 >= 3.5;
+  g := 1.5 = 1.5;
+  h := 1.5 <> 1.5;
+end`)
+	Run(f)
+	for _, op := range []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Neg,
+		ir.Lt, ir.Le, ir.Gt, ir.Ge, ir.Eq, ir.Ne} {
+		if countOps(f, op) != 0 {
+			t.Fatalf("%v not folded:\n%s", op, f)
+		}
+	}
+}
+
+func TestFoldIntCompares(t *testing.T) {
+	f := compile(t, `program p; var b, c, d, e, g, h: int;
+begin
+  b := 1 < 2;
+  c := 2 <= 2;
+  d := 3 > 2;
+  e := 2 >= 3;
+  g := 1 = 1;
+  h := 1 <> 1;
+end`)
+	Run(f)
+	for _, op := range []ir.Op{ir.Lt, ir.Le, ir.Gt, ir.Ge, ir.Eq, ir.Ne} {
+		if countOps(f, op) != 0 {
+			t.Fatalf("%v not folded:\n%s", op, f)
+		}
+	}
+}
+
+func TestFoldIntDivMod(t *testing.T) {
+	f := compile(t, `program p; var a, b: int; begin a := 17 / 5; b := 17 % 5; end`)
+	Run(f)
+	if countOps(f, ir.Div) != 0 || countOps(f, ir.Mod) != 0 {
+		t.Fatalf("div/mod not folded:\n%s", f)
+	}
+	// Check the folded constants flow into the assignments.
+	found := map[string]int64{}
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if in.Op == ir.Mov && in.Dst.Kind == ir.Var && in.A.Kind == ir.Const {
+				found[in.Dst.Name] = in.A.ConstInt
+			}
+		}
+	}
+	if found["a"] != 3 || found["b"] != 2 {
+		t.Fatalf("constants = %v, want a=3 b=2", found)
+	}
+}
+
+func TestFoldNegInt(t *testing.T) {
+	f := compile(t, `program p; var a: int; begin a := -(7); end`)
+	Run(f)
+	if countOps(f, ir.Neg) != 0 {
+		t.Fatalf("neg not folded:\n%s", f)
+	}
+}
+
+func TestFoldNotNonzero(t *testing.T) {
+	f := compile(t, `program p; var a: int; begin a := not 5; end`)
+	Run(f)
+	if countOps(f, ir.Not) != 0 {
+		t.Fatalf("not not folded:\n%s", f)
+	}
+}
+
+func TestFoldMixedIntFloatCompare(t *testing.T) {
+	// int-float comparison folds in the float domain.
+	f := compile(t, `program p; var b: int; begin b := 1 < 1.5; end`)
+	Run(f)
+	if countOps(f, ir.Lt) != 0 {
+		t.Fatalf("mixed compare not folded:\n%s", f)
+	}
+}

@@ -1,0 +1,187 @@
+package sched
+
+import "parmem/internal/ir"
+
+// Affine index disambiguation.
+//
+// Within one basic block, two accesses to the same array are independent
+// when their indices provably differ. After loop unrolling the indices of
+// sibling iterations are affine expressions of the same loop counter
+// (2u, 2u+1, ...), so a simple symbolic evaluator over the block suffices:
+// every value gets a linear form  Σ coeff·base + const  where bases are
+// values live into the block (they cannot change during the block). Two
+// forms with identical coefficients and different constants can never alias.
+
+// linform is a linear combination of base values plus a constant.
+type linform struct {
+	coeffs map[int]int64 // base value id -> coefficient
+	c      int64
+}
+
+func constForm(c int64) linform { return linform{c: c} }
+
+func varForm(id int) linform {
+	return linform{coeffs: map[int]int64{id: 1}}
+}
+
+// add returns a+b.
+func (a linform) add(b linform) linform {
+	out := linform{c: a.c + b.c, coeffs: map[int]int64{}}
+	for id, co := range a.coeffs {
+		out.coeffs[id] += co
+	}
+	for id, co := range b.coeffs {
+		out.coeffs[id] += co
+	}
+	return out.norm()
+}
+
+// sub returns a-b.
+func (a linform) sub(b linform) linform {
+	out := linform{c: a.c - b.c, coeffs: map[int]int64{}}
+	for id, co := range a.coeffs {
+		out.coeffs[id] += co
+	}
+	for id, co := range b.coeffs {
+		out.coeffs[id] -= co
+	}
+	return out.norm()
+}
+
+// scale returns a*k.
+func (a linform) scale(k int64) linform {
+	out := linform{c: a.c * k, coeffs: map[int]int64{}}
+	for id, co := range a.coeffs {
+		out.coeffs[id] = co * k
+	}
+	return out.norm()
+}
+
+// norm drops zero coefficients so equality checks are canonical.
+func (a linform) norm() linform {
+	for id, co := range a.coeffs {
+		if co == 0 {
+			delete(a.coeffs, id)
+		}
+	}
+	if len(a.coeffs) == 0 {
+		a.coeffs = nil
+	}
+	return a
+}
+
+// isConst reports whether the form has no symbolic part.
+func (a linform) isConst() bool { return len(a.coeffs) == 0 }
+
+// sameShape reports whether a and b have identical symbolic parts, so that
+// a-b is a compile-time constant.
+func sameShape(a, b linform) (diff int64, ok bool) {
+	d := a.sub(b)
+	if d.isConst() {
+		return d.c, true
+	}
+	return 0, false
+}
+
+// accessForms symbolically evaluates the block in program order and
+// records, for every Load/Store instruction index, the linear form of its
+// array index *at that program point*. A value's form is updated when the
+// value is redefined (i := i+1 becomes entry_i + 1), so forms recorded for
+// earlier accesses stay correct. Untrackable indices are simply absent.
+func accessForms(b *ir.Block) map[int]linform {
+	forms := map[int]linform{} // value id -> current form
+	invalid := map[int]bool{}  // value id -> gave up tracking
+	out := map[int]linform{}   // instruction index -> index form
+	seenDef := map[int]bool{}  // value id defined earlier in the block
+
+	valueForm := func(v *ir.Value) (linform, bool) {
+		if v == nil {
+			return linform{}, false
+		}
+		if v.Kind == ir.Const {
+			if v.Type != ir.Int {
+				return linform{}, false
+			}
+			return constForm(v.ConstInt), true
+		}
+		if v.Type != ir.Int || invalid[v.ID] {
+			return linform{}, false
+		}
+		if f, ok := forms[v.ID]; ok {
+			return f, true
+		}
+		if seenDef[v.ID] {
+			return linform{}, false // defined in block but untrackable
+		}
+		// Live into the block: a fixed symbol, named by the entry value.
+		f := varForm(v.ID)
+		forms[v.ID] = f
+		return f, true
+	}
+
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		if in.Op == ir.Load || in.Op == ir.Store {
+			if f, ok := valueForm(in.Index); ok {
+				out[i] = f
+			}
+		}
+		d := in.Def()
+		if d == nil || !d.IsMem() {
+			continue
+		}
+		var f linform
+		ok := false
+		if d.Type == ir.Int {
+			switch in.Op {
+			case ir.Mov:
+				f, ok = valueForm(in.A)
+			case ir.Add:
+				if fa, oka := valueForm(in.A); oka {
+					if fb, okb := valueForm(in.B); okb {
+						f, ok = fa.add(fb), true
+					}
+				}
+			case ir.Sub:
+				if fa, oka := valueForm(in.A); oka {
+					if fb, okb := valueForm(in.B); okb {
+						f, ok = fa.sub(fb), true
+					}
+				}
+			case ir.Mul:
+				fa, oka := valueForm(in.A)
+				fb, okb := valueForm(in.B)
+				switch {
+				case oka && okb && fa.isConst():
+					f, ok = fb.scale(fa.c), true
+				case oka && okb && fb.isConst():
+					f, ok = fa.scale(fb.c), true
+				}
+			}
+		}
+		seenDef[d.ID] = true
+		if ok {
+			forms[d.ID] = f
+			invalid[d.ID] = false
+		} else {
+			delete(forms, d.ID)
+			invalid[d.ID] = true
+		}
+	}
+	return out
+}
+
+// independentAccesses reports whether the array accesses at instruction
+// indices i and j provably touch different elements.
+func independentAccesses(forms map[int]linform, i, j int) bool {
+	fi, oki := forms[i]
+	if !oki {
+		return false
+	}
+	fj, okj := forms[j]
+	if !okj {
+		return false
+	}
+	diff, ok := sameShape(fi, fj)
+	return ok && diff != 0
+}

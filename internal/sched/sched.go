@@ -1,0 +1,343 @@
+// Package sched packs three-address IR into long instruction words.
+//
+// The target is the paper's RLIW model: a machine with a number of
+// functional units operating in lock-step, fetching all operands of a long
+// instruction from k parallel memory modules in one cycle. The scheduler
+// builds a dependence DAG per basic block and list-schedules it by critical
+// path, subject to two word-level resource limits: at most Units operations
+// and at most Modules distinct memory-resident operand values per word
+// (one fetch per module per cycle; a value used twice in a word is fetched
+// once and broadcast).
+//
+// The output word stream is what memory-module assignment consumes: each
+// word's set of scalar operand values is one conflict.Instruction.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"parmem/internal/conflict"
+	"parmem/internal/dfa"
+	"parmem/internal/ir"
+)
+
+// Config is the LIW machine shape.
+type Config struct {
+	Modules int // parallel memory modules (k)
+	Units   int // functional units per word
+}
+
+// DefaultConfig mirrors the paper's experimental machine: eight memory
+// modules, eight functional units.
+var DefaultConfig = Config{Modules: 8, Units: 8}
+
+// Word is one long instruction.
+type Word struct {
+	Ops   []ir.Instr // operations issued together, at most Config.Units
+	Block int        // source basic block
+}
+
+// MemUses returns the distinct memory-resident scalar values the word
+// fetches, ascending by id.
+func (w *Word) MemUses() []int {
+	set := map[int]bool{}
+	for i := range w.Ops {
+		for _, v := range w.Ops[i].Uses() {
+			set[v.ID] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ArrayOps counts the dynamic array accesses (loads + stores) in the word.
+func (w *Word) ArrayOps() int {
+	n := 0
+	for i := range w.Ops {
+		if w.Ops[i].Op == ir.Load || w.Ops[i].Op == ir.Store {
+			n++
+		}
+	}
+	return n
+}
+
+// Program is a scheduled function.
+type Program struct {
+	F          *ir.Func
+	Config     Config
+	Words      []Word
+	BlockStart []int // first word index of each block (next block's start when empty)
+	RegionOf   []int // region id per word (from natural-loop regions)
+}
+
+// Schedule packs f into long instruction words under cfg.
+func Schedule(f *ir.Func, cfg Config) (*Program, error) {
+	if cfg.Modules < 2 || cfg.Units < 1 {
+		return nil, fmt.Errorf("sched: need at least 2 modules and 1 unit, got %+v", cfg)
+	}
+	if cfg.Modules > 64 {
+		return nil, fmt.Errorf("sched: %d modules exceeds the 64-module limit of the allocation bitsets", cfg.Modules)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: invalid input: %v", err)
+	}
+	regs := dfa.BuildCFG(f).FindRegions()
+
+	// Stamp program order so same-word commits stay deterministic.
+	seq := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			b.Instrs[i].Seq = seq
+			seq++
+		}
+	}
+
+	p := &Program{F: f, Config: cfg, BlockStart: make([]int, len(f.Blocks)+1)}
+	for _, b := range f.Blocks {
+		p.BlockStart[b.ID] = len(p.Words)
+		words, err := scheduleBlock(b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range words {
+			p.Words = append(p.Words, w)
+			p.RegionOf = append(p.RegionOf, regs.Of[b.ID])
+		}
+	}
+	p.BlockStart[len(f.Blocks)] = len(p.Words)
+	// Empty blocks start where the next block starts.
+	for b := len(f.Blocks) - 1; b >= 0; b-- {
+		if p.BlockStart[b] > p.BlockStart[b+1] {
+			p.BlockStart[b] = p.BlockStart[b+1]
+		}
+	}
+	return p, nil
+}
+
+// scheduleBlock list-schedules one basic block.
+func scheduleBlock(b *ir.Block, cfg Config) ([]Word, error) {
+	n := len(b.Instrs)
+	if n == 0 {
+		return nil, nil
+	}
+	// Per-op distinct memory uses must fit in a word at all.
+	memUse := make([][]int, n)
+	for i := range b.Instrs {
+		set := map[int]bool{}
+		for _, v := range b.Instrs[i].Uses() {
+			set[v.ID] = true
+		}
+		for id := range set {
+			memUse[i] = append(memUse[i], id)
+		}
+		sort.Ints(memUse[i])
+		if len(memUse[i]) > cfg.Modules {
+			return nil, fmt.Errorf("sched: op %q needs %d operand fetches but the machine has %d modules",
+				b.Instrs[i].String(), len(memUse[i]), cfg.Modules)
+		}
+	}
+
+	succs := dependenceDAG(b)
+
+	// Critical-path heights.
+	height := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		h := 0
+		for _, s := range succs[i] {
+			if height[s]+1 > h {
+				h = height[s] + 1
+			}
+		}
+		height[i] = h
+	}
+
+	// Indegrees.
+	indeg := make([]int, n)
+	for _, ss := range succs {
+		for _, s := range ss {
+			indeg[s]++
+		}
+	}
+
+	isBranch := func(i int) bool { return b.Instrs[i].Op.IsBranch() }
+
+	scheduled := make([]bool, n)
+	nScheduled := 0
+	var words []Word
+	for nScheduled < n {
+		// Ready ops: all predecessors issued in EARLIER words.
+		var ready []int
+		for i := 0; i < n; i++ {
+			if !scheduled[i] && indeg[i] == 0 {
+				ready = append(ready, i)
+			}
+		}
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("sched: dependence cycle in block b%d", b.ID)
+		}
+		// Highest critical path first; the block terminator only issues
+		// when everything else has (control must leave the block last).
+		sort.SliceStable(ready, func(x, y int) bool {
+			bx, by := isBranch(ready[x]), isBranch(ready[y])
+			if bx != by {
+				return by // non-branches first
+			}
+			if height[ready[x]] != height[ready[y]] {
+				return height[ready[x]] > height[ready[y]]
+			}
+			return ready[x] < ready[y]
+		})
+
+		w := Word{Block: b.ID}
+		wordUses := map[int]bool{}
+		var issued []int
+		for _, i := range ready {
+			if len(w.Ops) >= cfg.Units {
+				break
+			}
+			if isBranch(i) && nScheduled+len(issued) != n-1 {
+				continue // branch waits for the rest of the block
+			}
+			// Count additional distinct fetches this op needs.
+			extra := 0
+			for _, id := range memUse[i] {
+				if !wordUses[id] {
+					extra++
+				}
+			}
+			if len(wordUses)+extra > cfg.Modules {
+				continue
+			}
+			for _, id := range memUse[i] {
+				wordUses[id] = true
+			}
+			w.Ops = append(w.Ops, b.Instrs[i])
+			issued = append(issued, i)
+		}
+		if len(issued) == 0 {
+			return nil, fmt.Errorf("sched: cannot issue any ready op in block b%d", b.ID)
+		}
+		for _, i := range issued {
+			scheduled[i] = true
+			nScheduled++
+			for _, s := range succs[i] {
+				indeg[s]--
+			}
+		}
+		words = append(words, w)
+	}
+	return words, nil
+}
+
+// dependenceDAG builds the intra-block dependence successors: flow, anti
+// and output dependences on scalar values, plus ordering of accesses to the
+// same array. Array accesses whose indices are provably different affine
+// expressions (see accessForms) are disambiguated; the rest are ordered
+// conservatively.
+func dependenceDAG(b *ir.Block) [][]int {
+	n := len(b.Instrs)
+	succs := make([][]int, n)
+	edge := func(from, to int) {
+		if from == to {
+			return
+		}
+		for _, s := range succs[from] {
+			if s == to {
+				return
+			}
+		}
+		succs[from] = append(succs[from], to)
+	}
+
+	forms := accessForms(b)
+
+	lastDef := map[int]int{}    // value id -> instr index
+	lastUses := map[int][]int{} // value id -> instr indices since last def
+	stores := map[int][]int{}   // array id -> store instr indices
+	loads := map[int][]int{}    // array id -> load instr indices
+
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		for _, u := range in.Uses() {
+			if d, ok := lastDef[u.ID]; ok {
+				edge(d, i) // flow
+			}
+			lastUses[u.ID] = append(lastUses[u.ID], i)
+		}
+		if d := in.Def(); d != nil && d.IsMem() {
+			if prev, ok := lastDef[d.ID]; ok {
+				edge(prev, i) // output
+			}
+			for _, u := range lastUses[d.ID] {
+				edge(u, i) // anti
+			}
+			lastDef[d.ID] = i
+			lastUses[d.ID] = nil
+		}
+		switch in.Op {
+		case ir.Load:
+			for _, s := range stores[in.Arr.ID] {
+				if !independentAccesses(forms, s, i) {
+					edge(s, i) // store -> load (flow through memory)
+				}
+			}
+			loads[in.Arr.ID] = append(loads[in.Arr.ID], i)
+		case ir.Store:
+			for _, s := range stores[in.Arr.ID] {
+				if !independentAccesses(forms, s, i) {
+					edge(s, i) // store -> store (output)
+				}
+			}
+			for _, l := range loads[in.Arr.ID] {
+				if !independentAccesses(forms, l, i) {
+					edge(l, i) // load -> store (anti)
+				}
+			}
+			stores[in.Arr.ID] = append(stores[in.Arr.ID], i)
+		}
+	}
+	return succs
+}
+
+// Instructions converts the word stream to the operand-set form consumed by
+// memory-module assignment.
+func (p *Program) Instructions() []conflict.Instruction {
+	out := make([]conflict.Instruction, len(p.Words))
+	for i := range p.Words {
+		out[i] = conflict.Instruction(p.Words[i].MemUses())
+	}
+	return out
+}
+
+// NumOps counts the operations across all words (the sequential baseline
+// executes them one per cycle).
+func (p *Program) NumOps() int {
+	n := 0
+	for i := range p.Words {
+		n += len(p.Words[i].Ops)
+	}
+	return n
+}
+
+// String renders the schedule for debugging.
+func (p *Program) String() string {
+	s := fmt.Sprintf("schedule of %s (%d words, %d ops):\n", p.F.Name, len(p.Words), p.NumOps())
+	cur := -1
+	for i := range p.Words {
+		if p.Words[i].Block != cur {
+			cur = p.Words[i].Block
+			s += fmt.Sprintf("b%d:\n", cur)
+		}
+		s += fmt.Sprintf("  w%d:", i)
+		for j := range p.Words[i].Ops {
+			s += "  [" + p.Words[i].Ops[j].String() + "]"
+		}
+		s += "\n"
+	}
+	return s
+}

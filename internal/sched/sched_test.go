@@ -1,0 +1,331 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"parmem/internal/ir"
+	"parmem/internal/lang"
+)
+
+func compile(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	f, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// checkSchedule verifies the fundamental schedule invariants: every source
+// op appears exactly once, resource limits hold, dependences are respected
+// within each block, and branches terminate their block's word sequence.
+func checkSchedule(t *testing.T, f *ir.Func, p *Program) {
+	t.Helper()
+	cfg := p.Config
+
+	total := 0
+	for _, w := range p.Words {
+		total += len(w.Ops)
+		if len(w.Ops) > cfg.Units {
+			t.Fatalf("word exceeds %d units: %d ops", cfg.Units, len(w.Ops))
+		}
+		if got := len(w.MemUses()); got > cfg.Modules {
+			t.Fatalf("word fetches %d values, limit %d", got, cfg.Modules)
+		}
+	}
+	if total != f.NumInstrs() {
+		t.Fatalf("scheduled %d ops, function has %d", total, f.NumInstrs())
+	}
+
+	// Within each block: defs precede uses across words; a def never shares
+	// a word with a use of the same value or a later redefinition.
+	byBlock := map[int][]Word{}
+	for _, w := range p.Words {
+		byBlock[w.Block] = append(byBlock[w.Block], w)
+	}
+	for blk, words := range byBlock {
+		defWord := map[int]int{}
+		for wi, w := range words {
+			for _, op := range w.Ops {
+				for _, u := range op.Uses() {
+					if dw, ok := defWord[u.ID]; ok && dw >= wi {
+						t.Fatalf("b%d: value %s used in word %d but defined in word %d", blk, u.Name, wi, dw)
+					}
+				}
+			}
+			for _, op := range w.Ops {
+				if d := op.Def(); d != nil && d.IsMem() {
+					defWord[d.ID] = wi
+				}
+			}
+		}
+		// Branch must be in the final word of the block.
+		for wi, w := range words {
+			for _, op := range w.Ops {
+				if op.Op.IsBranch() && wi != len(words)-1 {
+					t.Fatalf("b%d: branch in word %d of %d", blk, wi, len(words))
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleStraightLine(t *testing.T) {
+	f := compile(t, `program p; var a, b, c, d: int;
+begin a := 1; b := 2; c := a + b; d := a * b; end`)
+	p, err := Schedule(f, Config{Modules: 8, Units: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, f, p)
+	// a:=1 and b:=2 are independent: they must share the first word.
+	if len(p.Words[0].Ops) < 2 {
+		t.Fatalf("independent ops not packed: word0 = %v", p.Words[0].Ops)
+	}
+}
+
+func TestScheduleRespectsFlowDeps(t *testing.T) {
+	f := compile(t, `program p; var a, b: int; begin a := 1; b := a + 1; end`)
+	p, err := Schedule(f, DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, f, p)
+	if len(p.Words) < 2 {
+		t.Fatalf("dependent chain packed into %d words", len(p.Words))
+	}
+}
+
+func TestScheduleUnitsLimit(t *testing.T) {
+	f := compile(t, `program p; var a, b, c, d, e: int;
+begin a := 1; b := 2; c := 3; d := 4; e := 5; end`)
+	p, err := Schedule(f, Config{Modules: 8, Units: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, f, p)
+	if len(p.Words) < 3 {
+		t.Fatalf("5 independent ops, 2 units: want >=3 words, got %d", len(p.Words))
+	}
+}
+
+func TestScheduleModulesLimit(t *testing.T) {
+	// Sums of disjoint pairs: each op fetches 2 distinct values; with only
+	// 2 modules a word carries at most one such op.
+	f := compile(t, `program p; var a, b, c, d, s, u: int;
+begin s := a + b; u := c + d; end`)
+	p, err := Schedule(f, Config{Modules: 2, Units: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, f, p)
+	// Lowering yields: t=a+b; s=t; t'=c+d; u=t'; ret. The two adds each
+	// need 2 fetches so they cannot share a word; the movs can.
+	if len(p.Words) != 3 {
+		t.Fatalf("want 3 words under 2-module limit, got %d:\n%s", len(p.Words), p)
+	}
+}
+
+func TestScheduleSharedOperandBroadcast(t *testing.T) {
+	// Both ops read a and b: the fetches are shared, so one word suffices
+	// even with 2 modules.
+	f := compile(t, `program p; var a, b, s, u: int;
+begin s := a + b; u := a - b; end`)
+	p, err := Schedule(f, Config{Modules: 2, Units: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, f, p)
+	// Both adds fit the first word because a and b are fetched once and
+	// broadcast; the movs and ret follow.
+	if len(p.Words) != 2 || len(p.Words[0].Ops) != 2 {
+		t.Fatalf("shared operands must broadcast:\n%s", p)
+	}
+}
+
+func TestScheduleArrayOrdering(t *testing.T) {
+	// A store followed by a load of the same element must stay ordered.
+	f := compile(t, `program p; var a, b: array[8] of int; var x, y: int;
+begin a[1] := 1; x := a[1]; y := b[2]; end`)
+	p, err := Schedule(f, DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, f, p)
+	// Find word indices of the store to a and load from a.
+	storeW, loadW := -1, -1
+	for wi, w := range p.Words {
+		for _, op := range w.Ops {
+			if op.Op == ir.Store && op.Arr.Name == "a" {
+				storeW = wi
+			}
+			if op.Op == ir.Load && op.Arr.Name == "a" {
+				loadW = wi
+			}
+		}
+	}
+	if storeW == -1 || loadW == -1 || storeW >= loadW {
+		t.Fatalf("store word %d must precede load word %d:\n%s", storeW, loadW, p)
+	}
+}
+
+func TestScheduleDisambiguatesConstantIndices(t *testing.T) {
+	// a[0] and a[1] are provably different elements: the store and load
+	// may share a word.
+	f := compile(t, `program p; var a: array[8] of int; var x: int;
+begin a[0] := 1; x := a[1]; end`)
+	p, err := Schedule(f, DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, f, p)
+	storeW, loadW := -1, -1
+	for wi, w := range p.Words {
+		for _, op := range w.Ops {
+			if op.Op == ir.Store {
+				storeW = wi
+			}
+			if op.Op == ir.Load {
+				loadW = wi
+			}
+		}
+	}
+	if storeW != loadW {
+		t.Fatalf("disjoint elements should pack together: store w%d, load w%d:\n%s", storeW, loadW, p)
+	}
+}
+
+func TestScheduleDisambiguatesAffineIndices(t *testing.T) {
+	// a[i] and a[i+1] are provably different; a[i] and a[j] are not.
+	f := compile(t, `program p; var a: array[8] of int; var i, j, x, y: int;
+begin a[i] := 1; x := a[i+1]; y := a[j]; end`)
+	p, err := Schedule(f, DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, f, p)
+	var storeW, loadPlus1W, loadJW int
+	for wi, w := range p.Words {
+		for _, op := range w.Ops {
+			switch {
+			case op.Op == ir.Store:
+				storeW = wi
+			case op.Op == ir.Load && op.Dst.Name[0] == 't' && loadPlus1W == 0 && wi >= storeW:
+				// first load in program order is a[i+1]
+				loadPlus1W = wi
+			}
+		}
+	}
+	// The a[j] load must come strictly after the store (may-alias).
+	for wi, w := range p.Words {
+		for _, op := range w.Ops {
+			if op.Op == ir.Load && op.Index != nil && op.Index.Name == "j" {
+				loadJW = wi
+			}
+		}
+	}
+	if loadJW <= storeW {
+		t.Fatalf("a[j] may alias a[i]; it must follow the store:\n%s", p)
+	}
+	_ = loadPlus1W
+}
+
+func TestScheduleControlFlow(t *testing.T) {
+	f := compile(t, `program p; var x, s: int;
+begin
+  x := 5;
+  while x > 0 do
+    s := s + x;
+    x := x - 1;
+  end
+end`)
+	p, err := Schedule(f, DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, f, p)
+	// BlockStart is monotone and covers all words.
+	for b := 0; b < len(f.Blocks); b++ {
+		if p.BlockStart[b] > p.BlockStart[b+1] {
+			t.Fatalf("BlockStart not monotone at %d: %v", b, p.BlockStart)
+		}
+	}
+	if p.BlockStart[len(f.Blocks)] != len(p.Words) {
+		t.Fatal("BlockStart sentinel mismatch")
+	}
+	if len(p.RegionOf) != len(p.Words) {
+		t.Fatal("RegionOf length mismatch")
+	}
+	// Loop body words carry a nonzero region.
+	hasLoopRegion := false
+	for _, r := range p.RegionOf {
+		hasLoopRegion = hasLoopRegion || r > 0
+	}
+	if !hasLoopRegion {
+		t.Fatal("no word assigned to the loop region")
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	f := compile(t, "program p; var x: int; begin x := 1; end")
+	if _, err := Schedule(f, Config{Modules: 1, Units: 1}); err == nil {
+		t.Fatal("1 module must be rejected")
+	}
+	if _, err := Schedule(f, Config{Modules: 4, Units: 0}); err == nil {
+		t.Fatal("0 units must be rejected")
+	}
+}
+
+func TestInstructionsConversion(t *testing.T) {
+	f := compile(t, `program p; var a, b, s: int; begin s := a + b; end`)
+	p, err := Schedule(f, DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs := p.Instructions()
+	if len(instrs) != len(p.Words) {
+		t.Fatal("one conflict.Instruction per word")
+	}
+	if len(instrs[0]) != 2 {
+		t.Fatalf("first word fetches a and b: %v", instrs[0])
+	}
+}
+
+func TestNumOpsAndString(t *testing.T) {
+	f := compile(t, `program p; var a, b: int; begin a := 1; b := a + 2; end`)
+	p, err := Schedule(f, DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumOps() != f.NumInstrs() {
+		t.Fatalf("NumOps = %d, want %d", p.NumOps(), f.NumInstrs())
+	}
+	s := p.String()
+	if !strings.Contains(s, "w0:") || !strings.Contains(s, "b0:") {
+		t.Fatalf("String output missing markers:\n%s", s)
+	}
+}
+
+func TestSchedulePacksWideWhenIndependent(t *testing.T) {
+	// Eight independent stores of constants: with 8 units and no operand
+	// fetches (constants are immediates) everything fits in very few words.
+	f := compile(t, `program p; var a, b, c, d, e, g, h, i: int;
+begin a := 1; b := 2; c := 3; d := 4; e := 5; g := 6; h := 7; i := 8; end`)
+	p, err := Schedule(f, Config{Modules: 8, Units: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, f, p)
+	// One full word of 8 moves plus the final ret word.
+	if len(p.Words) != 2 || len(p.Words[0].Ops) != 8 {
+		t.Fatalf("8 independent constant moves should fill one word (plus ret), got:\n%s", p)
+	}
+}
+
+func TestScheduleRejectsTooManyModules(t *testing.T) {
+	f := compile(t, "program p; var x: int; begin x := 1; end")
+	if _, err := Schedule(f, Config{Modules: 65, Units: 1}); err == nil {
+		t.Fatal("65 modules must be rejected (allocation bitsets are 64-wide)")
+	}
+}

@@ -1,0 +1,219 @@
+// Package stats implements the paper's analytic model of memory conflicts
+// caused by array references (§3, Table 2).
+//
+// For every dynamic word the simulator records which modules the scalar
+// fetches used (conflict-free by construction) and how many array accesses
+// the word performed. Array elements are assumed uniformly distributed over
+// the k modules, so the word's fetch time is Δ times the maximum per-module
+// access count. The package computes
+//
+//	t_min — every array access conflict-free: Δ per memory word;
+//	t_ave — the expectation Σ i·Δ·p(i) with p(i) the exact probability of
+//	        maximum load i under uniform placement;
+//	t_max — all arrays stored in the single worst memory module.
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"parmem/internal/machine"
+)
+
+// MaxLoadDist returns the distribution of the maximum per-module access
+// count for one word: the listed scalar modules carry one access each, and
+// arrayOps further accesses land independently and uniformly on the k
+// modules. Entry i of the result is P(max load == i). k must be >= 1 and
+// the scalar modules distinct and within range.
+func MaxLoadDist(k int, scalarMods []int, arrayOps int) []float64 {
+	if k < 1 {
+		panic("stats: k must be >= 1")
+	}
+	offset := make([]int, k)
+	for _, m := range scalarMods {
+		if m < 0 || m >= k {
+			panic(fmt.Sprintf("stats: scalar module %d out of range [0,%d)", m, k))
+		}
+		if offset[m] != 0 {
+			panic(fmt.Sprintf("stats: scalar module %d listed twice", m))
+		}
+		offset[m] = 1
+	}
+	maxLoad := arrayOps + 1 // worst case: all arrays plus a scalar on one module
+
+	// weight[used][m] = number of ball-to-bin sequences (partial, over the
+	// bins processed so far) with `used` balls placed and max load m.
+	weight := make([][]float64, arrayOps+1)
+	for u := range weight {
+		weight[u] = make([]float64, maxLoad+1)
+	}
+	weight[0][0] = 1
+
+	// Pascal triangle for C(n, c).
+	choose := make([][]float64, arrayOps+1)
+	for n := 0; n <= arrayOps; n++ {
+		choose[n] = make([]float64, n+1)
+		choose[n][0] = 1
+		for c := 1; c <= n; c++ {
+			choose[n][c] = choose[n-1][c-1]
+			if c <= n-1 {
+				choose[n][c] += choose[n-1][c]
+			}
+		}
+	}
+
+	for bin := 0; bin < k; bin++ {
+		next := make([][]float64, arrayOps+1)
+		for u := range next {
+			next[u] = make([]float64, maxLoad+1)
+		}
+		for used := 0; used <= arrayOps; used++ {
+			for m := 0; m <= maxLoad; m++ {
+				w := weight[used][m]
+				if w == 0 {
+					continue
+				}
+				for c := 0; used+c <= arrayOps; c++ {
+					load := c + offset[bin]
+					nm := m
+					if load > nm {
+						nm = load
+					}
+					next[used+c][nm] += w * choose[arrayOps-used][c]
+				}
+			}
+		}
+		weight = next
+	}
+
+	total := 1.0
+	for i := 0; i < arrayOps; i++ {
+		total *= float64(k)
+	}
+	dist := make([]float64, maxLoad+1)
+	for m := 0; m <= maxLoad; m++ {
+		dist[m] = weight[arrayOps][m] / total
+	}
+	return dist
+}
+
+// ExpectedMaxLoad returns E[max per-module load] for one word shape.
+func ExpectedMaxLoad(k int, scalarMods []int, arrayOps int) float64 {
+	e := 0.0
+	for i, p := range MaxLoadDist(k, scalarMods, arrayOps) {
+		e += float64(i) * p
+	}
+	return e
+}
+
+// Times holds the three transfer-time figures of Table 2, in units of Δ.
+type Times struct {
+	TMin, TAve, TMax float64
+}
+
+// RatioAve returns t_ave/t_min (a Table 2 column).
+func (t Times) RatioAve() float64 {
+	if t.TMin == 0 {
+		return 1
+	}
+	return t.TAve / t.TMin
+}
+
+// RatioMax returns t_max/t_min (a Table 2 column).
+func (t Times) RatioMax() float64 {
+	if t.TMin == 0 {
+		return 1
+	}
+	return t.TMax / t.TMin
+}
+
+// Analyze computes Table 2's times from a run's dynamic word profiles.
+//
+// t_min charges one Δ per memory word (no array conflicts). t_ave uses the
+// exact expected maximum load under uniform array placement. t_max assumes
+// every array access causes a conflict — all of a word's array accesses and
+// one scalar serialize on a single module, which is what happens when all
+// arrays are allocated from the same memory module (the paper's worst
+// case). t_max is therefore a per-word upper bound of any placement.
+func Analyze(profiles map[string]*machine.Profile, k int) Times {
+	var t Times
+	// Deterministic iteration (map order is random).
+	keys := make([]string, 0, len(profiles))
+	for key := range profiles {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	for _, key := range keys {
+		pr := profiles[key]
+		n := float64(pr.Count)
+		t.TMin += n
+		t.TAve += n * ExpectedMaxLoad(k, pr.ScalarModules, pr.ArrayOps)
+		worst := pr.ArrayOps
+		if len(pr.ScalarModules) > 0 {
+			worst++
+		}
+		if worst < 1 {
+			worst = 1
+		}
+		t.TMax += n * float64(worst)
+	}
+	return t
+}
+
+// PofI returns the aggregate probability distribution p(i) of an
+// instruction requiring i operands from the same module, weighted over the
+// dynamic words of a run — the distribution in the paper's t_ave formula.
+func PofI(profiles map[string]*machine.Profile, k int) []float64 {
+	var total float64
+	acc := []float64{}
+	keys := make([]string, 0, len(profiles))
+	for key := range profiles {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		pr := profiles[key]
+		dist := MaxLoadDist(k, pr.ScalarModules, pr.ArrayOps)
+		for i, p := range dist {
+			for len(acc) <= i {
+				acc = append(acc, 0)
+			}
+			acc[i] += float64(pr.Count) * p
+		}
+		total += float64(pr.Count)
+	}
+	if total > 0 {
+		for i := range acc {
+			acc[i] /= total
+		}
+	}
+	return acc
+}
+
+// MonteCarloMaxLoad estimates E[max load] by sampling; used to cross-check
+// the exact DP in tests and experiments.
+func MonteCarloMaxLoad(k int, scalarMods []int, arrayOps, samples int, seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	base := make([]int, k)
+	for _, m := range scalarMods {
+		base[m] = 1
+	}
+	sum := 0.0
+	load := make([]int, k)
+	for s := 0; s < samples; s++ {
+		copy(load, base)
+		for a := 0; a < arrayOps; a++ {
+			load[r.Intn(k)]++
+		}
+		max := 0
+		for _, c := range load {
+			if c > max {
+				max = c
+			}
+		}
+		sum += float64(max)
+	}
+	return sum / float64(samples)
+}

@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parmem/internal/machine"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMaxLoadDistNoArrays(t *testing.T) {
+	// Only scalars: max load is exactly 1 (scalars are conflict-free).
+	d := MaxLoadDist(4, []int{0, 2}, 0)
+	if !almost(d[1], 1, 1e-12) {
+		t.Fatalf("dist = %v, want all mass at 1", d)
+	}
+}
+
+func TestMaxLoadDistNoAccesses(t *testing.T) {
+	d := MaxLoadDist(4, nil, 0)
+	if !almost(d[0], 1, 1e-12) {
+		t.Fatalf("dist = %v, want all mass at 0", d)
+	}
+}
+
+func TestMaxLoadDistOneArrayNoScalars(t *testing.T) {
+	// One array access alone: max load always 1.
+	d := MaxLoadDist(8, nil, 1)
+	if !almost(d[1], 1, 1e-12) {
+		t.Fatalf("dist = %v", d)
+	}
+}
+
+func TestMaxLoadDistOneArrayOneScalar(t *testing.T) {
+	// One scalar on module 0, one uniform array access over k=4:
+	// collision probability 1/4 -> max 2; else max 1.
+	d := MaxLoadDist(4, []int{0}, 1)
+	if !almost(d[1], 0.75, 1e-12) || !almost(d[2], 0.25, 1e-12) {
+		t.Fatalf("dist = %v, want [_, .75, .25]", d)
+	}
+}
+
+func TestMaxLoadDistTwoArrays(t *testing.T) {
+	// Two uniform accesses over k=2, no scalars: P(max=2) = P(same bin) =
+	// 1/2, P(max=1) = 1/2.
+	d := MaxLoadDist(2, nil, 2)
+	if !almost(d[1], 0.5, 1e-12) || !almost(d[2], 0.5, 1e-12) {
+		t.Fatalf("dist = %v", d)
+	}
+}
+
+func TestMaxLoadDistSumsToOne(t *testing.T) {
+	d := MaxLoadDist(8, []int{1, 3, 5}, 4)
+	sum := 0.0
+	for _, p := range d {
+		sum += p
+	}
+	if !almost(sum, 1, 1e-9) {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestMaxLoadDistPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("k=0", func() { MaxLoadDist(0, nil, 1) })
+	mustPanic("module out of range", func() { MaxLoadDist(2, []int{5}, 1) })
+	mustPanic("duplicate module", func() { MaxLoadDist(4, []int{1, 1}, 1) })
+}
+
+// Property: the exact DP agrees with Monte Carlo within sampling error.
+func TestExactMatchesMonteCarloProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		k := 2 + int(uint64(seed)%7)
+		arr := int(uint64(seed)/7) % 5
+		var scal []int
+		for m := 0; m < k; m += 2 {
+			scal = append(scal, m)
+		}
+		exact := ExpectedMaxLoad(k, scal, arr)
+		mc := MonteCarloMaxLoad(k, scal, arr, 60000, seed)
+		return almost(exact, mc, 0.03)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkProfiles(entries []machine.Profile) map[string]*machine.Profile {
+	out := map[string]*machine.Profile{}
+	for i := range entries {
+		out[string(rune('a'+i))] = &entries[i]
+	}
+	return out
+}
+
+func TestAnalyzeScalarOnly(t *testing.T) {
+	// Scalar-only program: no array conflicts, all ratios 1.
+	times := Analyze(mkProfiles([]machine.Profile{
+		{ScalarModules: []int{0, 1}, ArrayOps: 0, Count: 100},
+	}), 4)
+	if times.TMin != 100 || !almost(times.TAve, 100, 1e-9) || times.TMax != 100 {
+		t.Fatalf("times = %+v", times)
+	}
+	if !almost(times.RatioAve(), 1, 1e-12) || !almost(times.RatioMax(), 1, 1e-12) {
+		t.Fatalf("ratios = %v %v", times.RatioAve(), times.RatioMax())
+	}
+}
+
+func TestAnalyzeArrayWord(t *testing.T) {
+	// 100 words, each with one scalar fetch on module 0 and one array
+	// access, k = 4. t_min = 100; t_ave = 100 * (1 + 1/4) = 125;
+	// t_max: arrays in module 0 -> every word costs 2 -> 200.
+	times := Analyze(mkProfiles([]machine.Profile{
+		{ScalarModules: []int{0}, ArrayOps: 1, Count: 100},
+	}), 4)
+	if times.TMin != 100 {
+		t.Fatalf("tmin = %v", times.TMin)
+	}
+	if !almost(times.TAve, 125, 1e-9) {
+		t.Fatalf("tave = %v, want 125", times.TAve)
+	}
+	if !almost(times.TMax, 200, 1e-9) {
+		t.Fatalf("tmax = %v, want 200", times.TMax)
+	}
+}
+
+func TestAnalyzeWorstCasePerWord(t *testing.T) {
+	// Every array access conflicts in the worst case: each word costs
+	// arrayOps + 1 (the colliding scalar) regardless of which module the
+	// scalars use.
+	times := Analyze(mkProfiles([]machine.Profile{
+		{ScalarModules: []int{0}, ArrayOps: 1, Count: 90},
+		{ScalarModules: []int{1}, ArrayOps: 2, Count: 10},
+	}), 4)
+	if !almost(times.TMax, 90*2+10*3, 1e-9) {
+		t.Fatalf("tmax = %v, want 210", times.TMax)
+	}
+	// Array-only words cost arrayOps in the worst case.
+	t2 := Analyze(mkProfiles([]machine.Profile{
+		{ScalarModules: nil, ArrayOps: 3, Count: 10},
+	}), 4)
+	if !almost(t2.TMax, 30, 1e-9) {
+		t.Fatalf("tmax = %v, want 30", t2.TMax)
+	}
+}
+
+func TestAnalyzeEmptyProfile(t *testing.T) {
+	times := Analyze(map[string]*machine.Profile{}, 8)
+	if times.TMin != 0 || times.TAve != 0 || times.TMax != 0 {
+		t.Fatalf("times = %+v", times)
+	}
+	if times.RatioAve() != 1 || times.RatioMax() != 1 {
+		t.Fatal("ratios of an empty profile default to 1")
+	}
+}
+
+func TestPofI(t *testing.T) {
+	p := PofI(mkProfiles([]machine.Profile{
+		{ScalarModules: []int{0}, ArrayOps: 1, Count: 100},
+	}), 4)
+	// P(1) = 3/4, P(2) = 1/4.
+	if !almost(p[1], 0.75, 1e-12) || !almost(p[2], 0.25, 1e-12) {
+		t.Fatalf("p = %v", p)
+	}
+	sum := 0.0
+	for _, x := range p {
+		sum += x
+	}
+	if !almost(sum, 1, 1e-9) {
+		t.Fatalf("p sums to %v", sum)
+	}
+}
+
+// Property: t_min <= t_ave <= t_max for any profile mix.
+func TestTimesOrderedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int((r >> 33) % int64(n))
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		k := 2 + next(7)
+		var entries []machine.Profile
+		for i := 0; i < 1+next(5); i++ {
+			used := map[int]bool{}
+			var scal []int
+			for j := 0; j < next(k); j++ {
+				m := next(k)
+				if !used[m] {
+					used[m] = true
+					scal = append(scal, m)
+				}
+			}
+			arr := next(4)
+			if len(scal) == 0 && arr == 0 {
+				arr = 1 // the machine only profiles words with >= 1 access
+			}
+			entries = append(entries, machine.Profile{
+				ScalarModules: scal,
+				ArrayOps:      arr,
+				Count:         int64(1 + next(100)),
+			})
+		}
+		times := Analyze(mkProfiles(entries), k)
+		return times.TMin <= times.TAve+1e-9 && times.TAve <= times.TMax+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Analyze's t_ave equals the expectation implied by PofI.
+func TestAnalyzeConsistentWithPofI(t *testing.T) {
+	profiles := mkProfiles([]machine.Profile{
+		{ScalarModules: []int{0, 2}, ArrayOps: 2, Count: 40},
+		{ScalarModules: []int{1}, ArrayOps: 1, Count: 25},
+		{ScalarModules: nil, ArrayOps: 3, Count: 10},
+	})
+	k := 4
+	times := Analyze(profiles, k)
+	p := PofI(profiles, k)
+	total := 0.0
+	for _, pr := range profiles {
+		total += float64(pr.Count)
+	}
+	expected := 0.0
+	for i, prob := range p {
+		expected += float64(i) * prob
+	}
+	if !almost(times.TAve, expected*total, 1e-6) {
+		t.Fatalf("t_ave = %v, PofI expectation * words = %v", times.TAve, expected*total)
+	}
+}

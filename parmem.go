@@ -1,0 +1,221 @@
+// Package parmem reproduces "Compile-time Techniques for Efficient
+// Utilization of Parallel Memories" (Gupta & Soffa, PPOPP 1988): a compiler
+// that assigns scalar data values to the parallel memory modules of a
+// lock-step LIW machine so that the operands of every long instruction can
+// be fetched without memory access conflicts, duplicating values across
+// modules only when a conflict-free single-copy assignment does not exist.
+//
+// The pipeline is:
+//
+//	MPL source ──lang──▶ three-address IR ──dfa──▶ renamed IR (webs)
+//	  ──sched──▶ long instruction words ──assign──▶ storage allocation
+//	  ──machine──▶ cycle-accurate execution + conflict statistics
+//
+// Compile runs the whole front half and returns a Program; Program.Run
+// simulates it. The experiment drivers (Table1, Table2, Speedups) regenerate
+// the paper's evaluation.
+package parmem
+
+import (
+	"fmt"
+
+	"parmem/internal/assign"
+	"parmem/internal/conflict"
+	"parmem/internal/dfa"
+	"parmem/internal/duplication"
+	"parmem/internal/ir"
+	"parmem/internal/lang"
+	"parmem/internal/machine"
+	"parmem/internal/memory"
+	optpass "parmem/internal/opt"
+	"parmem/internal/sched"
+	"parmem/internal/stats"
+)
+
+// Re-exported types: the public API surface of the internal packages.
+type (
+	// Strategy scopes the conflict graph (STOR1, STOR2, STOR3).
+	Strategy = assign.Strategy
+	// Method selects the duplication algorithm.
+	Method = assign.Method
+	// Allocation is a complete storage assignment of values to modules.
+	Allocation = assign.Allocation
+	// Copies maps value ids to the set of modules storing them.
+	Copies = duplication.Copies
+	// Layout routes array element accesses to modules.
+	Layout = memory.Layout
+	// Result is a simulation outcome.
+	Result = machine.Result
+	// RunOptions configures a simulation.
+	RunOptions = machine.Options
+	// Times holds the t_min/t_ave/t_max transfer times of Table 2.
+	Times = stats.Times
+	// Instruction is the operand set of one long instruction word.
+	Instruction = conflict.Instruction
+)
+
+// Strategies and methods of the paper.
+const (
+	STOR1 = assign.STOR1
+	STOR2 = assign.STOR2
+	STOR3 = assign.STOR3
+	// PerRegion is the per-region alternative §2 mentions (no global stage).
+	PerRegion = assign.PerRegion
+
+	HittingSet = assign.HittingSet
+	Backtrack  = assign.Backtrack
+)
+
+// Layout constructors.
+func InterleavedLayout(k int) Layout { return memory.Interleaved{K: k} }
+func SingleModuleLayout(m int) Layout {
+	return memory.SingleModule{M: m}
+}
+func SkewedLayout(k int) Layout { return memory.Skewed{K: k} }
+
+// Options configures compilation.
+type Options struct {
+	// Modules is the number of parallel memory modules (k); default 8.
+	Modules int
+	// Units is the number of lock-step functional units; default Modules.
+	Units int
+	// Strategy scopes the conflict graph; default STOR1.
+	Strategy Strategy
+	// Method picks the duplication algorithm; default HittingSet.
+	Method Method
+	// Groups is STOR3's instruction-group count; default 2.
+	Groups int
+	// DisableAtoms skips clique-separator decomposition (ablation).
+	DisableAtoms bool
+	// DisableRenaming skips web-based renaming (ablation; the paper notes
+	// renaming improves results).
+	DisableRenaming bool
+	// Unroll unrolls counted loops by this factor before lowering (0 or 1
+	// disables). Unrolling is MPL's stand-in for the RLIW compiler's
+	// region scheduling: it exposes cross-iteration parallelism to the
+	// word scheduler. Loops of at most 2*Unroll iterations unroll fully.
+	Unroll int
+	// Optimize runs constant folding, copy propagation and dead-temporary
+	// elimination on the IR before renaming and scheduling. Fewer
+	// surviving temporaries mean a smaller conflict graph.
+	Optimize bool
+	// IfConvert turns short, fault-free conditionals into straight-line
+	// blend arithmetic before lowering, removing basic-block boundaries
+	// that would otherwise drain the instruction word.
+	IfConvert bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Modules == 0 {
+		o.Modules = 8
+	}
+	if o.Units == 0 {
+		o.Units = o.Modules
+	}
+	return o
+}
+
+// Program is a fully compiled and allocated MPL program, ready to simulate.
+type Program struct {
+	// Func is the (renamed) IR.
+	Func *ir.Func
+	// Sched is the long-instruction-word schedule.
+	Sched *sched.Program
+	// Alloc is the storage allocation.
+	Alloc Allocation
+	// Opt records the options used.
+	Opt Options
+
+	aprog assign.Program
+}
+
+// Compile parses, lowers, renames, schedules and allocates MPL source.
+func Compile(src string, opt Options) (*Program, error) {
+	opt = opt.withDefaults()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Unroll >= 2 {
+		lang.Unroll(ast, opt.Unroll, 2*opt.Unroll)
+	}
+	if opt.IfConvert {
+		lang.IfConvert(ast, 0)
+	}
+	f, err := lang.Lower(ast)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Optimize {
+		optpass.Run(f)
+	}
+	if !opt.DisableRenaming {
+		dfa.Rename(f)
+	}
+	sp, err := sched.Schedule(f, sched.Config{Modules: opt.Modules, Units: opt.Units})
+	if err != nil {
+		return nil, err
+	}
+	cfg := dfa.BuildCFG(f)
+	regs := cfg.FindRegions()
+	aprog := assign.Program{
+		Instrs:   sp.Instructions(),
+		RegionOf: sp.RegionOf,
+		Global:   dfa.GlobalValues(f, regs),
+	}
+	al, err := assign.Assign(aprog, assign.Options{
+		K:            opt.Modules,
+		Strategy:     opt.Strategy,
+		Method:       opt.Method,
+		Groups:       opt.Groups,
+		DisableAtoms: opt.DisableAtoms,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if bad := assign.Verify(aprog, al); bad != nil {
+		return nil, fmt.Errorf("parmem: allocation left %d conflicting instructions (%v)", len(bad), bad)
+	}
+	return &Program{Func: f, Sched: sp, Alloc: al, Opt: opt, aprog: aprog}, nil
+}
+
+// Run simulates the program on the LIW machine model.
+func (p *Program) Run(opt RunOptions) (*Result, error) {
+	return machine.Run(p.Sched, p.Alloc.Copies, opt)
+}
+
+// Instructions returns the operand sets of the scheduled words.
+func (p *Program) Instructions() []Instruction { return p.aprog.Instrs }
+
+// AnalyzeTimes computes the paper's t_min/t_ave/t_max model from a run.
+func (p *Program) AnalyzeTimes(res *Result) Times {
+	return stats.Analyze(res.Profiles, p.Opt.Modules)
+}
+
+// PofI returns the aggregate distribution p(i) of an instruction needing i
+// operands from one module (the paper's t_ave formula input).
+func (p *Program) PofI(res *Result) []float64 {
+	return stats.PofI(res.Profiles, p.Opt.Modules)
+}
+
+// AssignValues runs memory-module assignment directly on a list of
+// instruction operand sets — the abstract form of the paper's §2, useful
+// when the instructions come from somewhere other than the MPL compiler.
+// Values are arbitrary small integers; k is the module count.
+func AssignValues(instrs []Instruction, k int, strategy Strategy, method Method) (Allocation, error) {
+	p := assign.Program{Instrs: instrs}
+	al, err := assign.Assign(p, assign.Options{K: k, Strategy: strategy, Method: method})
+	if err != nil {
+		return Allocation{}, err
+	}
+	if bad := assign.Verify(p, al); bad != nil {
+		return Allocation{}, fmt.Errorf("parmem: allocation left conflicts in instructions %v", bad)
+	}
+	return al, nil
+}
+
+// ConflictFree reports whether the operand set can be fetched in one cycle
+// under the given allocation.
+func ConflictFree(operands []int, copies Copies) bool {
+	return duplication.ConflictFree(operands, copies)
+}

@@ -1,0 +1,255 @@
+package parmem
+
+import (
+	"strings"
+	"testing"
+)
+
+const quick = `
+program quick;
+var a, b, c: int;
+begin
+  a := 2;
+  b := 3;
+  c := a * b + a;
+end
+`
+
+func TestCompileAndRun(t *testing.T) {
+	p, err := Compile(quick, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Opt.Modules != 8 || p.Opt.Units != 8 {
+		t.Fatalf("defaults not applied: %+v", p.Opt)
+	}
+	res, err := p.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := res.Scalar("c")
+	if !ok || c != 8 {
+		t.Fatalf("c = %v, want 8", c)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("nonsense", Options{}); err == nil {
+		t.Fatal("bad source must fail")
+	}
+	if _, err := Compile(quick, Options{Modules: 1}); err == nil {
+		t.Fatal("1 module must fail")
+	}
+}
+
+func TestAllocationExposed(t *testing.T) {
+	p, err := Compile(quick, Options{Modules: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Alloc.SingleCopy+p.Alloc.MultiCopy == 0 {
+		t.Fatal("no values allocated")
+	}
+	if len(p.Instructions()) == 0 {
+		t.Fatal("no instructions exposed")
+	}
+}
+
+func TestOptionsVariants(t *testing.T) {
+	for _, opt := range []Options{
+		{Strategy: STOR2},
+		{Strategy: STOR3, Groups: 3},
+		{Method: Backtrack},
+		{DisableAtoms: true},
+		{DisableRenaming: true},
+		{Modules: 4, Units: 2},
+	} {
+		p, err := Compile(quick, opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		res, err := p.Run(RunOptions{})
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		if c, _ := res.Scalar("c"); c != 8 {
+			t.Fatalf("%+v: c = %v, want 8", opt, c)
+		}
+	}
+}
+
+func TestAnalyzeTimesAndPofI(t *testing.T) {
+	src, err := BenchmarkSource("FFT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(src, Options{Modules: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := p.AnalyzeTimes(res)
+	if !(times.TMin <= times.TAve && times.TAve <= times.TMax) {
+		t.Fatalf("times not ordered: %+v", times)
+	}
+	pof := p.PofI(res)
+	sum := 0.0
+	for _, x := range pof {
+		sum += x
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("p(i) sums to %v", sum)
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	names := Benchmarks()
+	want := []string{"TAYLOR1", "TAYLOR2", "EXACT", "FFT", "SORT", "COLOR"}
+	if len(names) != len(want) {
+		t.Fatalf("benchmarks = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("benchmarks = %v, want %v", names, want)
+		}
+	}
+	if _, err := BenchmarkSource("NOPE"); err == nil {
+		t.Fatal("unknown benchmark must fail")
+	}
+}
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	rows, err := Table1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6*3 {
+		t.Fatalf("rows = %d, want 18", len(rows))
+	}
+	// The paper's headline: with STOR1, almost no duplication is needed
+	// (at most one value per program was replicated in the paper).
+	var stor1Multi, stor2Multi, stor3Multi int
+	for _, r := range rows {
+		switch r.Strategy {
+		case STOR1:
+			stor1Multi += r.MultiCopy
+		case STOR2:
+			stor2Multi += r.MultiCopy
+		case STOR3:
+			stor3Multi += r.MultiCopy
+		}
+	}
+	if stor1Multi > 2 {
+		t.Fatalf("STOR1 total multi-copy = %d; the paper finds almost none", stor1Multi)
+	}
+	// Restricted graphs duplicate at least as much in aggregate.
+	if stor2Multi < stor1Multi || stor3Multi < stor1Multi {
+		t.Fatalf("restricted strategies should duplicate >= STOR1: %d/%d/%d",
+			stor1Multi, stor2Multi, stor3Multi)
+	}
+	out := FormatTable1(rows)
+	for _, name := range Benchmarks() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("formatted table missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable2ShapeMatchesPaper(t *testing.T) {
+	rows, err := Table2([]int{8, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6*2 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		// Ratios are >= 1 and bounded: the paper reports 1.02-1.20 ave and
+		// up to 1.38 max; our workloads differ but the shape must hold —
+		// modest average degradation, larger worst case.
+		if r.RatioAve < 1.0 || r.RatioMax < r.RatioAve {
+			t.Fatalf("%s/k=%d: ratios out of order: %+v", r.Program, r.K, r)
+		}
+		if r.RatioAve > 2.5 {
+			t.Fatalf("%s/k=%d: average ratio %f unreasonably high", r.Program, r.K, r.RatioAve)
+		}
+	}
+	// Smaller k suffers equal or more average conflicts for each program.
+	byProg := map[string]map[int]Table2Row{}
+	for _, r := range rows {
+		if byProg[r.Program] == nil {
+			byProg[r.Program] = map[int]Table2Row{}
+		}
+		byProg[r.Program][r.K] = r
+	}
+	worse := 0
+	for _, m := range byProg {
+		if m[4].RatioAve >= m[8].RatioAve-1e-9 {
+			worse++
+		}
+	}
+	if worse < 4 {
+		t.Fatalf("k=4 should generally conflict more than k=8; held for only %d/6 programs", worse)
+	}
+	out := FormatTable2(rows, []int{8, 4})
+	if !strings.Contains(out, "FFT") {
+		t.Fatalf("formatted table missing FFT:\n%s", out)
+	}
+}
+
+func TestSpeedupsMatchPaperRange(t *testing.T) {
+	rows, err := Speedups(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The paper reports 64%-300% speedup (1.64x-4x). Require at least
+		// parallel benefit on every benchmark.
+		if r.Speedup <= 1.0 {
+			t.Fatalf("%s: speedup %.2f", r.Program, r.Speedup)
+		}
+	}
+	if out := FormatSpeedups(rows); !strings.Contains(out, "SORT") {
+		t.Fatalf("formatted speedups missing SORT:\n%s", out)
+	}
+}
+
+func TestLayoutConstructors(t *testing.T) {
+	if InterleavedLayout(8).ModuleOf(0, 9) != 1 {
+		t.Fatal("interleaved")
+	}
+	if SingleModuleLayout(3).ModuleOf(7, 100) != 3 {
+		t.Fatal("single")
+	}
+	if m := SkewedLayout(8).ModuleOf(1, 10); m < 0 || m >= 8 {
+		t.Fatal("skewed range")
+	}
+}
+
+func TestWidthSweep(t *testing.T) {
+	rows, err := WidthSweep("FFT", []int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Wider machines are never slower on FFT.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Speedup < rows[i-1].Speedup-0.05 {
+			t.Fatalf("speedup regressed with width: %+v", rows)
+		}
+	}
+	if out := FormatWidthSweep(rows); !strings.Contains(out, "FFT") {
+		t.Fatalf("format:\n%s", out)
+	}
+	if _, err := WidthSweep("NOPE", []int{4}); err == nil {
+		t.Fatal("unknown benchmark must fail")
+	}
+}

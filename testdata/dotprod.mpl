@@ -1,0 +1,14 @@
+-- Dot product of two 32-element vectors.
+program dotprod;
+var dot: float;
+var a, b: array[32] of float;
+begin
+  for i := 0 to 31 do
+    a[i] := i * 0.5;
+    b[i] := 32 - i;
+  end
+  dot := 0.0;
+  for i := 0 to 31 do
+    dot := dot + a[i] * b[i];
+  end
+end

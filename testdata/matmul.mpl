@@ -1,0 +1,21 @@
+-- 6x6 integer matrix multiply, row-major in flat arrays.
+program matmul;
+var a, b, c: array[36] of int;
+var acc: int;
+begin
+  for i := 0 to 5 do
+    for j := 0 to 5 do
+      a[i*6+j] := i + 2*j + 1;
+      b[i*6+j] := 3*i - j + 2;
+    end
+  end
+  for i := 0 to 5 do
+    for j := 0 to 5 do
+      acc := 0;
+      for k := 0 to 5 do
+        acc := acc + a[i*6+k] * b[k*6+j];
+      end
+      c[i*6+j] := acc;
+    end
+  end
+end

@@ -1,0 +1,14 @@
+-- Newton iteration for square roots of 1..8, stored in a table.
+program newton;
+var roots: array[8] of float;
+var x, target: float;
+begin
+  for n := 0 to 7 do
+    target := n + 1;
+    x := target;
+    for it := 0 to 9 do
+      x := (x + target / x) / 2.0;
+    end
+    roots[n] := x;
+  end
+end

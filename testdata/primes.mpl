@@ -1,0 +1,24 @@
+-- Sieve of Eratosthenes: count primes below 100.
+program primes;
+var sieve: array[100] of int;
+var count, p: int;
+begin
+  for i := 0 to 99 do
+    sieve[i] := 1;
+  end
+  sieve[0] := 0;
+  sieve[1] := 0;
+  p := 2;
+  while p * p < 100 do
+    if sieve[p] = 1 then
+      for m := 2 to (99 / p) do
+        sieve[m * p] := 0;
+      end
+    end
+    p := p + 1;
+  end
+  count := 0;
+  for i := 0 to 99 do
+    count := count + sieve[i];
+  end
+end

@@ -1,0 +1,96 @@
+package parmem
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSamplePrograms compiles and runs every MPL file under testdata/ and
+// checks its result against an independently computed expectation.
+func TestSamplePrograms(t *testing.T) {
+	expect := map[string]func(t *testing.T, res *Result){
+		"dotprod.mpl": func(t *testing.T, res *Result) {
+			want := 0.0
+			for i := 0; i < 32; i++ {
+				want += float64(i) * 0.5 * float64(32-i)
+			}
+			got, ok := res.Scalar("dot")
+			if !ok || math.Abs(got-want) > 1e-9 {
+				t.Fatalf("dot = %v, want %v", got, want)
+			}
+		},
+		"matmul.mpl": func(t *testing.T, res *Result) {
+			a := func(i, j int) int { return i + 2*j + 1 }
+			b := func(i, j int) int { return 3*i - j + 2 }
+			c, ok := res.Array("c")
+			if !ok {
+				t.Fatal("c missing")
+			}
+			for i := 0; i < 6; i++ {
+				for j := 0; j < 6; j++ {
+					want := 0
+					for k := 0; k < 6; k++ {
+						want += a(i, k) * b(k, j)
+					}
+					if int(c[i*6+j]) != want {
+						t.Fatalf("c[%d][%d] = %v, want %d", i, j, c[i*6+j], want)
+					}
+				}
+			}
+		},
+		"primes.mpl": func(t *testing.T, res *Result) {
+			got, ok := res.Scalar("count")
+			if !ok || got != 25 {
+				t.Fatalf("count = %v, want 25 primes below 100", got)
+			}
+		},
+		"newton.mpl": func(t *testing.T, res *Result) {
+			roots, ok := res.Array("roots")
+			if !ok {
+				t.Fatal("roots missing")
+			}
+			for n := 0; n < 8; n++ {
+				want := math.Sqrt(float64(n + 1))
+				if math.Abs(roots[n]-want) > 1e-9 {
+					t.Fatalf("sqrt(%d) = %v, want %v", n+1, roots[n], want)
+				}
+			}
+		},
+	}
+
+	files, err := filepath.Glob("testdata/*.mpl")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		name := filepath.Base(file)
+		check, ok := expect[name]
+		if !ok {
+			t.Fatalf("testdata program %s has no expectation registered", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, opt := range []Options{
+				{Modules: 8},
+				{Modules: 8, Unroll: 4, Optimize: true, IfConvert: true},
+				{Modules: 4, Strategy: STOR3},
+			} {
+				p, err := Compile(string(src), opt)
+				if err != nil {
+					t.Fatalf("%+v: %v", opt, err)
+				}
+				res, err := p.Run(RunOptions{})
+				if err != nil {
+					t.Fatalf("%+v: %v", opt, err)
+				}
+				check(t, res)
+			}
+		})
+	}
+}
