@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test check race vet bench tables
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: static analysis plus the full suite under the race
+# detector.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+tables:
+	$(GO) run ./cmd/parmem-tables

@@ -233,7 +233,7 @@ func BenchmarkBacktrackScaling(b *testing.B) {
 			b.ResetTimer()
 			var res duplication.Result
 			for i := 0; i < b.N; i++ {
-				res = duplication.Backtrack(in)
+				res, _ = duplication.Backtrack(in)
 			}
 			b.ReportMetric(float64(res.NewCopies), "newcopies")
 		})
@@ -250,7 +250,7 @@ func BenchmarkHittingSetScaling(b *testing.B) {
 			b.ResetTimer()
 			var res duplication.Result
 			for i := 0; i < b.N; i++ {
-				res = duplication.HittingSetApproach(in)
+				res, _ = duplication.HittingSetApproach(in)
 			}
 			b.ReportMetric(float64(res.NewCopies), "newcopies")
 		})
@@ -433,14 +433,14 @@ func BenchmarkAblationMethod(b *testing.B) {
 	b.Run("backtrack", func(b *testing.B) {
 		var res duplication.Result
 		for i := 0; i < b.N; i++ {
-			res = duplication.Backtrack(in)
+			res, _ = duplication.Backtrack(in)
 		}
 		b.ReportMetric(float64(res.Copies.TotalCopies()), "copies")
 	})
 	b.Run("hittingset", func(b *testing.B) {
 		var res duplication.Result
 		for i := 0; i < b.N; i++ {
-			res = duplication.HittingSetApproach(in)
+			res, _ = duplication.HittingSetApproach(in)
 		}
 		b.ReportMetric(float64(res.Copies.TotalCopies()), "copies")
 	})
@@ -609,7 +609,7 @@ func BenchmarkAblationExactDuplication(b *testing.B) {
 		unassigned = unassigned[:4] // keep the exhaustive search tractable
 	}
 	in := duplication.Input{Instrs: instrs, Assigned: assigned, Unassigned: unassigned, K: 3}
-	algos := map[string]func(duplication.Input) duplication.Result{
+	algos := map[string]func(duplication.Input) (duplication.Result, error){
 		"exact":      duplication.ExactMinCopies,
 		"hittingset": duplication.HittingSetApproach,
 		"backtrack":  duplication.Backtrack,
@@ -618,7 +618,7 @@ func BenchmarkAblationExactDuplication(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var res duplication.Result
 			for i := 0; i < b.N; i++ {
-				res = algos[name](in)
+				res, _ = algos[name](in)
 			}
 			b.ReportMetric(float64(res.Copies.TotalCopies()), "copies")
 		})

@@ -10,9 +10,14 @@
 //	parmem-tables -table 2   only Table 2
 //	parmem-tables -speedup   only the speed-up report
 //	parmem-tables -figures   only the worked figures
+//
+// -timeout bounds the whole regeneration with a context deadline. Exit
+// codes: 0 success, 1 failure, 4 canceled (timeout).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +27,13 @@ import (
 	"parmem/internal/conflict"
 )
 
+// Exit codes. 2 is reserved (flag parse errors use it), 3 means a
+// budget-degraded run elsewhere in the suite (parmemc).
+const (
+	exitFailure  = 1
+	exitCanceled = 4
+)
+
 func main() {
 	var (
 		table   = flag.Int("table", 0, "print only this table (1 or 2)")
@@ -29,11 +41,19 @@ func main() {
 		figures = flag.Bool("figures", false, "print only the worked figures")
 		sweep   = flag.String("sweep", "", "width-sweep this benchmark across k = 2..16")
 		k       = flag.Int("k", 8, "memory modules for Table 1 and speed-ups")
+		timeout = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 disables)")
 	)
 	flag.Parse()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *sweep != "" {
-		rows, err := parmem.WidthSweep(*sweep, []int{2, 4, 8, 16})
+		rows, err := parmem.WidthSweep(ctx, *sweep, []int{2, 4, 8, 16})
 		if err != nil {
 			fatal(err)
 		}
@@ -43,21 +63,21 @@ func main() {
 	}
 	all := *table == 0 && !*speedup && !*figures
 	if all || *table == 1 {
-		printTable1(*k)
+		printTable1(ctx, *k)
 	}
 	if all || *table == 2 {
-		printTable2()
+		printTable2(ctx)
 	}
 	if all || *speedup {
-		printSpeedups(*k)
+		printSpeedups(ctx, *k)
 	}
 	if all || *figures {
 		printFigures()
 	}
 }
 
-func printTable1(k int) {
-	rows, err := parmem.Table1(k)
+func printTable1(ctx context.Context, k int) {
+	rows, err := parmem.Table1(ctx, k)
 	if err != nil {
 		fatal(err)
 	}
@@ -67,9 +87,9 @@ func printTable1(k int) {
 	fmt.Println()
 }
 
-func printTable2() {
+func printTable2(ctx context.Context) {
 	ks := []int{8, 4}
-	rows, err := parmem.Table2(ks)
+	rows, err := parmem.Table2(ctx, ks)
 	if err != nil {
 		fatal(err)
 	}
@@ -80,8 +100,8 @@ func printTable2() {
 	fmt.Println()
 }
 
-func printSpeedups(k int) {
-	rows, err := parmem.Speedups(k)
+func printSpeedups(ctx context.Context, k int) {
+	rows, err := parmem.Speedups(ctx, k)
 	if err != nil {
 		fatal(err)
 	}
@@ -151,5 +171,8 @@ func maxValue(instrs []conflict.Instruction) int {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "parmem-tables:", err)
-	os.Exit(1)
+	if errors.Is(err, parmem.ErrCanceled) {
+		os.Exit(exitCanceled)
+	}
+	os.Exit(exitFailure)
 }

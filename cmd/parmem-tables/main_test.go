@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -53,5 +54,25 @@ func TestTablesSpeedup(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "speedup") {
 		t.Fatalf("missing speedup column:\n%s", out)
+	}
+}
+
+// TestTablesTimeoutExitCode: an immediate timeout exits with the
+// dedicated canceled code 4.
+func TestTablesTimeoutExitCode(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := exec.Command(bin, "-timeout", "1ns", "-table", "1").CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected failure, got:\n%s", out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("not an exit error: %v", err)
+	}
+	if ee.ExitCode() != exitCanceled {
+		t.Fatalf("exit = %d, want %d\n%s", ee.ExitCode(), exitCanceled, out)
+	}
+	if !strings.Contains(string(out), "canceled") {
+		t.Fatalf("output missing cancellation notice:\n%s", out)
 	}
 }

@@ -9,16 +9,31 @@
 //	parmemc [flags] -bench TAYLOR1  compile a built-in benchmark
 //
 // Flags select output: -dump-ir, -dump-sched, -dump-alloc, -dump-conflicts,
-// -run, -stats.
+// -run, -stats. Robustness flags: -timeout bounds the whole run with a
+// context deadline, -budget-nodes caps the backtracking search, and
+// -max-cycles caps simulation length.
+//
+// Exit codes: 0 success, 1 failure, 3 success but the allocator degraded
+// to a fallback method (budget exhausted), 4 canceled (timeout).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"parmem"
+)
+
+// Exit codes. 2 is reserved (flag parse errors use it).
+const (
+	exitFailure  = 1
+	exitDegraded = 3
+	exitCanceled = 4
 )
 
 func main() {
@@ -40,8 +55,18 @@ func main() {
 		run       = flag.Bool("run", false, "execute on the simulated machine")
 		trace     = flag.Bool("trace", false, "with -run: print each executed word")
 		showStats = flag.Bool("stats", false, "print allocation and execution statistics")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 disables)")
+		nodes     = flag.Int64("budget-nodes", 0, "backtracking node budget (0 = default, -1 = unlimited)")
+		maxCycles = flag.Int64("max-cycles", 0, "with -run: abort after this many machine cycles (0 disables)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	src, name, err := readSource(*benchName, flag.Args())
 	if err != nil {
@@ -49,6 +74,8 @@ func main() {
 	}
 
 	opt := parmem.Options{
+		Ctx:             ctx,
+		Budget:          parmem.Budget{MaxBacktrackNodes: *nodes, MaxCycles: *maxCycles},
 		Modules:         *modules,
 		Units:           *units,
 		Unroll:          *unroll,
@@ -102,6 +129,19 @@ func main() {
 			name, p.Alloc.SingleCopy+p.Alloc.MultiCopy, p.Alloc.SingleCopy,
 			p.Alloc.MultiCopy, p.Alloc.TotalCopies, len(p.Sched.Words), p.Alloc.Atoms)
 	}
+	if *showStats {
+		for _, ph := range p.Alloc.Phases {
+			line := fmt.Sprintf("phase %-16s method=%s nodes=%d elapsed=%s",
+				ph.Phase, ph.Method, ph.Nodes, ph.Elapsed.Round(time.Microsecond))
+			if ph.Fallback != "" {
+				line += " fallback=" + ph.Fallback
+			}
+			fmt.Println(line)
+		}
+	}
+	if p.Alloc.Degraded {
+		fmt.Fprintln(os.Stderr, "parmemc: warning: duplication budget exhausted; allocation degraded to a fallback method")
+	}
 	if *run {
 		ropt := parmem.RunOptions{}
 		if *trace {
@@ -116,6 +156,9 @@ func main() {
 			res.DynamicWords, res.DynamicOps, res.Cycles, res.Stalls, res.Speedup())
 		fmt.Printf("transfer times: t_min=%.0f t_ave=%.1f t_max=%.0f (ave/min %.2f, max/min %.2f)\n",
 			times.TMin, times.TAve, times.TMax, times.RatioAve(), times.RatioMax())
+	}
+	if p.Alloc.Degraded {
+		os.Exit(exitDegraded)
 	}
 }
 
@@ -166,5 +209,8 @@ func printAlloc(p *parmem.Program) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "parmemc:", err)
-	os.Exit(1)
+	if errors.Is(err, parmem.ErrCanceled) {
+		os.Exit(exitCanceled)
+	}
+	os.Exit(exitFailure)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -111,5 +112,72 @@ func TestCLITrace(t *testing.T) {
 	}
 	if !strings.Contains(out, "w0 b0") {
 		t.Fatalf("missing trace output:\n%s", out)
+	}
+}
+
+// exitCode extracts the process exit code from run's error.
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("not an exit error: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+// TestCLIDegradedExitCode: a one-node backtracking budget on a program
+// that needs replication must still succeed, report the fallback in
+// -stats, warn, and exit with the dedicated degraded code 3.
+func TestCLIDegradedExitCode(t *testing.T) {
+	bin := buildCLI(t)
+	src := `program tri;
+var a, b, c, s: int;
+begin
+  a := 1; b := 2; c := 3;
+  s := a + b;
+  s := s + (b + c);
+  s := s + (a + c);
+end`
+	file := filepath.Join(t.TempDir(), "tri.mpl")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, bin, "-k", "2", "-method", "backtrack", "-budget-nodes", "1", "-stats", file)
+	if code := exitCode(t, err); code != exitDegraded {
+		t.Fatalf("exit = %d, want %d\n%s", code, exitDegraded, out)
+	}
+	for _, want := range []string{"fallback=", "degraded"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLITimeoutExitCode: an immediate timeout aborts with the canceled
+// exit code 4.
+func TestCLITimeoutExitCode(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := run(t, bin, "-timeout", "1ns", "-bench", "FFT")
+	if code := exitCode(t, err); code != exitCanceled {
+		t.Fatalf("exit = %d, want %d\n%s", code, exitCanceled, out)
+	}
+	if !strings.Contains(out, "canceled") {
+		t.Fatalf("output missing cancellation notice:\n%s", out)
+	}
+}
+
+// TestCLICycleBudget: exceeding -max-cycles is a failed run (exit 1), not
+// a degraded one.
+func TestCLICycleBudget(t *testing.T) {
+	bin := buildCLI(t)
+	out, err := run(t, bin, "-bench", "SORT", "-run", "-max-cycles", "3")
+	if code := exitCode(t, err); code != exitFailure {
+		t.Fatalf("exit = %d, want %d\n%s", code, exitFailure, out)
+	}
+	if !strings.Contains(out, "budget exhausted") {
+		t.Fatalf("output missing budget error:\n%s", out)
 	}
 }

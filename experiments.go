@@ -1,6 +1,7 @@
 package parmem
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,12 +39,14 @@ type Table1Row struct {
 
 // Table1 reproduces the paper's Table 1: for each benchmark and each
 // storage strategy, how many scalar data values needed one copy and how
-// many needed several. k is the module count (the paper uses 8).
-func Table1(k int) ([]Table1Row, error) {
-	var rows []Table1Row
+// many needed several. k is the module count (the paper uses 8). A
+// canceled ctx aborts with an error wrapping ErrCanceled; internal panics
+// come back as *InternalError.
+func Table1(ctx context.Context, k int) (rows []Table1Row, err error) {
+	defer recoverPhase("table1", &err)
 	for _, spec := range benchprog.All() {
 		for _, strat := range []Strategy{STOR1, STOR2, STOR3} {
-			p, err := Compile(spec.Source, Options{Modules: k, Strategy: strat})
+			p, err := Compile(spec.Source, Options{Modules: k, Strategy: strat, Ctx: ctx})
 			if err != nil {
 				return nil, fmt.Errorf("table1: %s/%v: %w", spec.Name, strat, err)
 			}
@@ -102,11 +105,11 @@ type Table2Row struct {
 // Table2 reproduces the paper's Table 2: the predicted average and worst
 // case increase in memory transfer time caused by array accesses, for each
 // benchmark, at each machine size in ks (the paper uses 8 and 4).
-func Table2(ks []int) ([]Table2Row, error) {
-	var rows []Table2Row
+func Table2(ctx context.Context, ks []int) (rows []Table2Row, err error) {
+	defer recoverPhase("table2", &err)
 	for _, spec := range benchprog.All() {
 		for _, k := range ks {
-			p, err := Compile(spec.Source, Options{Modules: k})
+			p, err := Compile(spec.Source, Options{Modules: k, Ctx: ctx})
 			if err != nil {
 				return nil, fmt.Errorf("table2: %s/k=%d: %w", spec.Name, k, err)
 			}
@@ -178,10 +181,10 @@ type SpeedupRow struct {
 // unrolling, scalar optimization and if-conversion — the stand-ins for the
 // RLIW compiler's region scheduling, which the paper's 64-300% speedups
 // depend on).
-func Speedups(k int) ([]SpeedupRow, error) {
-	var rows []SpeedupRow
+func Speedups(ctx context.Context, k int) (rows []SpeedupRow, err error) {
+	defer recoverPhase("speedups", &err)
 	for _, spec := range benchprog.All() {
-		p, err := Compile(spec.Source, Options{Modules: k, Unroll: 4, Optimize: true, IfConvert: true})
+		p, err := Compile(spec.Source, Options{Modules: k, Unroll: 4, Optimize: true, IfConvert: true, Ctx: ctx})
 		if err != nil {
 			return nil, fmt.Errorf("speedups: %s: %w", spec.Name, err)
 		}
@@ -227,14 +230,14 @@ type WidthRow struct {
 // exposes: a program is run at every width in ks with the optimizing
 // pipeline. Diminishing returns show where the program's parallelism is
 // exhausted.
-func WidthSweep(name string, ks []int) ([]WidthRow, error) {
-	spec, err := benchprog.ByName(name)
-	if err != nil {
-		return nil, err
+func WidthSweep(ctx context.Context, name string, ks []int) (rows []WidthRow, err error) {
+	defer recoverPhase("widthsweep", &err)
+	spec, serr := benchprog.ByName(name)
+	if serr != nil {
+		return nil, serr
 	}
-	var rows []WidthRow
 	for _, k := range ks {
-		p, err := Compile(spec.Source, Options{Modules: k, Unroll: 4, Optimize: true, IfConvert: true})
+		p, err := Compile(spec.Source, Options{Modules: k, Unroll: 4, Optimize: true, IfConvert: true, Ctx: ctx})
 		if err != nil {
 			return nil, fmt.Errorf("widthsweep: %s/k=%d: %w", name, k, err)
 		}

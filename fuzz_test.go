@@ -9,6 +9,8 @@ package parmem
 // as a state divergence.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -226,6 +228,13 @@ func fuzzConfigs() []Options {
 		{Modules: 8, Method: Backtrack},
 		{Modules: 8, DisableRenaming: true},
 		{Modules: 8, DisableAtoms: true},
+		// Budget-starved configs: a one-node (resp. one-nanosecond) search
+		// budget forces the hitting-set / full-replication fallbacks on any
+		// phase with replication work. Degraded allocations are still
+		// conflict-free, so program behavior must not change.
+		{Modules: 8, Method: Backtrack, Budget: Budget{MaxBacktrackNodes: 1}},
+		{Modules: 4, Method: Backtrack, Strategy: STOR2, Budget: Budget{MaxBacktrackNodes: 1}},
+		{Modules: 8, Budget: Budget{MaxDuplicationTime: 1}},
 	}
 }
 
@@ -274,6 +283,38 @@ func TestDifferentialFuzz(t *testing.T) {
 					t.Fatalf("seed %d config %d (%+v): %s = %v, want %v\n%s",
 						seed, ci, opt, k, got, v, src)
 				}
+			}
+		}
+	}
+}
+
+// TestCancellationFuzz compiles random programs under contexts that cancel
+// after a varying number of polls. Every outcome must be clean: either a
+// successful compile (and run) or an error wrapping ErrCanceled — never a
+// panic, hang or corrupted result.
+func TestCancellationFuzz(t *testing.T) {
+	iters := 40
+	if testing.Short() {
+		iters = 8
+	}
+	for seed := int64(0); seed < int64(iters); seed++ {
+		g := &progGen{r: rand.New(rand.NewSource(1000 + seed))}
+		src := g.gen()
+		// Sweep the countdown so cancellation lands in different phases.
+		for _, polls := range []int64{1, 2, 3, 5, 8} {
+			ctx := &countdownCtx{Context: context.Background(), remaining: polls}
+			opt := Options{Modules: 4, Method: Backtrack, Ctx: ctx}
+			p, err := Compile(src, opt)
+			if err != nil {
+				if !errors.Is(err, ErrCanceled) {
+					t.Fatalf("seed %d polls %d: compile failed with non-cancellation error: %v\n%s",
+						seed, polls, err, src)
+				}
+				continue
+			}
+			if _, err := p.Run(RunOptions{MaxWords: 5_000_000}); err != nil && !errors.Is(err, ErrCanceled) {
+				t.Fatalf("seed %d polls %d: run failed with non-cancellation error: %v\n%s",
+					seed, polls, err, src)
 			}
 		}
 	}

@@ -20,13 +20,18 @@
 package assign
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
+	"time"
 
 	"parmem/internal/atoms"
+	"parmem/internal/budget"
 	"parmem/internal/coloring"
 	"parmem/internal/conflict"
 	"parmem/internal/duplication"
+	"parmem/internal/faultinject"
 	"parmem/internal/graph"
 )
 
@@ -96,6 +101,59 @@ type Options struct {
 	Groups int
 	// Pick is the module-choice policy used while coloring.
 	Pick coloring.PickPolicy
+	// Ctx cancels assignment between and within phases; nil means
+	// context.Background(). A canceled context aborts with an error
+	// wrapping budget.ErrCanceled.
+	Ctx context.Context
+	// Budget caps the duplication searches; the zero value applies
+	// budget.DefaultMaxBacktrackNodes. Exhaustion degrades to a cheaper
+	// strategy and marks the Allocation Degraded instead of failing.
+	Budget budget.Budget
+}
+
+// validate rejects option values that would otherwise trip internal
+// invariant panics (coloring requires K >= 1, ModSet holds at most 64
+// modules) deeper in the pipeline.
+func (opt Options) validate() error {
+	if opt.K < 1 {
+		return fmt.Errorf("assign: K = %d, need at least one memory module", opt.K)
+	}
+	if opt.K > 64 {
+		return fmt.Errorf("assign: K = %d, at most 64 memory modules are supported", opt.K)
+	}
+	if opt.Strategy < STOR1 || opt.Strategy > PerRegion {
+		return fmt.Errorf("assign: unknown strategy %d", int(opt.Strategy))
+	}
+	if opt.Method != HittingSet && opt.Method != Backtrack {
+		return fmt.Errorf("assign: unknown duplication method %d", int(opt.Method))
+	}
+	if opt.Groups < 0 {
+		return fmt.Errorf("assign: Groups = %d, must be non-negative", opt.Groups)
+	}
+	if opt.Pick != coloring.LowestIndex && opt.Pick != coloring.LeastLoaded {
+		return fmt.Errorf("assign: unknown pick policy %d", int(opt.Pick))
+	}
+	return nil
+}
+
+// PhaseReport records what one assignment phase did: how much budget it
+// consumed and whether it had to degrade to a cheaper strategy. Callers
+// and the CLI use the reports to observe budgeted runs.
+type PhaseReport struct {
+	// Phase names the pipeline stage, e.g. "stor1", "stor2/global",
+	// "stor3/group1", "region2".
+	Phase string
+	// Method is the duplication method the phase ran ("coloring" for the
+	// STOR2 global stage, which only colors).
+	Method string
+	// Nodes is the number of search-budget nodes the phase charged.
+	Nodes int64
+	// Elapsed is the wall-clock time of the phase.
+	Elapsed time.Duration
+	// Fallback names the cheaper strategy taken after budget exhaustion
+	// ("" when the primary strategy completed): "hittingset" or
+	// "fullreplication".
+	Fallback string
 }
 
 // Program is the input to assignment: the instruction stream plus the
@@ -129,27 +187,50 @@ type Allocation struct {
 	// Atoms is the number of atoms the conflict graph decomposed into
 	// (0 when decomposition is disabled), summed over phases.
 	Atoms int
+	// Degraded reports that at least one phase exhausted its budget and
+	// fell back to a cheaper strategy. The allocation is still correct
+	// (Verify-clean) — it just holds more copies than the primary strategy
+	// would have produced.
+	Degraded bool
+	// Phases reports per-phase budget consumption and fallbacks.
+	Phases []PhaseReport
 }
 
 // Assign computes a conflict-free storage allocation for p.
-func Assign(p Program, opt Options) (Allocation, error) {
-	if opt.K < 1 {
-		return Allocation{}, fmt.Errorf("assign: K = %d, need at least one memory module", opt.K)
+//
+// Assign never panics: internal invariant violations are recovered and
+// returned as a *budget.InternalError carrying the failing phase name. A
+// canceled Options.Ctx aborts within one phase boundary with an error
+// wrapping budget.ErrCanceled; an exhausted Options.Budget degrades the
+// affected phases and marks the Allocation (see Allocation.Degraded).
+func Assign(p Program, opt Options) (al Allocation, err error) {
+	st := newPhaseState()
+	st.phase = "validate"
+	defer func() {
+		if r := recover(); r != nil {
+			al = Allocation{}
+			err = &budget.InternalError{Phase: "assign/" + st.phase, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := opt.validate(); err != nil {
+		return Allocation{}, err
 	}
 	if err := conflict.Validate(p.Instrs, opt.K); err != nil {
 		return Allocation{}, err
 	}
+	st.meter = budget.NewMeter(opt.Ctx, opt.Budget.BacktrackNodes(), opt.Budget.MaxDuplicationTime)
+	if err := st.meter.Canceled(); err != nil {
+		return Allocation{}, fmt.Errorf("assign: %w", err)
+	}
 	switch opt.Strategy {
 	case STOR1:
-		return assignSTOR1(p, opt)
+		return assignSTOR1(st, p, opt)
 	case STOR2:
-		return assignSTOR2(p, opt)
+		return assignSTOR2(st, p, opt)
 	case STOR3:
-		return assignSTOR3(p, opt)
-	case PerRegion:
-		return assignPerRegion(p, opt)
+		return assignSTOR3(st, p, opt)
 	default:
-		return Allocation{}, fmt.Errorf("assign: unknown strategy %d", int(opt.Strategy))
+		return assignPerRegion(st, p, opt)
 	}
 }
 
@@ -160,6 +241,11 @@ type phaseState struct {
 	unassigned []int
 	forced     []int
 	atoms      int
+
+	meter    *budget.Meter // shared search budget across all phases
+	phase    string        // current phase name, for reports and errors
+	reports  []PhaseReport
+	degraded bool
 }
 
 func newPhaseState() *phaseState {
@@ -249,8 +335,23 @@ func (st *phaseState) colorPhase(g *graph.Graph, opt Options) (map[int]int, []in
 
 // runPhase colors the values of instrs not yet allocated and then runs the
 // duplication method, repairing residual conflicts by force-replicating
-// clashing pinned values.
-func (st *phaseState) runPhase(instrs []conflict.Instruction, g *graph.Graph, opt Options) error {
+// clashing pinned values. The phase is named for budget reports and error
+// messages; its duplication work is charged against the shared meter.
+func (st *phaseState) runPhase(name string, instrs []conflict.Instruction, g *graph.Graph, opt Options) error {
+	st.phase = name
+	faultinject.Check("assign.phase")
+	rep := PhaseReport{Phase: name, Method: opt.Method.String()}
+	phaseStart := time.Now()
+	nodes0 := st.meter.Spent()
+	defer func() {
+		rep.Nodes = st.meter.Spent() - nodes0
+		rep.Elapsed = time.Since(phaseStart)
+		st.reports = append(st.reports, rep)
+	}()
+	if err := st.meter.Canceled(); err != nil {
+		return fmt.Errorf("assign: %s: %w", name, err)
+	}
+
 	assignMap, unassigned := st.colorPhase(g, opt)
 
 	// Values already in st.copies are pinned; only newly colored values go
@@ -276,12 +377,21 @@ func (st *phaseState) runPhase(instrs []conflict.Instruction, g *graph.Graph, op
 			Unassigned: sortedKeys(st.replicable),
 			Initial:    st.copies,
 			K:          opt.K,
+			Meter:      st.meter,
 		}
 		var res duplication.Result
+		var err error
 		if opt.Method == Backtrack {
-			res = duplication.Backtrack(in)
+			res, err = duplication.Backtrack(in)
 		} else {
-			res = duplication.HittingSetApproach(in)
+			res, err = duplication.HittingSetApproach(in)
+		}
+		if err != nil {
+			return fmt.Errorf("assign: %s: %w", name, err)
+		}
+		if res.Fallback != "" {
+			rep.Fallback = res.Fallback
+			st.degraded = true
 		}
 		if len(res.Residual) == 0 {
 			st.copies = res.Copies
@@ -313,6 +423,8 @@ func (st *phaseState) finish(p Program) Allocation {
 		Unassigned: st.unassigned,
 		Forced:     st.forced,
 		Atoms:      st.atoms,
+		Degraded:   st.degraded,
+		Phases:     st.reports,
 	}
 	sort.Ints(al.Unassigned)
 	sort.Ints(al.Forced)
@@ -327,19 +439,18 @@ func (st *phaseState) finish(p Program) Allocation {
 	return al
 }
 
-func assignSTOR1(p Program, opt Options) (Allocation, error) {
-	st := newPhaseState()
+func assignSTOR1(st *phaseState, p Program, opt Options) (Allocation, error) {
 	g := conflict.Build(p.Instrs)
-	if err := st.runPhase(p.Instrs, g, opt); err != nil {
+	if err := st.runPhase("stor1", p.Instrs, g, opt); err != nil {
 		return Allocation{}, err
 	}
 	return st.finish(p), nil
 }
 
-func assignSTOR2(p Program, opt Options) (Allocation, error) {
-	st := newPhaseState()
-
+func assignSTOR2(st *phaseState, p Program, opt Options) (Allocation, error) {
 	// Stage 1: conflicts among globals only, across the whole program.
+	st.phase = "stor2/global"
+	globalStart := time.Now()
 	globalGraph := graph.New()
 	for _, in := range p.Instrs {
 		var gl []int
@@ -366,15 +477,21 @@ func assignSTOR2(p Program, opt Options) (Allocation, error) {
 		st.replicable[v] = true
 		st.unassigned = append(st.unassigned, v)
 	}
+	st.reports = append(st.reports, PhaseReport{
+		Phase: "stor2/global", Method: "coloring", Elapsed: time.Since(globalStart),
+	})
+	if err := st.meter.Canceled(); err != nil {
+		return Allocation{}, fmt.Errorf("assign: stor2/global: %w", err)
+	}
 
 	// Stage 2: one region at a time.
-	for _, idxs := range regionOrder(p) {
+	for ri, idxs := range regionOrder(p) {
 		var instrs []conflict.Instruction
 		for _, i := range idxs {
 			instrs = append(instrs, p.Instrs[i])
 		}
 		g := conflict.Build(instrs)
-		if err := st.runPhase(instrs, g, opt); err != nil {
+		if err := st.runPhase(fmt.Sprintf("stor2/region%d", ri), instrs, g, opt); err != nil {
 			return Allocation{}, err
 		}
 	}
@@ -407,27 +524,25 @@ func regionOrder(p Program) [][]int {
 // assignPerRegion allocates region by region, no global stage: like STOR2's
 // second phase alone. Values spanning regions are pinned by the first
 // region processed; later regions repair clashes by replication.
-func assignPerRegion(p Program, opt Options) (Allocation, error) {
-	st := newPhaseState()
-	for _, idxs := range regionOrder(p) {
+func assignPerRegion(st *phaseState, p Program, opt Options) (Allocation, error) {
+	for ri, idxs := range regionOrder(p) {
 		var instrs []conflict.Instruction
 		for _, i := range idxs {
 			instrs = append(instrs, p.Instrs[i])
 		}
 		g := conflict.Build(instrs)
-		if err := st.runPhase(instrs, g, opt); err != nil {
+		if err := st.runPhase(fmt.Sprintf("region%d", ri), instrs, g, opt); err != nil {
 			return Allocation{}, err
 		}
 	}
 	return st.finish(p), nil
 }
 
-func assignSTOR3(p Program, opt Options) (Allocation, error) {
+func assignSTOR3(st *phaseState, p Program, opt Options) (Allocation, error) {
 	groups := opt.Groups
 	if groups <= 0 {
 		groups = 2
 	}
-	st := newPhaseState()
 	n := len(p.Instrs)
 	for gi := 0; gi < groups; gi++ {
 		lo, hi := gi*n/groups, (gi+1)*n/groups
@@ -436,7 +551,7 @@ func assignSTOR3(p Program, opt Options) (Allocation, error) {
 		}
 		instrs := p.Instrs[lo:hi]
 		g := conflict.Build(instrs)
-		if err := st.runPhase(instrs, g, opt); err != nil {
+		if err := st.runPhase(fmt.Sprintf("stor3/group%d", gi), instrs, g, opt); err != nil {
 			return Allocation{}, err
 		}
 	}

@@ -18,7 +18,9 @@ func runSpec(t *testing.T, spec Spec, k int, strategy assign.Strategy) *machine.
 	if err != nil {
 		t.Fatalf("%s: compile: %v", spec.Name, err)
 	}
-	dfa.Rename(f)
+	if _, _, err := dfa.Rename(f); err != nil {
+		t.Fatal(err)
+	}
 	p, err := sched.Schedule(f, sched.Config{Modules: k, Units: k})
 	if err != nil {
 		t.Fatalf("%s: schedule: %v", spec.Name, err)
@@ -121,7 +123,9 @@ func TestSyntheticCompilesAndRuns(t *testing.T) {
 		if err != nil {
 			t.Fatalf("units=%d: %v", units, err)
 		}
-		dfa.Rename(f)
+		if _, _, err := dfa.Rename(f); err != nil {
+			t.Fatal(err)
+		}
 		p, err := sched.Schedule(f, sched.Config{Modules: 8, Units: 8})
 		if err != nil {
 			t.Fatal(err)

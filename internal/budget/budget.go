@@ -1,0 +1,189 @@
+// Package budget bounds the expensive phases of the compilation pipeline.
+//
+// The paper's backtracking duplication (Fig. 6) is an exhaustive placement
+// search — exponential in the worst case — and the exact colorers and
+// branch-and-bound tools share that shape. A production compiler cannot let
+// any of them run open-ended: every search gets a Budget of nodes and wall
+// clock, every loop honors context cancellation, and when a budget runs out
+// the caller degrades to a cheaper polynomial strategy instead of hanging.
+//
+// The package is a leaf: assign, duplication and machine all consume it, and
+// the parmem root re-exports its types as the public error taxonomy.
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// DefaultMaxBacktrackNodes is the search-node budget applied when
+// Budget.MaxBacktrackNodes is zero. It is far beyond what any of the
+// paper's benchmarks need (they finish in thousands of nodes) while keeping
+// the worst-case exponential search bounded to well under a second.
+const DefaultMaxBacktrackNodes = 1 << 22
+
+// Budget caps the expensive phases of one compilation. The zero value picks
+// safe defaults; explicit negative values lift a cap entirely.
+type Budget struct {
+	// MaxBacktrackNodes bounds the search nodes a duplication phase may
+	// expand, summed over all phases of one assignment (the backtracking
+	// search of Fig. 6 counts one node per recursive placement step; the
+	// hitting-set approach counts its combination and placement work in the
+	// same currency). 0 means DefaultMaxBacktrackNodes; negative means
+	// unlimited. On exhaustion the phase degrades to a cheaper strategy and
+	// the allocation is marked Degraded — it never fails.
+	MaxBacktrackNodes int64
+	// MaxDuplicationTime bounds the wall-clock time of the duplication
+	// phases of one assignment. 0 means unlimited. Exhaustion degrades
+	// exactly like node exhaustion.
+	MaxDuplicationTime time.Duration
+	// MaxCycles bounds simulated machine cycles in Run. 0 means unlimited
+	// (the simulator's MaxWords runaway guard still applies); exceeding a
+	// positive cap aborts the run with an error wrapping ErrBudget.
+	MaxCycles int64
+}
+
+// BacktrackNodes resolves the node cap: the default for 0, -1 for
+// "unlimited".
+func (b Budget) BacktrackNodes() int64 {
+	switch {
+	case b.MaxBacktrackNodes < 0:
+		return -1
+	case b.MaxBacktrackNodes == 0:
+		return DefaultMaxBacktrackNodes
+	default:
+		return b.MaxBacktrackNodes
+	}
+}
+
+// ErrCanceled reports that a context canceled compilation mid-phase.
+// Errors returned on that path wrap it: test with errors.Is.
+var ErrCanceled = errors.New("canceled")
+
+// ErrBudget reports that a phase exhausted its node, time or cycle budget.
+// Where a cheaper fallback exists the phase degrades instead of returning
+// it; it surfaces only where no correct cheaper answer exists (the
+// simulator's cycle cap).
+var ErrBudget = errors.New("budget exhausted")
+
+// InternalError is a recovered internal invariant panic. The public API
+// boundaries convert panics into *InternalError so that no call can escape
+// a panic; Phase names the pipeline stage that failed.
+type InternalError struct {
+	Phase string // pipeline stage, e.g. "compile", "assign/stor2/region1"
+	Value any    // the recovered panic value
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("parmem: internal error in %s: %v", e.Phase, e.Value)
+}
+
+// Meter charges search work against a Budget and polls for cancellation.
+// A nil *Meter is valid and meters nothing. Meters are not safe for
+// concurrent use; each compilation owns one.
+type Meter struct {
+	ctx       context.Context
+	maxNodes  int64 // <0 = unlimited
+	spent     int64
+	start     time.Time
+	deadline  time.Time // zero = no deadline
+	exhausted bool
+}
+
+// NewMeter builds a meter over ctx with the given node cap (<0 unlimited)
+// and wall-clock cap (0 unlimited). A nil ctx means context.Background().
+func NewMeter(ctx context.Context, maxNodes int64, maxTime time.Duration) *Meter {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m := &Meter{ctx: ctx, maxNodes: maxNodes, start: time.Now()}
+	if maxTime > 0 {
+		m.deadline = m.start.Add(maxTime)
+	}
+	return m
+}
+
+// CancelOnly derives a meter that still honors cancellation but has no node
+// or time cap — the degradation path must run to completion, yet a canceled
+// caller must still be able to abort it.
+func (m *Meter) CancelOnly() *Meter {
+	if m == nil {
+		return nil
+	}
+	return &Meter{ctx: m.ctx, maxNodes: -1, start: time.Now()}
+}
+
+// Spend charges n nodes. It returns nil while the budget holds, an error
+// wrapping ErrBudget once the node or time cap is exhausted, and an error
+// wrapping ErrCanceled when the context is done. The clock and the context
+// are only polled every ~1k nodes (and on the first spend), so the search
+// hot loop stays cheap.
+func (m *Meter) Spend(n int64) error {
+	if m == nil {
+		return nil
+	}
+	prev := m.spent
+	m.spent += n
+	if m.exhausted {
+		return fmt.Errorf("%w: node budget", ErrBudget)
+	}
+	if m.maxNodes >= 0 && m.spent > m.maxNodes {
+		m.exhausted = true
+		return fmt.Errorf("%w: %d search nodes", ErrBudget, m.maxNodes)
+	}
+	if prev == 0 || prev>>10 != m.spent>>10 {
+		return m.Check()
+	}
+	return nil
+}
+
+// Check polls the context and the deadline without charging nodes.
+func (m *Meter) Check() error {
+	if m == nil {
+		return nil
+	}
+	if err := m.Canceled(); err != nil {
+		return err
+	}
+	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
+		m.exhausted = true
+		return fmt.Errorf("%w: exceeded %v time budget", ErrBudget, m.deadline.Sub(m.start))
+	}
+	return nil
+}
+
+// Canceled polls only the context: it returns an error wrapping
+// ErrCanceled when the context is done and nil otherwise, regardless of
+// budget state. Phase boundaries use it to abort on cancellation while
+// letting budget exhaustion flow into the degradation path.
+func (m *Meter) Canceled() error {
+	if m == nil {
+		return nil
+	}
+	if err := m.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	return nil
+}
+
+// Spent returns the nodes charged so far.
+func (m *Meter) Spent() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.spent
+}
+
+// Elapsed returns the wall-clock time since the meter was created.
+func (m *Meter) Elapsed() time.Duration {
+	if m == nil {
+		return 0
+	}
+	return time.Since(m.start)
+}
+
+// Exhausted reports whether a node or time cap has been hit.
+func (m *Meter) Exhausted() bool { return m != nil && m.exhausted }

@@ -1,0 +1,152 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBacktrackNodesResolution(t *testing.T) {
+	if got := (Budget{}).BacktrackNodes(); got != DefaultMaxBacktrackNodes {
+		t.Fatalf("zero budget resolves to %d, want default %d", got, DefaultMaxBacktrackNodes)
+	}
+	if got := (Budget{MaxBacktrackNodes: -5}).BacktrackNodes(); got != -1 {
+		t.Fatalf("negative budget resolves to %d, want -1", got)
+	}
+	if got := (Budget{MaxBacktrackNodes: 7}).BacktrackNodes(); got != 7 {
+		t.Fatalf("explicit budget resolves to %d, want 7", got)
+	}
+}
+
+func TestNilMeterIsInert(t *testing.T) {
+	var m *Meter
+	if err := m.Spend(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Canceled(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Spent() != 0 || m.Elapsed() != 0 || m.Exhausted() {
+		t.Fatal("nil meter reported state")
+	}
+	if m.CancelOnly() != nil {
+		t.Fatal("CancelOnly of nil must stay nil")
+	}
+}
+
+func TestMeterNodeCap(t *testing.T) {
+	m := NewMeter(context.Background(), 10, 0)
+	for i := 0; i < 10; i++ {
+		if err := m.Spend(1); err != nil {
+			t.Fatalf("spend %d: %v", i, err)
+		}
+	}
+	err := m.Spend(1)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if !m.Exhausted() {
+		t.Fatal("meter not marked exhausted")
+	}
+	if m.Spent() != 11 {
+		t.Fatalf("spent = %d, want 11", m.Spent())
+	}
+	// Exhaustion is sticky.
+	if err := m.Spend(1); !errors.Is(err, ErrBudget) {
+		t.Fatalf("second overdraw: %v, want ErrBudget", err)
+	}
+}
+
+func TestMeterUnlimited(t *testing.T) {
+	m := NewMeter(context.Background(), -1, 0)
+	if err := m.Spend(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if m.Exhausted() {
+		t.Fatal("unlimited meter exhausted")
+	}
+}
+
+func TestMeterDeadline(t *testing.T) {
+	m := NewMeter(context.Background(), -1, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if err := m.Check(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	// An expired deadline is a budget matter, not a cancellation.
+	if err := m.Canceled(); err != nil {
+		t.Fatalf("Canceled() = %v, want nil", err)
+	}
+}
+
+func TestMeterCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := NewMeter(ctx, 1<<20, 0)
+	if err := m.Spend(1); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("first spend: %v, want ErrCanceled (polled on first spend)", err)
+	}
+	if err := m.Check(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Check: %v, want ErrCanceled", err)
+	}
+	if err := m.Canceled(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Canceled: %v, want ErrCanceled", err)
+	}
+}
+
+func TestCancelOnlyLiftsCapsKeepsCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := NewMeter(ctx, 1, time.Nanosecond)
+	fb := m.CancelOnly()
+	if err := fb.Spend(1 << 20); err != nil {
+		t.Fatalf("fallback meter must be uncapped: %v", err)
+	}
+	cancel()
+	if err := fb.Check(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("fallback meter must stay cancelable: %v", err)
+	}
+}
+
+func TestSpendPollsPeriodically(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := NewMeter(ctx, -1, 0)
+	if err := m.Spend(1); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// Within one 1024-node block no poll happens...
+	if err := m.Spend(1); err != nil {
+		t.Fatalf("intra-block spend polled: %v", err)
+	}
+	// ...but crossing a block boundary must observe the cancellation.
+	var err error
+	for i := 0; i < 2048 && err == nil; i++ {
+		err = m.Spend(1)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled within one poll block", err)
+	}
+}
+
+func TestInternalErrorMessage(t *testing.T) {
+	e := &InternalError{Phase: "assign/stor1", Value: "boom"}
+	msg := e.Error()
+	for _, want := range []string{"assign/stor1", "boom", "internal error"} {
+		if !contains(msg, want) {
+			t.Fatalf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"parmem/internal/faultinject"
 	"parmem/internal/graph"
 )
 
@@ -57,6 +58,7 @@ type Result struct {
 // Result.Unassigned instead of failing. Panics if opt.K < 1 (caller bug) or
 // if a precolored node has an out-of-range module.
 func GuptaSoffa(g *graph.Graph, opt Options) Result {
+	faultinject.Check("coloring.guptasoffa")
 	k := opt.K
 	if k < 1 {
 		panic(fmt.Sprintf("coloring: K = %d, need at least one module", k))

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"parmem/internal/faultinject"
 	"parmem/internal/ir"
 )
 
@@ -231,8 +232,11 @@ type defSite struct {
 // place. Each web gets a fresh ir.Value named "<var>.<n>"; single-web
 // variables keep their original value. Temps are single-definition by
 // construction and are left alone. It returns, for reporting, the number of
-// variables split and the total number of webs created.
-func Rename(f *ir.Func) (split, webs int) {
+// variables split and the total number of webs created. A non-nil error
+// means the IR is inconsistent (a definition site that was never
+// registered) and f may be partially rewritten.
+func Rename(f *ir.Func) (split, webs int, err error) {
+	faultinject.Check("dfa.rename")
 	c := BuildCFG(f)
 	n := len(f.Blocks)
 
@@ -257,7 +261,7 @@ func Rename(f *ir.Func) (split, webs int) {
 	}
 	nd := len(defs)
 	if nd == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 
 	// Reaching definitions, bitset per block.
@@ -285,7 +289,10 @@ func Rename(f *ir.Func) (split, webs int) {
 		}
 		for i, instr := range b.Instrs {
 			if d := instr.Def(); d != nil && d.Kind == ir.Var {
-				di := findDef(defIdxByVal[d.ID], defs, b.ID, i)
+				di, ok := findDef(defIdxByVal[d.ID], defs, b.ID, i)
+				if !ok {
+					return 0, 0, defNotRegistered(d, b.ID, i)
+				}
 				lastDef[d.ID] = di
 			}
 		}
@@ -400,7 +407,11 @@ func Rename(f *ir.Func) (split, webs int) {
 				for _, di := range defIdxByVal[d.ID] {
 					clr(cur, di)
 				}
-				set(cur, findDef(defIdxByVal[d.ID], defs, b.ID, i))
+				di, ok := findDef(defIdxByVal[d.ID], defs, b.ID, i)
+				if !ok {
+					return 0, 0, defNotRegistered(d, b.ID, i)
+				}
+				set(cur, di)
 			}
 		}
 	}
@@ -445,7 +456,7 @@ func Rename(f *ir.Func) (split, webs int) {
 		}
 	}
 	if len(webOf) == 0 {
-		return split, webs
+		return split, webs, nil
 	}
 
 	// Rewrite defs.
@@ -453,8 +464,11 @@ func Rename(f *ir.Func) (split, webs int) {
 		if d.idx < 0 {
 			continue
 		}
-		r := find(findDef(defIdxByVal[d.val], defs, d.block, d.idx))
-		if nv, ok := webOf[r]; ok {
+		di, ok := findDef(defIdxByVal[d.val], defs, d.block, d.idx)
+		if !ok {
+			return 0, 0, fmt.Errorf("dfa: definition of value %d at block %d op %d not registered", d.val, d.block, d.idx)
+		}
+		if nv, ok := webOf[find(di)]; ok {
 			f.Blocks[d.block].Instrs[d.idx].Dst = nv
 		}
 	}
@@ -474,17 +488,24 @@ func Rename(f *ir.Func) (split, webs int) {
 			instr.Index = nv
 		}
 	}
-	return split, webs
+	return split, webs, nil
 }
 
-// findDef locates the def index with the given site among a variable's defs.
-func findDef(cands []int, defs []defSite, block, idx int) int {
+// findDef locates the def index with the given site among a variable's
+// defs. The second result is false when the site was never registered —
+// an IR inconsistency the caller reports as an error instead of panicking.
+func findDef(cands []int, defs []defSite, block, idx int) (int, bool) {
 	for _, di := range cands {
 		if defs[di].block == block && defs[di].idx == idx {
-			return di
+			return di, true
 		}
 	}
-	panic("dfa: definition site not registered")
+	return 0, false
+}
+
+// defNotRegistered describes a definition site missing from the def table.
+func defNotRegistered(d *ir.Value, block, idx int) error {
+	return fmt.Errorf("dfa: definition of %s (id %d) at block %d op %d not registered", d.Name, d.ID, block, idx)
 }
 
 // Liveness computes live-in and live-out value-id sets per block.

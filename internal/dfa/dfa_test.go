@@ -196,7 +196,10 @@ begin
   b := x + 2;
 end`
 	f := mustCompile(t, src)
-	split, webs := Rename(f)
+	split, webs, err := Rename(f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if split != 1 {
 		t.Fatalf("split = %d, want 1 (only x)", split)
 	}
@@ -236,7 +239,9 @@ begin
 end`
 	f := mustCompile(t, src)
 	before := len(f.Values)
-	_, _ = Rename(f)
+	if _, _, err := Rename(f); err != nil {
+		t.Fatal(err)
+	}
 	if err := f.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +272,9 @@ begin
   x := y + x;
 end`
 	f := mustCompile(t, src)
-	Rename(f)
+	if _, _, err := Rename(f); err != nil {
+		t.Fatal(err)
+	}
 	if err := f.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +283,10 @@ end`
 func TestRenameIdempotentOnTemps(t *testing.T) {
 	f := mustCompile(t, "program p; var x: int; begin x := 1 + 2 * 3; end")
 	nv := len(f.Values)
-	split, webs := Rename(f)
+	split, webs, err := Rename(f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if split != 0 || webs != 0 {
 		t.Fatalf("split=%d webs=%d, want 0/0 (single def)", split, webs)
 	}

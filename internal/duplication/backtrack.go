@@ -1,9 +1,12 @@
 package duplication
 
 import (
+	"errors"
 	"sort"
 
+	"parmem/internal/budget"
 	"parmem/internal/conflict"
+	"parmem/internal/faultinject"
 )
 
 // Input bundles what both duplication strategies consume: the instruction
@@ -18,6 +21,11 @@ type Input struct {
 	// listed in Unassigned may gain further copies on top.
 	Initial Copies
 	K       int // number of memory modules
+	// Meter charges the search against a node/time budget and polls for
+	// cancellation; nil meters nothing. On budget exhaustion a strategy
+	// degrades to a cheaper one (see Result.Fallback); on cancellation it
+	// returns an error wrapping budget.ErrCanceled.
+	Meter *budget.Meter
 }
 
 // Result is the outcome of a duplication strategy.
@@ -34,6 +42,16 @@ type Result struct {
 	// NewCopies is the number of copies created beyond the first copy of
 	// each value — the quantity both strategies minimize.
 	NewCopies int
+	// NodesSpent is the number of budget nodes this call charged to the
+	// input meter.
+	NodesSpent int64
+	// Fallback names the cheaper strategy the call degraded to after
+	// exhausting its budget: "" (none), "hittingset" (Backtrack handed the
+	// remaining placements to HittingSetApproach) or "fullreplication"
+	// (remaining conflicting replicable values were copied to every
+	// module). Degraded results are still correct — they just use more
+	// copies than the primary strategy would have.
+	Fallback string
 }
 
 // baseCopies builds the initial copy table: the carried-over allocations of
@@ -103,9 +121,18 @@ func finishResult(in Input, copies Copies) Result {
 // copies are reused whenever possible. Ties are broken deterministically in
 // favor of the lexicographically first placement (the paper makes a random
 // choice).
-func Backtrack(in Input) Result {
+//
+// The search charges one budget node per recursive placement step against
+// in.Meter. When the budget runs out mid-stream the search stops cleanly
+// and the remaining placements degrade to HittingSetApproach (polynomial),
+// keeping every copy placed so far; the result is then marked with
+// Fallback "hittingset". Cancellation aborts with an error wrapping
+// budget.ErrCanceled.
+func Backtrack(in Input) (Result, error) {
+	faultinject.Check("duplication.backtrack")
 	copies := baseCopies(in)
 	repl := unassignedSet(in)
+	start := in.Meter.Spent()
 
 	type item struct {
 		idx  int
@@ -128,16 +155,41 @@ func Backtrack(in Input) Result {
 	sort.SliceStable(work, func(a, b int) bool { return work[a].nrep < work[b].nrep })
 
 	for _, it := range work {
-		placeInstruction(it.ops, copies, repl, in.K)
+		if _, err := placeInstruction(it.ops, copies, repl, in.K, in.Meter); err != nil {
+			if errors.Is(err, budget.ErrCanceled) {
+				return Result{}, err
+			}
+			// Budget exhausted: degrade. Everything placed so far is kept
+			// (it rides in via Initial); the hitting-set approach decides
+			// the rest. The fallback ignores the spent budget but still
+			// honors cancellation.
+			fb := Input{
+				Instrs:     in.Instrs,
+				Unassigned: in.Unassigned,
+				Initial:    copies,
+				K:          in.K,
+				Meter:      in.Meter.CancelOnly(),
+			}
+			res, err := HittingSetApproach(fb)
+			if err != nil {
+				return Result{}, err
+			}
+			res.Fallback = "hittingset"
+			res.NodesSpent = in.Meter.Spent() - start
+			return res, nil
+		}
 	}
-	return finishResult(in, copies)
+	res := finishResult(in, copies)
+	res.NodesSpent = in.Meter.Spent() - start
+	return res, nil
 }
 
 // placeInstruction finds the cheapest conflict-free module choice for the
 // replicable operands of one instruction and records any new copies.
 // It returns false when no conflict-free placement exists (the fixed
-// operands already clash).
-func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int) bool {
+// operands already clash). A non-nil error means the meter cut the search
+// short (budget exhausted or canceled); no copies are recorded then.
+func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int, meter *budget.Meter) (bool, error) {
 	var fixedVals, freeVals []int
 	for _, v := range ops {
 		if repl[v] {
@@ -158,7 +210,7 @@ func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int) bool {
 		}
 		m := s.Modules()[0]
 		if taken.Has(m) {
-			return false
+			return false, nil
 		}
 		taken = taken.Add(m)
 	}
@@ -169,8 +221,16 @@ func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int) bool {
 	var bestChoice []int
 	choice := make([]int, len(freeVals))
 
+	var searchErr error
 	var rec func(i int, used ModSet, cost int)
 	rec = func(i int, used ModSet, cost int) {
+		if searchErr != nil {
+			return
+		}
+		if err := meter.Spend(1); err != nil {
+			searchErr = err
+			return
+		}
 		if cost >= bestCost {
 			return
 		}
@@ -208,11 +268,14 @@ func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int) bool {
 	}
 	rec(0, taken, 0)
 
+	if searchErr != nil {
+		return false, searchErr
+	}
 	if bestChoice == nil {
-		return false
+		return false, nil
 	}
 	for j, v := range freeVals {
 		copies[v] = copies[v].Add(bestChoice[j])
 	}
-	return true
+	return true, nil
 }

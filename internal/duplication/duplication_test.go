@@ -114,10 +114,15 @@ func endToEnd(t *testing.T, instrs []conflict.Instruction, k int, hit bool) Resu
 	g := conflict.Build(instrs)
 	col := coloring.GuptaSoffa(g, coloring.Options{K: k})
 	in := Input{Instrs: instrs, Assigned: col.Assign, Unassigned: col.Unassigned, K: k}
+	run := Backtrack
 	if hit {
-		return HittingSetApproach(in)
+		run = HittingSetApproach
 	}
-	return Backtrack(in)
+	res, err := run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func checkAllFree(t *testing.T, instrs []conflict.Instruction, res Result) {
@@ -176,11 +181,14 @@ func TestFigure8(t *testing.T) {
 	assigned := map[int]int{1: 1, 2: 3, 3: 2, 5: 0}
 	in := Input{Instrs: instrs, Assigned: assigned, Unassigned: []int{4}, K: 4}
 
-	for name, f := range map[string]func(Input) Result{
+	for name, f := range map[string]func(Input) (Result, error){
 		"hitting":   HittingSetApproach,
 		"backtrack": Backtrack,
 	} {
-		res := f(in)
+		res, err := f(in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		checkAllFree(t, instrs, res)
 		if got := res.Copies[4].Count(); got != 3 {
 			t.Fatalf("%s: copies of V4 = %d (%v), want exactly 3 (paper solution 2)",
@@ -216,7 +224,10 @@ func TestFigure3(t *testing.T) {
 func TestBacktrackNoUnassigned(t *testing.T) {
 	instrs := []conflict.Instruction{{1, 2}}
 	in := Input{Instrs: instrs, Assigned: map[int]int{1: 0, 2: 1}, K: 2}
-	res := Backtrack(in)
+	res, err := Backtrack(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkAllFree(t, instrs, res)
 	if res.NewCopies != 0 {
 		t.Fatalf("NewCopies = %d, want 0", res.NewCopies)
@@ -228,7 +239,10 @@ func TestResidualDetected(t *testing.T) {
 	// stays and must be reported.
 	instrs := []conflict.Instruction{{1, 2}}
 	in := Input{Instrs: instrs, Assigned: map[int]int{1: 0, 2: 0}, K: 2}
-	res := Backtrack(in)
+	res, err := Backtrack(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Residual) != 1 || res.Residual[0] != 0 {
 		t.Fatalf("residual = %v, want [0]", res.Residual)
 	}
@@ -241,8 +255,11 @@ func TestUnusedUnassignedGetsStorage(t *testing.T) {
 		Unassigned: []int{9}, // appears in no instruction
 		K:          2,
 	}
-	for _, f := range []func(Input) Result{Backtrack, HittingSetApproach} {
-		res := f(in)
+	for _, f := range []func(Input) (Result, error){Backtrack, HittingSetApproach} {
+		res, err := f(in)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if res.Copies[9].Count() < 1 {
 			t.Fatal("unused value still needs at least one home")
 		}
@@ -370,8 +387,12 @@ func TestPipelineProperty(t *testing.T) {
 		g := conflict.Build(instrs)
 		col := coloring.GuptaSoffa(g, coloring.Options{K: k})
 		in := Input{Instrs: instrs, Assigned: col.Assign, Unassigned: col.Unassigned, K: k}
-		for _, f := range []func(Input) Result{Backtrack, HittingSetApproach} {
-			res := f(in)
+		for _, f := range []func(Input) (Result, error){Backtrack, HittingSetApproach} {
+			res, err := f(in)
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
 			if len(res.Residual) != 0 {
 				t.Logf("seed %d: residual %v", seed, res.Residual)
 				return false
@@ -413,8 +434,13 @@ func TestStrategiesDeterministicProperty(t *testing.T) {
 		g := conflict.Build(instrs)
 		col := coloring.GuptaSoffa(g, coloring.Options{K: k})
 		in := Input{Instrs: instrs, Assigned: col.Assign, Unassigned: col.Unassigned, K: k}
-		a1, a2 := Backtrack(in), Backtrack(in)
-		b1, b2 := HittingSetApproach(in), HittingSetApproach(in)
+		a1, err1 := Backtrack(in)
+		a2, err2 := Backtrack(in)
+		b1, err3 := HittingSetApproach(in)
+		b2, err4 := HittingSetApproach(in)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
 		return reflect.DeepEqual(a1, a2) && reflect.DeepEqual(b1, b2)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
@@ -434,7 +460,10 @@ func TestExactMinCopiesFig8(t *testing.T) {
 		Unassigned: []int{4},
 		K:          4,
 	}
-	res := ExactMinCopies(in)
+	res, err := ExactMinCopies(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkAllFree(t, instrs, res)
 	if res.Copies.TotalCopies() != 7 {
 		t.Fatalf("optimal total copies = %d, want 7", res.Copies.TotalCopies())
@@ -455,12 +484,22 @@ func TestExactNeverWorseThanHeuristicsProperty(t *testing.T) {
 			return true // keep the exact search tractable
 		}
 		in := Input{Instrs: instrs, Assigned: col.Assign, Unassigned: col.Unassigned, K: k}
-		exact := ExactMinCopies(in)
+		exact, err := ExactMinCopies(in)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
 		if len(exact.Residual) != 0 {
 			t.Logf("seed %d: exact left residual %v", seed, exact.Residual)
 			return false
 		}
-		for _, h := range []Result{Backtrack(in), HittingSetApproach(in)} {
+		bt, err1 := Backtrack(in)
+		hs, err2 := HittingSetApproach(in)
+		if err1 != nil || err2 != nil {
+			t.Logf("seed %d: %v %v", seed, err1, err2)
+			return false
+		}
+		for _, h := range []Result{bt, hs} {
 			if exact.Copies.TotalCopies() > h.Copies.TotalCopies() {
 				t.Logf("seed %d: exact %d > heuristic %d", seed,
 					exact.Copies.TotalCopies(), h.Copies.TotalCopies())
@@ -482,7 +521,10 @@ func TestExactInfeasibleReportsResidual(t *testing.T) {
 		Assigned: map[int]int{1: 0, 2: 0},
 		K:        2,
 	}
-	res := ExactMinCopies(in)
+	res, err := ExactMinCopies(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Residual) != 1 {
 		t.Fatalf("residual = %v, want [0]", res.Residual)
 	}
@@ -498,7 +540,10 @@ func TestExactKeepsCarriedCopies(t *testing.T) {
 		Initial:    Copies{9: ModSet(0).Add(1)},
 		K:          2,
 	}
-	res := ExactMinCopies(in)
+	res, err := ExactMinCopies(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Copies[9].Has(1) {
 		t.Fatalf("carried copy dropped: %v", res.Copies[9].Modules())
 	}

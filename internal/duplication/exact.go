@@ -1,6 +1,11 @@
 package duplication
 
-import "sort"
+import (
+	"errors"
+	"sort"
+
+	"parmem/internal/budget"
+)
 
 // ExactMinCopies finds, by branch and bound, a placement of the replicable
 // values that minimizes the total number of stored copies while making
@@ -9,11 +14,19 @@ import "sort"
 // and exists to measure the heuristics' optimality gap on small instances —
 // the paper's Fig. 3 and Fig. 8 discussions are exactly about those gaps.
 //
+// The search charges one budget node per branch step against in.Meter. On
+// budget exhaustion it returns the best placement found so far (still
+// verified conflict-free) — or the full-replication fallback when none was
+// found — marked with Fallback "incomplete": the copy count is then an
+// upper bound, not a proven minimum. Cancellation aborts with an error
+// wrapping budget.ErrCanceled.
+//
 // The result has Residual set when even full replication cannot fix an
 // instruction (clashing fixed values).
-func ExactMinCopies(in Input) Result {
+func ExactMinCopies(in Input) (Result, error) {
 	base := baseCopies(in)
 	repl := in.Unassigned
+	start := in.Meter.Spent()
 
 	// Deduplicate instruction operand sets and keep only those involving a
 	// replicable value (others are fixed and unaffected by the search).
@@ -49,8 +62,16 @@ func ExactMinCopies(in Input) Result {
 	bestCost := 1 << 30
 	var best Copies
 
+	var searchErr error
 	var rec func(idx, cost int, cur Copies)
 	rec = func(idx, cost int, cur Copies) {
+		if searchErr != nil {
+			return
+		}
+		if err := in.Meter.Spend(1); err != nil {
+			searchErr = err
+			return
+		}
 		if cost >= bestCost {
 			return
 		}
@@ -103,8 +124,12 @@ func ExactMinCopies(in Input) Result {
 	}
 	rec(0, cost0, base.Clone())
 
+	if searchErr != nil && errors.Is(searchErr, budget.ErrCanceled) {
+		return Result{}, searchErr
+	}
 	if best == nil {
-		// No feasible placement (fixed values clash); fall back to full
+		// No feasible placement (fixed values clash), or the budget ran
+		// out before the first complete placement; fall back to full
 		// replication so Residual reporting is meaningful.
 		cur := base.Clone()
 		for _, v := range repl {
@@ -119,5 +144,9 @@ func ExactMinCopies(in Input) Result {
 		}
 	}
 	res.NewCopies = best.TotalCopies() - len(best)
-	return res
+	res.NodesSpent = in.Meter.Spent() - start
+	if searchErr != nil {
+		res.Fallback = "incomplete"
+	}
+	return res, nil
 }

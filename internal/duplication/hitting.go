@@ -1,9 +1,12 @@
 package duplication
 
 import (
+	"errors"
 	"sort"
 
+	"parmem/internal/budget"
 	"parmem/internal/conflict"
+	"parmem/internal/faultinject"
 )
 
 // HittingSet implements the greedy heuristic of paper Fig. 9.
@@ -239,9 +242,55 @@ func vecGreater(a, b []int, k int) bool {
 // sets is duplicated, and the new copies are placed. Sizes are re-examined
 // until clean, which terminates because each round adds at least one copy
 // and a value held by all k modules can never conflict.
-func HittingSetApproach(in Input) Result {
+//
+// Work is charged against in.Meter in the same node currency as the
+// backtracking search (roughly one node per instruction examined or
+// combination enumerated). On budget exhaustion the approach degrades to
+// full replication: every replicable operand of a still-conflicting
+// instruction receives a copy in every module, which is conflict-free by
+// construction wherever replicable values are involved; the result carries
+// Fallback "fullreplication". Cancellation aborts with an error wrapping
+// budget.ErrCanceled.
+func HittingSetApproach(in Input) (Result, error) {
+	faultinject.Check("duplication.hittingset")
 	copies := baseCopies(in)
 	repl := unassignedSet(in)
+	start := in.Meter.Spent()
+
+	// degrade resolves every remaining conflict by brute replication. A
+	// single forward pass suffices: ConflictFree is monotone in the copy
+	// sets, so enlarging copies for a later instruction never breaks an
+	// earlier one.
+	degrade := func() (Result, error) {
+		full := Full(in.K)
+		for _, instr := range in.Instrs {
+			ops := instr.Normalize()
+			if ConflictFree(ops, copies) {
+				continue
+			}
+			for _, v := range ops {
+				if repl[v] {
+					copies[v] = full
+				}
+			}
+		}
+		res := finishResult(in, copies)
+		res.Fallback = "fullreplication"
+		res.NodesSpent = in.Meter.Spent() - start
+		return res, nil
+	}
+	// charge bills n nodes; the returned action distinguishes "keep going",
+	// "degrade" and "abort with err".
+	charge := func(n int) (degraded bool, err error) {
+		serr := in.Meter.Spend(int64(n))
+		if serr == nil {
+			return false, nil
+		}
+		if errors.Is(serr, budget.ErrCanceled) {
+			return false, serr
+		}
+		return true, nil
+	}
 
 	// First and second copies of every replicable value (paper: the two
 	// initial Place(V_unassigned) calls). Values carried over from an
@@ -254,12 +303,22 @@ func HittingSetApproach(in Input) Result {
 				todo = append(todo, v)
 			}
 		}
+		if deg, err := charge(len(todo) * len(in.Instrs)); err != nil {
+			return Result{}, err
+		} else if deg {
+			return degrade()
+		}
 		Place(in.Instrs, copies, todo, repl, in.K)
 	}
 
 	for num := 3; num <= in.K; num++ {
 		for round := 0; ; round++ {
 			combs := conflict.Combinations(in.Instrs, num)
+			if deg, err := charge(len(combs)); err != nil {
+				return Result{}, err
+			} else if deg {
+				return degrade()
+			}
 			var candSets [][]int
 			for _, comb := range combs {
 				if ConflictFree(comb, copies) {
@@ -279,6 +338,11 @@ func HittingSetApproach(in Input) Result {
 				break
 			}
 			hs := HittingSet(candSets)
+			if deg, err := charge(len(hs) * len(in.Instrs)); err != nil {
+				return Result{}, err
+			} else if deg {
+				return degrade()
+			}
 			before := copies.TotalCopies()
 			Place(in.Instrs, copies, hs, repl, in.K)
 			if copies.TotalCopies() == before {
@@ -292,5 +356,7 @@ func HittingSetApproach(in Input) Result {
 			}
 		}
 	}
-	return finishResult(in, copies)
+	res := finishResult(in, copies)
+	res.NodesSpent = in.Meter.Spent() - start
+	return res, nil
 }

@@ -1,0 +1,63 @@
+// Package faultinject provides armable panic points for testing the
+// pipeline's panic-recovery boundaries. Production code calls Check at the
+// top of each phase; tests arm a point by name and assert that the public
+// API converts the forced panic into a typed *InternalError instead of
+// letting it escape. While no point is armed the cost of a Check is a
+// single atomic load.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Prefix tags every forced panic value so recovery sites and tests can
+// recognize injected faults.
+const Prefix = "faultinject: forced panic at "
+
+var (
+	armed  atomic.Bool
+	mu     sync.Mutex
+	points = map[string]bool{}
+)
+
+// Check panics when the named point is armed. The fast path (nothing armed
+// anywhere) is branch-predictable and lock-free.
+func Check(point string) {
+	if !armed.Load() {
+		return
+	}
+	mu.Lock()
+	on := points[point]
+	mu.Unlock()
+	if on {
+		panic(Prefix + point)
+	}
+}
+
+// Arm enables the named point until Disarm or Reset.
+func Arm(point string) {
+	mu.Lock()
+	points[point] = true
+	mu.Unlock()
+	armed.Store(true)
+}
+
+// Disarm disables the named point.
+func Disarm(point string) {
+	mu.Lock()
+	delete(points, point)
+	n := len(points)
+	mu.Unlock()
+	if n == 0 {
+		armed.Store(false)
+	}
+}
+
+// Reset disables every point.
+func Reset() {
+	mu.Lock()
+	points = map[string]bool{}
+	mu.Unlock()
+	armed.Store(false)
+}

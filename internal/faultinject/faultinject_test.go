@@ -1,0 +1,48 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+func panicValue(f func()) (v any) {
+	defer func() { v = recover() }()
+	f()
+	return nil
+}
+
+func TestCheckInertByDefault(t *testing.T) {
+	Reset()
+	if v := panicValue(func() { Check("anything") }); v != nil {
+		t.Fatalf("unarmed Check panicked: %v", v)
+	}
+}
+
+func TestArmDisarm(t *testing.T) {
+	defer Reset()
+	Arm("p1")
+	v := panicValue(func() { Check("p1") })
+	s, ok := v.(string)
+	if !ok || !strings.HasPrefix(s, Prefix) || !strings.HasSuffix(s, "p1") {
+		t.Fatalf("panic value = %v, want %q", v, Prefix+"p1")
+	}
+	// Other points stay inert.
+	if v := panicValue(func() { Check("p2") }); v != nil {
+		t.Fatalf("unarmed point panicked: %v", v)
+	}
+	Disarm("p1")
+	if v := panicValue(func() { Check("p1") }); v != nil {
+		t.Fatalf("disarmed point panicked: %v", v)
+	}
+}
+
+func TestResetClearsAll(t *testing.T) {
+	Arm("a")
+	Arm("b")
+	Reset()
+	for _, p := range []string{"a", "b"} {
+		if v := panicValue(func() { Check(p) }); v != nil {
+			t.Fatalf("point %s survived Reset: %v", p, v)
+		}
+	}
+}

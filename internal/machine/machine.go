@@ -14,13 +14,17 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
 
+	"parmem/internal/budget"
 	"parmem/internal/duplication"
+	"parmem/internal/faultinject"
 	"parmem/internal/ir"
 	"parmem/internal/memory"
 	"parmem/internal/sched"
@@ -34,6 +38,15 @@ type Options struct {
 	Layout memory.Layout
 	// MaxWords bounds dynamic execution (runaway-loop guard). Default 50M.
 	MaxWords int64
+	// Ctx cancels a running simulation; nil means context.Background().
+	// The word loop polls it every few thousand words and aborts with an
+	// error wrapping budget.ErrCanceled.
+	Ctx context.Context
+	// MaxCycles bounds total simulated cycles (issue cycles plus stalls);
+	// 0 means unlimited. Exceeding it aborts with an error wrapping
+	// budget.ErrBudget — unlike compilation there is no cheaper correct
+	// answer to degrade to, a partial simulation is not a result.
+	MaxCycles int64
 	// InitScalars presets named scalar variables before execution.
 	InitScalars map[string]float64
 	// InitArrays presets named arrays before execution.
@@ -126,7 +139,18 @@ type word struct {
 }
 
 // Run executes p under the storage allocation copies.
-func Run(p *sched.Program, copies duplication.Copies, opt Options) (*Result, error) {
+//
+// Run never panics on internal invariant violations: they are recovered
+// and returned as a *budget.InternalError with phase "machine". A canceled
+// opt.Ctx aborts the word loop with an error wrapping budget.ErrCanceled;
+// exceeding opt.MaxCycles aborts with an error wrapping budget.ErrBudget.
+func Run(p *sched.Program, copies duplication.Copies, opt Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &budget.InternalError{Phase: "machine", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	faultinject.Check("machine.run")
 	f := p.F
 	if opt.MaxWords == 0 {
 		opt.MaxWords = 50_000_000
@@ -134,7 +158,11 @@ func Run(p *sched.Program, copies duplication.Copies, opt Options) (*Result, err
 	if opt.Layout == nil {
 		opt.Layout = memory.Interleaved{K: p.Config.Modules}
 	}
-	res := &Result{Profiles: map[string]*Profile{}, fn: f, lastWrite: map[string]lastWriteInfo{}}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res = &Result{Profiles: map[string]*Profile{}, fn: f, lastWrite: map[string]lastWriteInfo{}}
 	res.vals = make([]word, len(f.Values))
 	res.arrs = make([][]word, len(f.Arrays))
 	for i, a := range f.Arrays {
@@ -183,6 +211,14 @@ func Run(p *sched.Program, copies duplication.Copies, opt Options) (*Result, err
 	for wi >= 0 && wi < int64(len(p.Words)) {
 		if res.DynamicWords >= opt.MaxWords {
 			return nil, fmt.Errorf("machine: exceeded %d dynamic words (likely an infinite loop)", opt.MaxWords)
+		}
+		if res.DynamicWords&4095 == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("machine: %w after %d words: %v", budget.ErrCanceled, res.DynamicWords, cerr)
+			}
+		}
+		if opt.MaxCycles > 0 && res.DynamicWords+res.Stalls >= opt.MaxCycles {
+			return nil, fmt.Errorf("machine: %w: exceeded %d cycles", budget.ErrBudget, opt.MaxCycles)
 		}
 		w := &p.Words[wi]
 		if w.Block != curBlock {

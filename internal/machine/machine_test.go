@@ -22,7 +22,9 @@ func build(t *testing.T, src string, k int) (*sched.Program, duplication.Copies)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	dfa.Rename(f)
+	if _, _, err := dfa.Rename(f); err != nil {
+		t.Fatal(err)
+	}
 	p, err := sched.Schedule(f, sched.Config{Modules: k, Units: k})
 	if err != nil {
 		t.Fatalf("schedule: %v", err)

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"parmem/internal/faultinject"
 	"parmem/internal/machine"
 )
 
@@ -137,6 +138,7 @@ func (t Times) RatioMax() float64 {
 // arrays are allocated from the same memory module (the paper's worst
 // case). t_max is therefore a per-word upper bound of any placement.
 func Analyze(profiles map[string]*machine.Profile, k int) Times {
+	faultinject.Check("stats.analyze")
 	var t Times
 	// Deterministic iteration (map order is random).
 	keys := make([]string, 0, len(profiles))

@@ -17,9 +17,12 @@
 package parmem
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 
 	"parmem/internal/assign"
+	"parmem/internal/budget"
 	"parmem/internal/conflict"
 	"parmem/internal/dfa"
 	"parmem/internal/duplication"
@@ -52,7 +55,31 @@ type (
 	Times = stats.Times
 	// Instruction is the operand set of one long instruction word.
 	Instruction = conflict.Instruction
+	// Budget caps the expensive compilation phases; the zero value picks
+	// safe defaults (see the field docs in internal/budget).
+	Budget = budget.Budget
+	// PhaseReport records one assignment phase's budget consumption and
+	// any fallback taken (Allocation.Phases).
+	PhaseReport = assign.PhaseReport
+	// InternalError is a recovered internal invariant panic; no public
+	// API call lets a panic escape.
+	InternalError = budget.InternalError
 )
+
+// Typed errors of the robustness taxonomy; test with errors.Is.
+var (
+	// ErrCanceled is wrapped by every error returned because a
+	// context.Context canceled compilation or simulation mid-phase.
+	ErrCanceled = budget.ErrCanceled
+	// ErrBudget is wrapped by errors returned on budget exhaustion where
+	// no cheaper correct answer exists (the simulator's cycle cap);
+	// compilation phases degrade instead of returning it.
+	ErrBudget = budget.ErrBudget
+)
+
+// DefaultMaxBacktrackNodes is the search-node budget used when
+// Budget.MaxBacktrackNodes is zero.
+const DefaultMaxBacktrackNodes = budget.DefaultMaxBacktrackNodes
 
 // Strategies and methods of the paper.
 const (
@@ -103,6 +130,15 @@ type Options struct {
 	// blend arithmetic before lowering, removing basic-block boundaries
 	// that would otherwise drain the instruction word.
 	IfConvert bool
+	// Ctx cancels compilation between and within phases; nil means
+	// context.Background(). Errors returned because of cancellation wrap
+	// ErrCanceled.
+	Ctx context.Context
+	// Budget caps the expensive phases. The zero value applies
+	// DefaultMaxBacktrackNodes to the duplication search; exhausting a
+	// compilation budget degrades to a cheaper strategy (see
+	// Allocation.Degraded and Allocation.Phases) instead of failing.
+	Budget Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +149,60 @@ func (o Options) withDefaults() Options {
 		o.Units = o.Modules
 	}
 	return o
+}
+
+// validate rejects option values (after defaulting) that would otherwise
+// trip internal invariant panics deeper in the pipeline, making those
+// panics unreachable from user input.
+func (o Options) validate() error {
+	if o.Modules < 1 {
+		return fmt.Errorf("parmem: Modules = %d, need at least one memory module", o.Modules)
+	}
+	if o.Modules > 64 {
+		return fmt.Errorf("parmem: Modules = %d, at most 64 memory modules are supported", o.Modules)
+	}
+	if o.Units < 1 {
+		return fmt.Errorf("parmem: Units = %d, need at least one functional unit", o.Units)
+	}
+	if o.Strategy < STOR1 || o.Strategy > PerRegion {
+		return fmt.Errorf("parmem: unknown strategy %d", int(o.Strategy))
+	}
+	if o.Method != HittingSet && o.Method != Backtrack {
+		return fmt.Errorf("parmem: unknown duplication method %d", int(o.Method))
+	}
+	if o.Groups < 0 {
+		return fmt.Errorf("parmem: Groups = %d, must be non-negative", o.Groups)
+	}
+	if o.Unroll < 0 {
+		return fmt.Errorf("parmem: Unroll = %d, must be non-negative", o.Unroll)
+	}
+	return nil
+}
+
+// ctx returns the compilation context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// recoverPhase converts a panic escaping a public API call into a typed
+// *InternalError naming the phase, so no call can escape a panic.
+func recoverPhase(phase string, err *error) {
+	if r := recover(); r != nil {
+		// An inner boundary (assign, machine) may already have produced a
+		// typed error; don't re-wrap those — they never panic outward.
+		*err = &InternalError{Phase: phase, Value: r, Stack: debug.Stack()}
+	}
+}
+
+// checkpoint polls ctx between pipeline phases.
+func checkpoint(ctx context.Context, phase string) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("parmem: %s: %w: %v", phase, ErrCanceled, cerr)
+	}
+	return nil
 }
 
 // Program is a fully compiled and allocated MPL program, ready to simulate.
@@ -130,8 +220,21 @@ type Program struct {
 }
 
 // Compile parses, lowers, renames, schedules and allocates MPL source.
-func Compile(src string, opt Options) (*Program, error) {
+//
+// Compile never panics: internal invariant failures come back as a typed
+// *InternalError. A canceled opt.Ctx aborts between or within phases with
+// an error wrapping ErrCanceled; an exhausted opt.Budget degrades the
+// affected assignment phases (see Allocation.Degraded) instead of failing.
+func Compile(src string, opt Options) (p *Program, err error) {
+	defer recoverPhase("compile", &err)
 	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	ctx := opt.ctx()
+	if err := checkpoint(ctx, "parse"); err != nil {
+		return nil, err
+	}
 	ast, err := lang.Parse(src)
 	if err != nil {
 		return nil, err
@@ -149,8 +252,16 @@ func Compile(src string, opt Options) (*Program, error) {
 	if opt.Optimize {
 		optpass.Run(f)
 	}
+	if err := checkpoint(ctx, "rename"); err != nil {
+		return nil, err
+	}
 	if !opt.DisableRenaming {
-		dfa.Rename(f)
+		if _, _, err := dfa.Rename(f); err != nil {
+			return nil, err
+		}
+	}
+	if err := checkpoint(ctx, "schedule"); err != nil {
+		return nil, err
 	}
 	sp, err := sched.Schedule(f, sched.Config{Modules: opt.Modules, Units: opt.Units})
 	if err != nil {
@@ -169,6 +280,8 @@ func Compile(src string, opt Options) (*Program, error) {
 		Method:       opt.Method,
 		Groups:       opt.Groups,
 		DisableAtoms: opt.DisableAtoms,
+		Ctx:          opt.Ctx,
+		Budget:       opt.Budget,
 	})
 	if err != nil {
 		return nil, err
@@ -179,8 +292,17 @@ func Compile(src string, opt Options) (*Program, error) {
 	return &Program{Func: f, Sched: sp, Alloc: al, Opt: opt, aprog: aprog}, nil
 }
 
-// Run simulates the program on the LIW machine model.
-func (p *Program) Run(opt RunOptions) (*Result, error) {
+// Run simulates the program on the LIW machine model. When opt leaves Ctx
+// or MaxCycles unset they are inherited from the compile Options, so a
+// single Options value budgets the whole compile-and-run flow.
+func (p *Program) Run(opt RunOptions) (res *Result, err error) {
+	defer recoverPhase("run", &err)
+	if opt.Ctx == nil {
+		opt.Ctx = p.Opt.Ctx
+	}
+	if opt.MaxCycles == 0 {
+		opt.MaxCycles = p.Opt.Budget.MaxCycles
+	}
 	return machine.Run(p.Sched, p.Alloc.Copies, opt)
 }
 
@@ -203,8 +325,18 @@ func (p *Program) PofI(res *Result) []float64 {
 // when the instructions come from somewhere other than the MPL compiler.
 // Values are arbitrary small integers; k is the module count.
 func AssignValues(instrs []Instruction, k int, strategy Strategy, method Method) (Allocation, error) {
+	return AssignValuesCtx(context.Background(), instrs, k, strategy, method, Budget{})
+}
+
+// AssignValuesCtx is AssignValues with explicit cancellation and budget: a
+// canceled ctx aborts with an error wrapping ErrCanceled, and an exhausted
+// budget degrades to a cheaper duplication strategy, marking the returned
+// Allocation Degraded (its Phases record what each phase spent and which
+// fallback it took). Degraded allocations are still conflict-free.
+func AssignValuesCtx(ctx context.Context, instrs []Instruction, k int, strategy Strategy, method Method, b Budget) (al Allocation, err error) {
+	defer recoverPhase("assign", &err)
 	p := assign.Program{Instrs: instrs}
-	al, err := assign.Assign(p, assign.Options{K: k, Strategy: strategy, Method: method})
+	al, err = assign.Assign(p, assign.Options{K: k, Strategy: strategy, Method: method, Ctx: ctx, Budget: b})
 	if err != nil {
 		return Allocation{}, err
 	}

@@ -1,6 +1,7 @@
 package parmem
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -122,7 +123,7 @@ func TestBenchmarksList(t *testing.T) {
 }
 
 func TestTable1ShapeMatchesPaper(t *testing.T) {
-	rows, err := Table1(8)
+	rows, err := Table1(context.Background(), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestTable1ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestTable2ShapeMatchesPaper(t *testing.T) {
-	rows, err := Table2([]int{8, 4})
+	rows, err := Table2(context.Background(), []int{8, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestTable2ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestSpeedupsMatchPaperRange(t *testing.T) {
-	rows, err := Speedups(8)
+	rows, err := Speedups(context.Background(), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestLayoutConstructors(t *testing.T) {
 }
 
 func TestWidthSweep(t *testing.T) {
-	rows, err := WidthSweep("FFT", []int{2, 4, 8})
+	rows, err := WidthSweep(context.Background(), "FFT", []int{2, 4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestWidthSweep(t *testing.T) {
 	if out := FormatWidthSweep(rows); !strings.Contains(out, "FFT") {
 		t.Fatalf("format:\n%s", out)
 	}
-	if _, err := WidthSweep("NOPE", []int{4}); err == nil {
+	if _, err := WidthSweep(context.Background(), "NOPE", []int{4}); err == nil {
 		t.Fatal("unknown benchmark must fail")
 	}
 }
