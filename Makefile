@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet bench tables
+.PHONY: build test check race vet staticcheck bench tables
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,22 @@ test:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs honnef.co/go/tools/cmd/staticcheck when the binary is
+# on PATH and skips with a note otherwise, so check works on boxes without
+# it (this repo adds no tool dependencies).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
 # check is the CI gate: static analysis plus the full suite under the race
 # detector.
-check: vet race
+check: vet staticcheck race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -17,6 +17,7 @@ package parmem
 //	Benchmark*Scaling       — complexity claims (§2.1, §2.2)
 //	BenchmarkAblation*      — design-choice ablations
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -121,7 +122,7 @@ func benchFigure(b *testing.B, instrs []Instruction, k int) {
 	var al Allocation
 	for i := 0; i < b.N; i++ {
 		var err error
-		al, err = AssignValues(instrs, k, STOR1, HittingSet)
+		al, err = AssignValues(context.Background(), instrs, AssignConfig{K: k})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,6 +158,65 @@ func BenchmarkFigure8(b *testing.B) {
 	benchFigure(b, []Instruction{
 		{1, 2, 3, 5}, {4, 2, 3, 5}, {1, 2, 3, 4}, {4, 2, 1, 5},
 	}, 4)
+}
+
+// ------------------------------------------- parallel assignment engine
+
+// engineStressInstrs builds nclusters disjoint circulant clusters of n
+// values each (instruction width w, same shape as cliqueInstrs). Each
+// cluster is an independent atom for coloring and an independent connected
+// component for duplication, so the input exposes exactly the parallelism
+// the worker pool fans out over while every cluster individually stays
+// conflict-heavy enough that the searches dominate the runtime.
+func engineStressInstrs(nclusters, n, w int) []Instruction {
+	out := make([]Instruction, 0, nclusters*n)
+	for c := 0; c < nclusters; c++ {
+		base := c * n
+		for i := 0; i < n; i++ {
+			var in Instruction
+			for j := 0; j < w; j++ {
+				in = append(in, base+1+(i+j)%n)
+			}
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+func benchAssignEngine(b *testing.B, cfg AssignConfig) {
+	instrs := engineStressInstrs(16, 14, 6)
+	cfg.K = 6
+	cfg.Method = Backtrack
+	cfg.Budget = Budget{MaxBacktrackNodes: -1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al, err := AssignValues(context.Background(), instrs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if al.Degraded {
+			b.Fatal("stress input degraded under an unlimited budget")
+		}
+	}
+}
+
+// BenchmarkAssignSequential pins the engine to one worker — the baseline
+// the parallel and cached variants are measured against.
+func BenchmarkAssignSequential(b *testing.B) {
+	benchAssignEngine(b, AssignConfig{Workers: 1})
+}
+
+// BenchmarkAssignParallel uses the default pool (one worker per CPU);
+// per-atom coloring and per-component duplication fan out.
+func BenchmarkAssignParallel(b *testing.B) {
+	benchAssignEngine(b, AssignConfig{Workers: 0})
+}
+
+// BenchmarkAssignCached shares one allocation cache across iterations:
+// after the first (cold) assignment every iteration is a whole-assignment
+// cache hit.
+func BenchmarkAssignCached(b *testing.B) {
+	benchAssignEngine(b, AssignConfig{Workers: 0, Cache: NewAllocCache(0)})
 }
 
 // ------------------------------------------------------- complexity claims

@@ -36,12 +36,15 @@ const (
 
 func main() {
 	var (
-		table   = flag.Int("table", 0, "print only this table (1 or 2)")
-		speedup = flag.Bool("speedup", false, "print only the speed-up report")
-		figures = flag.Bool("figures", false, "print only the worked figures")
-		sweep   = flag.String("sweep", "", "width-sweep this benchmark across k = 2..16")
-		k       = flag.Int("k", 8, "memory modules for Table 1 and speed-ups")
-		timeout = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 disables)")
+		table      = flag.Int("table", 0, "print only this table (1 or 2)")
+		speedup    = flag.Bool("speedup", false, "print only the speed-up report")
+		figures    = flag.Bool("figures", false, "print only the worked figures")
+		sweep      = flag.String("sweep", "", "width-sweep this benchmark across k = 2..16")
+		k          = flag.Int("k", 8, "memory modules for Table 1 and speed-ups")
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 disables)")
+		workers    = flag.Int("workers", 0, "assignment worker pool size (0 = one per CPU, 1 = sequential)")
+		useCache   = flag.Bool("cache", true, "share an allocation cache across the suite's recompilations")
+		cacheStats = flag.Bool("cache-stats", false, "print allocation-cache hit/miss counters at the end")
 	)
 	flag.Parse()
 
@@ -52,8 +55,19 @@ func main() {
 		defer cancel()
 	}
 
+	// One cache serves every driver call below: the drivers recompile the
+	// same six benchmark programs over and over (Table 1 alone compiles
+	// each under three strategies), which is exactly the workload the
+	// allocation cache exists for.
+	opts := []parmem.ExperimentOption{parmem.WithWorkers(*workers)}
+	var alcache *parmem.AllocCache
+	if *useCache {
+		alcache = parmem.NewAllocCache(0)
+		opts = append(opts, parmem.WithAllocCache(alcache))
+	}
+
 	if *sweep != "" {
-		rows, err := parmem.WidthSweep(ctx, *sweep, []int{2, 4, 8, 16})
+		rows, err := parmem.WidthSweep(ctx, *sweep, []int{2, 4, 8, 16}, opts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -63,21 +77,25 @@ func main() {
 	}
 	all := *table == 0 && !*speedup && !*figures
 	if all || *table == 1 {
-		printTable1(ctx, *k)
+		printTable1(ctx, *k, opts)
 	}
 	if all || *table == 2 {
-		printTable2(ctx)
+		printTable2(ctx, opts)
 	}
 	if all || *speedup {
-		printSpeedups(ctx, *k)
+		printSpeedups(ctx, *k, opts)
 	}
 	if all || *figures {
 		printFigures()
 	}
+	if *cacheStats && alcache != nil {
+		st := alcache.Stats()
+		fmt.Printf("allocation cache: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
+	}
 }
 
-func printTable1(ctx context.Context, k int) {
-	rows, err := parmem.Table1(ctx, k)
+func printTable1(ctx context.Context, k int, opts []parmem.ExperimentOption) {
+	rows, err := parmem.Table1(ctx, k, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,9 +105,9 @@ func printTable1(ctx context.Context, k int) {
 	fmt.Println()
 }
 
-func printTable2(ctx context.Context) {
+func printTable2(ctx context.Context, opts []parmem.ExperimentOption) {
 	ks := []int{8, 4}
-	rows, err := parmem.Table2(ctx, ks)
+	rows, err := parmem.Table2(ctx, ks, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -100,8 +118,8 @@ func printTable2(ctx context.Context) {
 	fmt.Println()
 }
 
-func printSpeedups(ctx context.Context, k int) {
-	rows, err := parmem.Speedups(ctx, k)
+func printSpeedups(ctx context.Context, k int, opts []parmem.ExperimentOption) {
+	rows, err := parmem.Speedups(ctx, k, opts...)
 	if err != nil {
 		fatal(err)
 	}

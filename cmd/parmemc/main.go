@@ -58,6 +58,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 disables)")
 		nodes     = flag.Int64("budget-nodes", 0, "backtracking node budget (0 = default, -1 = unlimited)")
 		maxCycles = flag.Int64("max-cycles", 0, "with -run: abort after this many machine cycles (0 disables)")
+		workers   = flag.Int("workers", 0, "assignment worker pool size (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -74,7 +75,6 @@ func main() {
 	}
 
 	opt := parmem.Options{
-		Ctx:             ctx,
 		Budget:          parmem.Budget{MaxBacktrackNodes: *nodes, MaxCycles: *maxCycles},
 		Modules:         *modules,
 		Units:           *units,
@@ -83,6 +83,7 @@ func main() {
 		IfConvert:       *ifconvert,
 		DisableAtoms:    *noAtoms,
 		DisableRenaming: *noRename,
+		Workers:         *workers,
 	}
 	switch *strategy {
 	case "STOR1":
@@ -105,7 +106,7 @@ func main() {
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}
 
-	p, err := parmem.Compile(src, opt)
+	p, err := parmem.CompileCtx(ctx, src, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -136,6 +137,9 @@ func main() {
 			if ph.Fallback != "" {
 				line += " fallback=" + ph.Fallback
 			}
+			if ph.Cached {
+				line += " cached"
+			}
 			fmt.Println(line)
 		}
 	}
@@ -147,7 +151,7 @@ func main() {
 		if *trace {
 			ropt.Trace = os.Stdout
 		}
-		res, err := p.Run(ropt)
+		res, err := p.RunCtx(ctx, ropt)
 		if err != nil {
 			fatal(err)
 		}

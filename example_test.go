@@ -1,6 +1,7 @@
 package parmem_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,14 +18,15 @@ begin
   b := 3;
   c := a * b + a;
 end`
-	p, err := parmem.Compile(src, parmem.Options{Modules: 4})
+	ctx := context.Background()
+	p, err := parmem.CompileCtx(ctx, src, parmem.Options{Modules: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%d values allocated, %d replicated\n",
 		p.Alloc.SingleCopy+p.Alloc.MultiCopy, p.Alloc.MultiCopy)
 
-	res, err := p.Run(parmem.RunOptions{})
+	res, err := p.RunCtx(ctx, parmem.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func ExampleAssignValues() {
 		{2, 3, 5}, // V2 V3 V5
 		{2, 3, 4}, // V2 V3 V4
 	}
-	al, err := parmem.AssignValues(instrs, 3, parmem.STOR1, parmem.HittingSet)
+	al, err := parmem.AssignValues(context.Background(), instrs, parmem.AssignConfig{K: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func ExampleAssignValues_duplication() {
 		{1, 2, 4}, {2, 3, 5}, {2, 3, 4},
 		{2, 4, 5}, // the instruction that breaks single-copy assignment
 	}
-	al, err := parmem.AssignValues(instrs, 3, parmem.STOR1, parmem.HittingSet)
+	al, err := parmem.AssignValues(context.Background(), instrs, parmem.AssignConfig{K: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,11 +96,12 @@ begin
     s := s + a[i];
   end
 end`
-	p, err := parmem.Compile(src, parmem.Options{Modules: 8})
+	ctx := context.Background()
+	p, err := parmem.CompileCtx(ctx, src, parmem.Options{Modules: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := p.Run(parmem.RunOptions{})
+	res, err := p.RunCtx(ctx, parmem.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

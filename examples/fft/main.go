@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +17,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	p, err := parmem.Compile(src, parmem.Options{Modules: 8, Unroll: 4})
+	ctx := context.Background()
+	p, err := parmem.CompileCtx(ctx, src, parmem.Options{Modules: 8, Unroll: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +34,7 @@ func main() {
 
 	fmt.Printf("%-14s %10s %8s %9s\n", "array layout", "cycles", "stalls", "speedup")
 	for i, lay := range layouts {
-		res, err := p.Run(parmem.RunOptions{Layout: lay})
+		res, err := p.RunCtx(ctx, parmem.RunOptions{Layout: lay})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,7 +42,7 @@ func main() {
 	}
 
 	// The analytic model of Table 2, independent of any concrete layout.
-	res, err := p.Run(parmem.RunOptions{})
+	res, err := p.RunCtx(ctx, parmem.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,8 @@ func main() {
 // report assigns storage for the instruction list and prints the paper's
 // x/- module matrix.
 func report(name string, instrs []parmem.Instruction, k int) {
-	al, err := parmem.AssignValues(instrs, k, parmem.STOR1, parmem.HittingSet)
+	al, err := parmem.AssignValues(context.Background(), instrs,
+		parmem.AssignConfig{K: k, Strategy: parmem.STOR1, Method: parmem.HittingSet})
 	if err != nil {
 		log.Fatalf("%s: %v", name, err)
 	}

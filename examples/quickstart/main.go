@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,8 +32,10 @@ end
 func main() {
 	// Compile: parse -> IR -> renaming -> LIW scheduling -> memory-module
 	// assignment. Options{} uses the paper's machine: 8 modules, 8 units,
-	// strategy STOR1, hitting-set duplication.
-	p, err := parmem.Compile(src, parmem.Options{})
+	// strategy STOR1, hitting-set duplication. The ctx bounds the whole
+	// pipeline; context.Background() means "no deadline".
+	ctx := context.Background()
+	p, err := parmem.CompileCtx(ctx, src, parmem.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +46,7 @@ func main() {
 
 	// Execute on the machine model. Array elements are interleaved across
 	// the modules; scalar fetches are conflict-free by construction.
-	res, err := p.Run(parmem.RunOptions{})
+	res, err := p.RunCtx(ctx, parmem.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

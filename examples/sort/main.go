@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,12 +16,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	fmt.Printf("%-8s %-11s %8s %8s %8s %7s\n",
 		"strategy", "method", "single", "multi", "copies", "atoms")
 	for _, strat := range []parmem.Strategy{parmem.STOR1, parmem.STOR2, parmem.STOR3} {
 		for _, meth := range []parmem.Method{parmem.HittingSet, parmem.Backtrack} {
-			p, err := parmem.Compile(src, parmem.Options{
+			p, err := parmem.CompileCtx(ctx, src, parmem.Options{
 				Modules:  8,
 				Strategy: strat,
 				Method:   meth,
@@ -29,7 +31,7 @@ func main() {
 				log.Fatal(err)
 			}
 			// Each variant must still sort correctly.
-			res, err := p.Run(parmem.RunOptions{})
+			res, err := p.RunCtx(ctx, parmem.RunOptions{})
 			if err != nil {
 				log.Fatal(err)
 			}

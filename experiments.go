@@ -28,6 +28,35 @@ func BenchmarkSource(name string) (string, error) {
 	return s.Source, nil
 }
 
+// ExperimentOption adjusts the compile Options an experiment driver uses
+// for every compilation it performs. The drivers recompile the benchmark
+// suite many times over, so WithWorkers and WithAllocCache are the
+// natural knobs: the first sizes the parallel assignment engine, the
+// second lets repeated compiles of the same sources skip their coloring
+// and duplication searches entirely.
+type ExperimentOption func(*Options)
+
+// WithWorkers sets Options.Workers for every compilation of an experiment
+// driver run.
+func WithWorkers(n int) ExperimentOption {
+	return func(o *Options) { o.Workers = n }
+}
+
+// WithAllocCache shares one allocation cache across every compilation of
+// an experiment driver run (and, when the same cache is passed to several
+// runs, across runs).
+func WithAllocCache(c *AllocCache) ExperimentOption {
+	return func(o *Options) { o.Cache = c }
+}
+
+// applyExperimentOptions folds driver-level options into compile Options.
+func applyExperimentOptions(o Options, opts []ExperimentOption) Options {
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
 // Table1Row reports duplication for one program under one strategy —
 // the two columns of the paper's Table 1.
 type Table1Row struct {
@@ -42,11 +71,11 @@ type Table1Row struct {
 // many needed several. k is the module count (the paper uses 8). A
 // canceled ctx aborts with an error wrapping ErrCanceled; internal panics
 // come back as *InternalError.
-func Table1(ctx context.Context, k int) (rows []Table1Row, err error) {
+func Table1(ctx context.Context, k int, opts ...ExperimentOption) (rows []Table1Row, err error) {
 	defer recoverPhase("table1", &err)
 	for _, spec := range benchprog.All() {
 		for _, strat := range []Strategy{STOR1, STOR2, STOR3} {
-			p, err := Compile(spec.Source, Options{Modules: k, Strategy: strat, Ctx: ctx})
+			p, err := CompileCtx(ctx, spec.Source, applyExperimentOptions(Options{Modules: k, Strategy: strat}, opts))
 			if err != nil {
 				return nil, fmt.Errorf("table1: %s/%v: %w", spec.Name, strat, err)
 			}
@@ -105,11 +134,11 @@ type Table2Row struct {
 // Table2 reproduces the paper's Table 2: the predicted average and worst
 // case increase in memory transfer time caused by array accesses, for each
 // benchmark, at each machine size in ks (the paper uses 8 and 4).
-func Table2(ctx context.Context, ks []int) (rows []Table2Row, err error) {
+func Table2(ctx context.Context, ks []int, opts ...ExperimentOption) (rows []Table2Row, err error) {
 	defer recoverPhase("table2", &err)
 	for _, spec := range benchprog.All() {
 		for _, k := range ks {
-			p, err := Compile(spec.Source, Options{Modules: k, Ctx: ctx})
+			p, err := CompileCtx(ctx, spec.Source, applyExperimentOptions(Options{Modules: k}, opts))
 			if err != nil {
 				return nil, fmt.Errorf("table2: %s/k=%d: %w", spec.Name, k, err)
 			}
@@ -181,10 +210,10 @@ type SpeedupRow struct {
 // unrolling, scalar optimization and if-conversion — the stand-ins for the
 // RLIW compiler's region scheduling, which the paper's 64-300% speedups
 // depend on).
-func Speedups(ctx context.Context, k int) (rows []SpeedupRow, err error) {
+func Speedups(ctx context.Context, k int, opts ...ExperimentOption) (rows []SpeedupRow, err error) {
 	defer recoverPhase("speedups", &err)
 	for _, spec := range benchprog.All() {
-		p, err := Compile(spec.Source, Options{Modules: k, Unroll: 4, Optimize: true, IfConvert: true, Ctx: ctx})
+		p, err := CompileCtx(ctx, spec.Source, applyExperimentOptions(Options{Modules: k, Unroll: 4, Optimize: true, IfConvert: true}, opts))
 		if err != nil {
 			return nil, fmt.Errorf("speedups: %s: %w", spec.Name, err)
 		}
@@ -230,14 +259,14 @@ type WidthRow struct {
 // exposes: a program is run at every width in ks with the optimizing
 // pipeline. Diminishing returns show where the program's parallelism is
 // exhausted.
-func WidthSweep(ctx context.Context, name string, ks []int) (rows []WidthRow, err error) {
+func WidthSweep(ctx context.Context, name string, ks []int, opts ...ExperimentOption) (rows []WidthRow, err error) {
 	defer recoverPhase("widthsweep", &err)
 	spec, serr := benchprog.ByName(name)
 	if serr != nil {
 		return nil, serr
 	}
 	for _, k := range ks {
-		p, err := Compile(spec.Source, Options{Modules: k, Unroll: 4, Optimize: true, IfConvert: true, Ctx: ctx})
+		p, err := CompileCtx(ctx, spec.Source, applyExperimentOptions(Options{Modules: k, Unroll: 4, Optimize: true, IfConvert: true}, opts))
 		if err != nil {
 			return nil, fmt.Errorf("widthsweep: %s/k=%d: %w", name, k, err)
 		}

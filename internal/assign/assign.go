@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"parmem/internal/alloccache"
 	"parmem/internal/atoms"
 	"parmem/internal/budget"
 	"parmem/internal/coloring"
@@ -109,6 +110,19 @@ type Options struct {
 	// budget.DefaultMaxBacktrackNodes. Exhaustion degrades to a cheaper
 	// strategy and marks the Allocation Degraded instead of failing.
 	Budget budget.Budget
+	// Workers bounds the worker pool of the parallel assignment engine:
+	// per-atom coloring and per-component duplication fan out across this
+	// many goroutines. 0 (the default) means one worker per available CPU
+	// (runtime.GOMAXPROCS); 1 or any negative value forces the sequential
+	// paths. The parallel engine is bit-identical to the sequential one
+	// whenever the budget is not exhausted mid-run.
+	Workers int
+	// Cache memoizes subproblem results (atom colorings, duplication
+	// phases, whole assignments) across Assign calls. nil disables
+	// caching. The cache is a pure memo — hits return exactly what the
+	// computation would have produced — and may be shared by concurrent
+	// assignments.
+	Cache *alloccache.Cache
 }
 
 // validate rejects option values that would otherwise trip internal
@@ -154,6 +168,10 @@ type PhaseReport struct {
 	// ("" when the primary strategy completed): "hittingset" or
 	// "fullreplication".
 	Fallback string
+	// Cached reports that at least one duplication call of the phase was
+	// served from the allocation cache instead of being recomputed (the
+	// synthetic "cache" phase of a whole-assignment hit sets it too).
+	Cached bool
 }
 
 // Program is the input to assignment: the instruction stream plus the
@@ -222,16 +240,29 @@ func Assign(p Program, opt Options) (al Allocation, err error) {
 	if err := st.meter.Canceled(); err != nil {
 		return Allocation{}, fmt.Errorf("assign: %w", err)
 	}
+	var key string
+	if opt.Cache != nil {
+		key = assignKey(p, opt)
+		if e, ok := opt.Cache.Get(key); ok {
+			al := e.(*allocEntry).al // Get already deep-cloned the entry
+			al.Phases = []PhaseReport{{Phase: "cache", Method: opt.Method.String(), Cached: true}}
+			return al, nil
+		}
+	}
 	switch opt.Strategy {
 	case STOR1:
-		return assignSTOR1(st, p, opt)
+		al, err = assignSTOR1(st, p, opt)
 	case STOR2:
-		return assignSTOR2(st, p, opt)
+		al, err = assignSTOR2(st, p, opt)
 	case STOR3:
-		return assignSTOR3(st, p, opt)
+		al, err = assignSTOR3(st, p, opt)
 	default:
-		return assignPerRegion(st, p, opt)
+		al, err = assignPerRegion(st, p, opt)
 	}
+	if err == nil && opt.Cache != nil && !al.Degraded && !st.meter.Exhausted() {
+		opt.Cache.Put(key, &allocEntry{al: al})
+	}
+	return al, err
 }
 
 // phaseState carries allocation state across phases of STOR2/STOR3.
@@ -278,8 +309,6 @@ func (st *phaseState) colorPhase(g *graph.Graph, opt Options) (map[int]int, []in
 		work = g.Induced(keep)
 	}
 
-	assign := map[int]int{}
-	var unassigned []int
 	if opt.DisableAtoms {
 		res := coloring.GuptaSoffa(work, coloring.Options{K: opt.K, Precolored: pre, Pick: opt.Pick})
 		return res.Assign, res.Unassigned
@@ -290,47 +319,14 @@ func (st *phaseState) colorPhase(g *graph.Graph, opt Options) (map[int]int, []in
 	// whose vertices necessarily received pairwise-distinct modules — so
 	// sequential extension can never start from a clash. (Processing in
 	// carve order can color the two endpoints of an edge in two different
-	// atoms before the atom containing the edge is reached.)
-	dec := atoms.Decompose(work)
+	// atoms before the atom containing the edge is reached.) colorAtoms
+	// runs that order sequentially or fans independent atoms across the
+	// worker pool; both produce identical results.
+	// The decomposition itself fans out per connected component (merged in
+	// component order, so it too is deterministic).
+	dec := atoms.DecomposeParallel(work, opt.workerCount())
 	st.atoms += len(dec.Atoms)
-	removed := map[int]bool{}
-	for i := len(dec.Atoms) - 1; i >= 0; i-- {
-		a := dec.Atoms[i]
-		sub := a.Graph
-		// Vertices a previous atom failed to color are no longer coloring
-		// candidates anywhere: they will be replicated, and the SDR checks
-		// of the duplication stage cover their conflicts.
-		if len(removed) > 0 {
-			var keep []int
-			for _, v := range a.Nodes {
-				if !removed[v] {
-					keep = append(keep, v)
-				}
-			}
-			if len(keep) < len(a.Nodes) {
-				sub = a.Graph.Induced(keep)
-			}
-		}
-		preA := map[int]int{}
-		for _, v := range sub.Nodes() {
-			if m, ok := pre[v]; ok {
-				preA[v] = m
-			}
-			if m, ok := assign[v]; ok {
-				preA[v] = m // separator vertex colored by a later atom
-			}
-		}
-		res := coloring.GuptaSoffa(sub, coloring.Options{K: opt.K, Precolored: preA, Pick: opt.Pick})
-		for v, m := range res.Assign {
-			assign[v] = m
-		}
-		for _, v := range res.Unassigned {
-			removed[v] = true
-			unassigned = append(unassigned, v)
-		}
-	}
-	sort.Ints(unassigned)
-	return assign, dedupSorted(unassigned)
+	return colorAtoms(dec, pre, opt)
 }
 
 // runPhase colors the values of instrs not yet allocated and then runs the
@@ -381,10 +377,28 @@ func (st *phaseState) runPhase(name string, instrs []conflict.Instruction, g *gr
 		}
 		var res duplication.Result
 		var err error
-		if opt.Method == Backtrack {
-			res, err = duplication.Backtrack(in)
+		var key string
+		if opt.Cache != nil {
+			key = dupKey(in, opt)
+		}
+		if hit := st.cachedDup(key, opt); hit != nil {
+			res = *hit
+			rep.Cached = true
 		} else {
-			res, err = duplication.HittingSetApproach(in)
+			w := opt.workerCount()
+			switch {
+			case opt.Method == Backtrack && w > 1:
+				res, err = duplication.BacktrackParallel(in, w)
+			case opt.Method == Backtrack:
+				res, err = duplication.Backtrack(in)
+			case w > 1:
+				res, err = duplication.HittingSetParallel(in, w)
+			default:
+				res, err = duplication.HittingSetApproach(in)
+			}
+			if err == nil {
+				st.storeDup(key, opt, res)
+			}
 		}
 		if err != nil {
 			return fmt.Errorf("assign: %s: %w", name, err)

@@ -1,0 +1,125 @@
+package assign
+
+import (
+	"sort"
+
+	"parmem/internal/alloccache"
+	"parmem/internal/duplication"
+)
+
+// Cache hooks of the assignment engine. All keys are pure-memo
+// signatures: they embed the exact subproblem bytes (original value ids
+// included), so a hit returns precisely what the computation would have
+// produced. Results that depended on budget state — a phase that degraded
+// or ran under an exhausted meter — are never stored, so a hit can never
+// resurrect a degraded answer into an unbudgeted run or vice versa.
+
+// dupResultEntry memoizes one duplication call (one phase attempt).
+type dupResultEntry struct {
+	copies    duplication.Copies
+	residual  []int
+	newCopies int
+}
+
+func (e *dupResultEntry) CloneEntry() alloccache.Entry {
+	return &dupResultEntry{
+		copies:    e.copies.Clone(),
+		residual:  append([]int(nil), e.residual...),
+		newCopies: e.newCopies,
+	}
+}
+
+// dupKey signs a duplication.Input plus the method that will consume it.
+func dupKey(in duplication.Input, opt Options) string {
+	var k alloccache.Key
+	k.Str("dup")
+	k.Int(opt.K)
+	k.Int(int(opt.Method))
+	k.Int(len(in.Instrs))
+	for _, instr := range in.Instrs {
+		k.Ints(instr)
+	}
+	k.IntMap(in.Assigned)
+	k.Ints(in.Unassigned)
+	writeCopies(&k, in.Initial)
+	return k.String()
+}
+
+func writeCopies(k *alloccache.Key, c duplication.Copies) {
+	m := make(map[int]int, len(c))
+	for v, s := range c {
+		m[v] = int(s)
+	}
+	k.IntMap(m)
+}
+
+// cachedDup consults the cache for a duplication call; nil means miss (or
+// no cache configured).
+func (st *phaseState) cachedDup(key string, opt Options) *duplication.Result {
+	if opt.Cache == nil {
+		return nil
+	}
+	e, ok := opt.Cache.Get(key)
+	if !ok {
+		return nil
+	}
+	d := e.(*dupResultEntry)
+	return &duplication.Result{Copies: d.copies, Residual: d.residual, NewCopies: d.newCopies}
+}
+
+// storeDup memoizes a completed duplication call. Degraded results and
+// results computed under an exhausted meter are budget-dependent, not
+// functions of the input alone, so they are never stored.
+func (st *phaseState) storeDup(key string, opt Options, res duplication.Result) {
+	if opt.Cache == nil || res.Fallback != "" || st.meter.Exhausted() {
+		return
+	}
+	opt.Cache.Put(key, &dupResultEntry{copies: res.Copies, residual: res.Residual, newCopies: res.NewCopies})
+}
+
+// allocEntry memoizes a whole assignment.
+type allocEntry struct {
+	al Allocation
+}
+
+func (e *allocEntry) CloneEntry() alloccache.Entry {
+	al := e.al
+	al.Copies = e.al.Copies.Clone()
+	al.Unassigned = append([]int(nil), e.al.Unassigned...)
+	al.Forced = append([]int(nil), e.al.Forced...)
+	al.Phases = append([]PhaseReport(nil), e.al.Phases...)
+	return &allocEntry{al: al}
+}
+
+// assignKey signs a whole Assign call: the program and every option that
+// influences the result. Workers is deliberately absent — the parallel
+// engine is bit-identical to the sequential one — and so is the budget,
+// because only budget-independent (non-degraded) results are stored.
+func assignKey(p Program, opt Options) string {
+	var k alloccache.Key
+	k.Str("assign")
+	k.Int(opt.K)
+	k.Int(int(opt.Strategy))
+	k.Int(int(opt.Method))
+	k.Int(opt.Groups)
+	k.Int(int(opt.Pick))
+	if opt.DisableAtoms {
+		k.Int(1)
+	} else {
+		k.Int(0)
+	}
+	k.Int(len(p.Instrs))
+	for _, instr := range p.Instrs {
+		k.Ints(instr)
+	}
+	k.Ints(p.RegionOf)
+	globals := make([]int, 0, len(p.Global))
+	for v, ok := range p.Global {
+		if ok {
+			globals = append(globals, v)
+		}
+	}
+	sort.Ints(globals)
+	k.Ints(globals)
+	return k.String()
+}

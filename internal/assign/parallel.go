@@ -1,0 +1,238 @@
+package assign
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"parmem/internal/alloccache"
+	"parmem/internal/atoms"
+	"parmem/internal/coloring"
+	"parmem/internal/graph"
+)
+
+// This file is the parallel side of the assignment engine: per-atom
+// coloring fanned across a bounded worker pool, and the alloccache hooks
+// that memoize atom colorings.
+//
+// Determinism contract. The sequential colorPhase colors atoms in reverse
+// carve order with three pieces of shared state: the precoloring (read
+// only), the accumulated assignment (an atom reads it only for its own
+// vertices, which can have been written only by a *later-carved* atom
+// sharing those vertices — separator vertices) and the removed set (same
+// property). So atom i depends exactly on the atoms j > i that share at
+// least one vertex with it. Scheduling atoms level by level over that
+// dependency DAG — every dependency strictly earlier — gives each atom a
+// view of the shared state identical to the sequential run's, and the
+// merged result is bit-identical no matter how many workers run.
+
+// workerCount resolves Options.Workers: 0 means one worker per available
+// CPU, anything below 2 disables the parallel paths.
+func (opt Options) workerCount() int {
+	if opt.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if opt.Workers < 1 {
+		return 1
+	}
+	return opt.Workers
+}
+
+// atomColorResult is one atom's coloring outcome; it implements
+// alloccache.Entry so atom colorings can be memoized across compiles.
+type atomColorResult struct {
+	assign     map[int]int
+	unassigned []int
+}
+
+func (r *atomColorResult) CloneEntry() alloccache.Entry {
+	c := &atomColorResult{
+		assign:     make(map[int]int, len(r.assign)),
+		unassigned: append([]int(nil), r.unassigned...),
+	}
+	for v, m := range r.assign {
+		c.assign[v] = m
+	}
+	return c
+}
+
+// atomColorKey builds the pure-memo signature of one atom coloring
+// subproblem: the exact subgraph (original ids included), the
+// precoloring visible to the atom, and the knobs the colorer reads.
+func atomColorKey(sub *graph.Graph, preA map[int]int, opt Options) string {
+	var k alloccache.Key
+	k.Str("atomcolor")
+	k.Graph(sub)
+	k.IntMap(preA)
+	k.Int(opt.K)
+	k.Int(int(opt.Pick))
+	return k.String()
+}
+
+// colorOneAtom colors one atom against the given views of the shared
+// state, consulting the cache when one is configured. The views must
+// already reflect every atom this one depends on.
+func colorOneAtom(a atoms.Atom, removed map[int]bool, assigned, pre map[int]int, opt Options) *atomColorResult {
+	sub := a.Graph
+	// Vertices a previously processed atom failed to color are no longer
+	// coloring candidates anywhere: they will be replicated, and the SDR
+	// checks of the duplication stage cover their conflicts.
+	if len(removed) > 0 {
+		var keep []int
+		for _, v := range a.Nodes {
+			if !removed[v] {
+				keep = append(keep, v)
+			}
+		}
+		if len(keep) < len(a.Nodes) {
+			sub = a.Graph.Induced(keep)
+		}
+	}
+	preA := map[int]int{}
+	for _, v := range sub.Nodes() {
+		if m, ok := pre[v]; ok {
+			preA[v] = m
+		}
+		if m, ok := assigned[v]; ok {
+			preA[v] = m // separator vertex colored by a later atom
+		}
+	}
+	var key string
+	if opt.Cache != nil {
+		key = atomColorKey(sub, preA, opt)
+		if e, ok := opt.Cache.Get(key); ok {
+			return e.(*atomColorResult)
+		}
+	}
+	res := coloring.GuptaSoffa(sub, coloring.Options{K: opt.K, Precolored: preA, Pick: opt.Pick})
+	out := &atomColorResult{assign: res.Assign, unassigned: res.Unassigned}
+	if opt.Cache != nil {
+		opt.Cache.Put(key, out)
+	}
+	return out
+}
+
+// colorAtoms colors every atom of dec in reverse carve order, sequentially
+// or across a worker pool depending on opt. It returns the merged
+// assignment and the sorted, deduplicated unassigned set.
+func colorAtoms(dec atoms.Decomposition, pre map[int]int, opt Options) (map[int]int, []int) {
+	workers := opt.workerCount()
+	if workers < 2 || len(dec.Atoms) < 2 {
+		return colorAtomsSeq(dec, pre, opt)
+	}
+	return colorAtomsParallel(dec, pre, opt, workers)
+}
+
+func colorAtomsSeq(dec atoms.Decomposition, pre map[int]int, opt Options) (map[int]int, []int) {
+	assigned := map[int]int{}
+	removed := map[int]bool{}
+	var unassigned []int
+	for i := len(dec.Atoms) - 1; i >= 0; i-- {
+		res := colorOneAtom(dec.Atoms[i], removed, assigned, pre, opt)
+		for v, m := range res.assign {
+			assigned[v] = m
+		}
+		for _, v := range res.unassigned {
+			removed[v] = true
+			unassigned = append(unassigned, v)
+		}
+	}
+	sort.Ints(unassigned)
+	return assigned, dedupSorted(unassigned)
+}
+
+// atomLevels computes a topological leveling of the atom dependency DAG:
+// atom i depends on every atom j > i sharing a vertex with it, and
+// level(i) > level(j) for each dependency. Atoms within one level are
+// pairwise vertex-disjoint from each other's dependencies and can be
+// colored concurrently against a frozen view of the shared state.
+func atomLevels(as []atoms.Atom) [][]int {
+	holders := map[int][]int{} // vertex -> atoms containing it, ascending
+	for i, a := range as {
+		for _, v := range a.Nodes {
+			holders[v] = append(holders[v], i)
+		}
+	}
+	level := make([]int, len(as))
+	// Process in reverse carve order (the sequential execution order); each
+	// atom's dependencies all have larger indices, so their levels are
+	// already final.
+	for i := len(as) - 1; i >= 0; i-- {
+		lv := 0
+		for _, v := range as[i].Nodes {
+			for _, j := range holders[v] {
+				if j > i && level[j]+1 > lv {
+					lv = level[j] + 1
+				}
+			}
+		}
+		level[i] = lv
+	}
+	max := 0
+	for _, lv := range level {
+		if lv > max {
+			max = lv
+		}
+	}
+	out := make([][]int, max+1)
+	for i := range as {
+		out[level[i]] = append(out[level[i]], i)
+	}
+	// Within a level, keep reverse carve order so the merge below applies
+	// results in the sequential order.
+	for _, idxs := range out {
+		sort.Sort(sort.Reverse(sort.IntSlice(idxs)))
+	}
+	return out
+}
+
+func colorAtomsParallel(dec atoms.Decomposition, pre map[int]int, opt Options, workers int) (map[int]int, []int) {
+	assigned := map[int]int{}
+	removed := map[int]bool{}
+	var unassigned []int
+
+	for _, idxs := range atomLevels(dec.Atoms) {
+		results := make([]*atomColorResult, len(idxs))
+		panics := make([]any, len(idxs))
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for slot, ai := range idxs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(slot, ai int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				defer func() {
+					if r := recover(); r != nil {
+						panics[slot] = r
+					}
+				}()
+				// The shared views are read-only for the whole level; every
+				// dependency of ai finished in an earlier level.
+				results[slot] = colorOneAtom(dec.Atoms[ai], removed, assigned, pre, opt)
+			}(slot, ai)
+		}
+		wg.Wait()
+		for _, r := range panics {
+			if r != nil {
+				// Re-raise on the caller's goroutine; the Assign boundary
+				// converts it into a *budget.InternalError as usual.
+				panic(r)
+			}
+		}
+		// Merge in reverse carve order — the sequential order — so the
+		// resulting maps and lists are built exactly as colorAtomsSeq
+		// builds them.
+		for _, r := range results {
+			for v, m := range r.assign {
+				assigned[v] = m
+			}
+			for _, v := range r.unassigned {
+				removed[v] = true
+				unassigned = append(unassigned, v)
+			}
+		}
+	}
+	sort.Ints(unassigned)
+	return assigned, dedupSorted(unassigned)
+}

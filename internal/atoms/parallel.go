@@ -1,0 +1,64 @@
+package atoms
+
+import (
+	"sync"
+
+	"parmem/internal/graph"
+)
+
+// DecomposeParallel splits g into its atoms exactly like Decompose,
+// fanning the per-connected-component decompositions across at most
+// workers goroutines. Components are independent subproblems — each is
+// decomposed into a private Decomposition against a read-only view of g —
+// and the per-component results are merged in component order, so the
+// output is bit-identical to Decompose's for every input.
+func DecomposeParallel(g *graph.Graph, workers int) Decomposition {
+	comps := g.ConnectedComponents()
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	if workers <= 1 || len(comps) < 2 {
+		return Decompose(g)
+	}
+
+	parts := make([]Decomposition, len(comps))
+	panics := make([]any, len(comps))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+						}
+					}()
+					decomposeConnected(g.Induced(comps[i]), &parts[i])
+				}()
+			}
+		}()
+	}
+	for i := range comps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, r := range panics {
+		if r != nil {
+			// Re-raise on the caller's goroutine so the usual phase
+			// boundary recovery applies.
+			panic(r)
+		}
+	}
+
+	var d Decomposition
+	for _, p := range parts {
+		d.Atoms = append(d.Atoms, p.Atoms...)
+		d.Separators = append(d.Separators, p.Separators...)
+		d.Fill += p.Fill
+	}
+	return d
+}

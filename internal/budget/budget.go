@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -82,15 +83,17 @@ func (e *InternalError) Error() string {
 }
 
 // Meter charges search work against a Budget and polls for cancellation.
-// A nil *Meter is valid and meters nothing. Meters are not safe for
-// concurrent use; each compilation owns one.
+// A nil *Meter is valid and meters nothing. A Meter is safe for concurrent
+// use: the parallel assignment engine shares one meter across its worker
+// pool, so the node budget caps the *total* search work of an assignment no
+// matter how many goroutines spend against it. Each compilation owns one.
 type Meter struct {
 	ctx       context.Context
 	maxNodes  int64 // <0 = unlimited
-	spent     int64
+	spent     atomic.Int64
 	start     time.Time
 	deadline  time.Time // zero = no deadline
-	exhausted bool
+	exhausted atomic.Bool
 }
 
 // NewMeter builds a meter over ctx with the given node cap (<0 unlimited)
@@ -120,21 +123,22 @@ func (m *Meter) CancelOnly() *Meter {
 // wrapping ErrBudget once the node or time cap is exhausted, and an error
 // wrapping ErrCanceled when the context is done. The clock and the context
 // are only polled every ~1k nodes (and on the first spend), so the search
-// hot loop stays cheap.
+// hot loop stays cheap. Spend is safe to call from several goroutines; the
+// cap applies to their combined total.
 func (m *Meter) Spend(n int64) error {
 	if m == nil {
 		return nil
 	}
-	prev := m.spent
-	m.spent += n
-	if m.exhausted {
+	now := m.spent.Add(n)
+	prev := now - n
+	if m.exhausted.Load() {
 		return fmt.Errorf("%w: node budget", ErrBudget)
 	}
-	if m.maxNodes >= 0 && m.spent > m.maxNodes {
-		m.exhausted = true
+	if m.maxNodes >= 0 && now > m.maxNodes {
+		m.exhausted.Store(true)
 		return fmt.Errorf("%w: %d search nodes", ErrBudget, m.maxNodes)
 	}
-	if prev == 0 || prev>>10 != m.spent>>10 {
+	if prev == 0 || prev>>10 != now>>10 {
 		return m.Check()
 	}
 	return nil
@@ -149,7 +153,7 @@ func (m *Meter) Check() error {
 		return err
 	}
 	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
-		m.exhausted = true
+		m.exhausted.Store(true)
 		return fmt.Errorf("%w: exceeded %v time budget", ErrBudget, m.deadline.Sub(m.start))
 	}
 	return nil
@@ -174,7 +178,7 @@ func (m *Meter) Spent() int64 {
 	if m == nil {
 		return 0
 	}
-	return m.spent
+	return m.spent.Load()
 }
 
 // Elapsed returns the wall-clock time since the meter was created.
@@ -186,4 +190,4 @@ func (m *Meter) Elapsed() time.Duration {
 }
 
 // Exhausted reports whether a node or time cap has been hit.
-func (m *Meter) Exhausted() bool { return m != nil && m.exhausted }
+func (m *Meter) Exhausted() bool { return m != nil && m.exhausted.Load() }

@@ -129,10 +129,28 @@ func finishResult(in Input, copies Copies) Result {
 // Fallback "hittingset". Cancellation aborts with an error wrapping
 // budget.ErrCanceled.
 func Backtrack(in Input) (Result, error) {
+	start := in.Meter.Spent()
+	copies, fallback, err := backtrackCore(in)
+	if err != nil {
+		return Result{}, err
+	}
+	res := finishResult(in, copies)
+	res.Fallback = fallback
+	res.NodesSpent = in.Meter.Spent() - start
+	return res, nil
+}
+
+// backtrackCore is the search of Fig. 6 without the final bookkeeping:
+// it places copies for every instruction with replicable operands and
+// returns the copy table, leaving the load-balanced placement of copyless
+// values and the residual scan to finishResult. The split lets the
+// parallel engine run the core per connected component and finish once,
+// globally — component-local finishing would balance loads against a
+// partial view and diverge from the sequential result.
+func backtrackCore(in Input) (Copies, string, error) {
 	faultinject.Check("duplication.backtrack")
 	copies := baseCopies(in)
 	repl := unassignedSet(in)
-	start := in.Meter.Spent()
 
 	type item struct {
 		idx  int
@@ -157,7 +175,7 @@ func Backtrack(in Input) (Result, error) {
 	for _, it := range work {
 		if _, err := placeInstruction(it.ops, copies, repl, in.K, in.Meter); err != nil {
 			if errors.Is(err, budget.ErrCanceled) {
-				return Result{}, err
+				return nil, "", err
 			}
 			// Budget exhausted: degrade. Everything placed so far is kept
 			// (it rides in via Initial); the hitting-set approach decides
@@ -170,18 +188,14 @@ func Backtrack(in Input) (Result, error) {
 				K:          in.K,
 				Meter:      in.Meter.CancelOnly(),
 			}
-			res, err := HittingSetApproach(fb)
+			c, _, err := hittingCore(fb)
 			if err != nil {
-				return Result{}, err
+				return nil, "", err
 			}
-			res.Fallback = "hittingset"
-			res.NodesSpent = in.Meter.Spent() - start
-			return res, nil
+			return c, "hittingset", nil
 		}
 	}
-	res := finishResult(in, copies)
-	res.NodesSpent = in.Meter.Spent() - start
-	return res, nil
+	return copies, "", nil
 }
 
 // placeInstruction finds the cheapest conflict-free module choice for the

@@ -252,16 +252,29 @@ func vecGreater(a, b []int, k int) bool {
 // Fallback "fullreplication". Cancellation aborts with an error wrapping
 // budget.ErrCanceled.
 func HittingSetApproach(in Input) (Result, error) {
+	start := in.Meter.Spent()
+	copies, fallback, err := hittingCore(in)
+	if err != nil {
+		return Result{}, err
+	}
+	res := finishResult(in, copies)
+	res.Fallback = fallback
+	res.NodesSpent = in.Meter.Spent() - start
+	return res, nil
+}
+
+// hittingCore is the Fig. 7 strategy without the final bookkeeping; see
+// backtrackCore for why the split exists.
+func hittingCore(in Input) (Copies, string, error) {
 	faultinject.Check("duplication.hittingset")
 	copies := baseCopies(in)
 	repl := unassignedSet(in)
-	start := in.Meter.Spent()
 
 	// degrade resolves every remaining conflict by brute replication. A
 	// single forward pass suffices: ConflictFree is monotone in the copy
 	// sets, so enlarging copies for a later instruction never breaks an
 	// earlier one.
-	degrade := func() (Result, error) {
+	degrade := func() (Copies, string, error) {
 		full := Full(in.K)
 		for _, instr := range in.Instrs {
 			ops := instr.Normalize()
@@ -274,10 +287,7 @@ func HittingSetApproach(in Input) (Result, error) {
 				}
 			}
 		}
-		res := finishResult(in, copies)
-		res.Fallback = "fullreplication"
-		res.NodesSpent = in.Meter.Spent() - start
-		return res, nil
+		return copies, "fullreplication", nil
 	}
 	// charge bills n nodes; the returned action distinguishes "keep going",
 	// "degrade" and "abort with err".
@@ -304,7 +314,7 @@ func HittingSetApproach(in Input) (Result, error) {
 			}
 		}
 		if deg, err := charge(len(todo) * len(in.Instrs)); err != nil {
-			return Result{}, err
+			return nil, "", err
 		} else if deg {
 			return degrade()
 		}
@@ -315,7 +325,7 @@ func HittingSetApproach(in Input) (Result, error) {
 		for round := 0; ; round++ {
 			combs := conflict.Combinations(in.Instrs, num)
 			if deg, err := charge(len(combs)); err != nil {
-				return Result{}, err
+				return nil, "", err
 			} else if deg {
 				return degrade()
 			}
@@ -339,7 +349,7 @@ func HittingSetApproach(in Input) (Result, error) {
 			}
 			hs := HittingSet(candSets)
 			if deg, err := charge(len(hs) * len(in.Instrs)); err != nil {
-				return Result{}, err
+				return nil, "", err
 			} else if deg {
 				return degrade()
 			}
@@ -356,7 +366,5 @@ func HittingSetApproach(in Input) (Result, error) {
 			}
 		}
 	}
-	res := finishResult(in, copies)
-	res.NodesSpent = in.Meter.Spent() - start
-	return res, nil
+	return copies, "", nil
 }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"parmem/internal/alloccache"
 	"parmem/internal/assign"
 	"parmem/internal/budget"
 	"parmem/internal/conflict"
@@ -64,7 +65,20 @@ type (
 	// InternalError is a recovered internal invariant panic; no public
 	// API call lets a panic escape.
 	InternalError = budget.InternalError
+	// AllocCache memoizes assignment subproblems (atom colorings,
+	// duplication phases, whole assignments) across compilations. It is a
+	// pure memo — hits return exactly what the computation would have
+	// produced — and is safe for concurrent use, so one cache can serve
+	// many goroutines compiling in parallel. Create one with NewAllocCache
+	// and pass it via Options.Cache or AssignConfig.Cache.
+	AllocCache = alloccache.Cache
+	// CacheStats is a snapshot of an AllocCache's hit/miss counters.
+	CacheStats = alloccache.Stats
 )
+
+// NewAllocCache returns an empty allocation cache holding at most capacity
+// entries; capacity <= 0 picks a sensible default.
+func NewAllocCache(capacity int) *AllocCache { return alloccache.New(capacity) }
 
 // Typed errors of the robustness taxonomy; test with errors.Is.
 var (
@@ -133,12 +147,27 @@ type Options struct {
 	// Ctx cancels compilation between and within phases; nil means
 	// context.Background(). Errors returned because of cancellation wrap
 	// ErrCanceled.
+	//
+	// Deprecated: pass the context to CompileCtx (and Program.RunCtx)
+	// instead. The field is still honored, but an explicit ctx argument
+	// takes precedence when both are supplied.
 	Ctx context.Context
 	// Budget caps the expensive phases. The zero value applies
 	// DefaultMaxBacktrackNodes to the duplication search; exhausting a
 	// compilation budget degrades to a cheaper strategy (see
 	// Allocation.Degraded and Allocation.Phases) instead of failing.
 	Budget Budget
+	// Workers bounds the worker pool of the parallel assignment engine:
+	// per-atom coloring and per-component duplication fan out across this
+	// many goroutines, sharing one budget meter. 0 (the default) means one
+	// worker per available CPU; 1 or any negative value forces the
+	// sequential paths. Parallel and sequential runs produce bit-identical
+	// allocations whenever the budget is not exhausted mid-run.
+	Workers int
+	// Cache memoizes assignment subproblems across compilations; nil
+	// disables caching. Share one NewAllocCache across repeated compiles
+	// of the same sources to skip the coloring and duplication searches.
+	Cache *AllocCache
 }
 
 func (o Options) withDefaults() Options {
@@ -191,8 +220,14 @@ func (o Options) ctx() context.Context {
 // *InternalError naming the phase, so no call can escape a panic.
 func recoverPhase(phase string, err *error) {
 	if r := recover(); r != nil {
-		// An inner boundary (assign, machine) may already have produced a
-		// typed error; don't re-wrap those — they never panic outward.
+		// An inner boundary (assign, machine) may already have typed the
+		// failure and re-panicked it outward; pass such values through
+		// unchanged instead of double-wrapping them — the inner Phase and
+		// Stack are the ones that name the real failure point.
+		if ie, ok := r.(*InternalError); ok {
+			*err = ie
+			return
+		}
 		*err = &InternalError{Phase: phase, Value: r, Stack: debug.Stack()}
 	}
 }
@@ -219,12 +254,25 @@ type Program struct {
 	aprog assign.Program
 }
 
-// Compile parses, lowers, renames, schedules and allocates MPL source.
+// CompileCtx parses, lowers, renames, schedules and allocates MPL source
+// under ctx. It is the primary compile entry point; Compile is the
+// ctx-less convenience form.
 //
-// Compile never panics: internal invariant failures come back as a typed
-// *InternalError. A canceled opt.Ctx aborts between or within phases with
-// an error wrapping ErrCanceled; an exhausted opt.Budget degrades the
-// affected assignment phases (see Allocation.Degraded) instead of failing.
+// CompileCtx never panics: internal invariant failures come back as a
+// typed *InternalError. A canceled ctx aborts between or within phases
+// with an error wrapping ErrCanceled; an exhausted opt.Budget degrades
+// the affected assignment phases (see Allocation.Degraded) instead of
+// failing. A nil ctx falls back to the deprecated opt.Ctx field, then to
+// context.Background().
+func CompileCtx(ctx context.Context, src string, opt Options) (*Program, error) {
+	if ctx != nil {
+		opt.Ctx = ctx
+	}
+	return Compile(src, opt)
+}
+
+// Compile is CompileCtx without an explicit context; the deprecated
+// opt.Ctx field is honored when set.
 func Compile(src string, opt Options) (p *Program, err error) {
 	defer recoverPhase("compile", &err)
 	opt = opt.withDefaults()
@@ -282,6 +330,8 @@ func Compile(src string, opt Options) (p *Program, err error) {
 		DisableAtoms: opt.DisableAtoms,
 		Ctx:          opt.Ctx,
 		Budget:       opt.Budget,
+		Workers:      opt.Workers,
+		Cache:        opt.Cache,
 	})
 	if err != nil {
 		return nil, err
@@ -290,6 +340,17 @@ func Compile(src string, opt Options) (p *Program, err error) {
 		return nil, fmt.Errorf("parmem: allocation left %d conflicting instructions (%v)", len(bad), bad)
 	}
 	return &Program{Func: f, Sched: sp, Alloc: al, Opt: opt, aprog: aprog}, nil
+}
+
+// RunCtx simulates the program on the LIW machine model under ctx. It is
+// the primary simulation entry point; Run is the ctx-less convenience
+// form. A nil ctx falls back to opt.Ctx, then to the context the program
+// was compiled under.
+func (p *Program) RunCtx(ctx context.Context, opt RunOptions) (*Result, error) {
+	if ctx != nil {
+		opt.Ctx = ctx
+	}
+	return p.Run(opt)
 }
 
 // Run simulates the program on the LIW machine model. When opt leaves Ctx
@@ -320,23 +381,50 @@ func (p *Program) PofI(res *Result) []float64 {
 	return stats.PofI(res.Profiles, p.Opt.Modules)
 }
 
+// AssignConfig configures a direct AssignValues call. The zero values of
+// Strategy and Method are the paper's defaults (STOR1, HittingSet); K is
+// required.
+type AssignConfig struct {
+	// K is the number of memory modules; required, 1..64.
+	K int
+	// Strategy scopes the conflict graph; default STOR1.
+	Strategy Strategy
+	// Method picks the duplication algorithm; default HittingSet.
+	Method Method
+	// Budget caps the duplication searches; the zero value applies
+	// DefaultMaxBacktrackNodes. Exhaustion degrades to a cheaper strategy
+	// and marks the Allocation Degraded instead of failing.
+	Budget Budget
+	// Workers bounds the parallel assignment engine's worker pool; see
+	// Options.Workers for the semantics.
+	Workers int
+	// Cache memoizes subproblem results across calls; nil disables. See
+	// Options.Cache.
+	Cache *AllocCache
+}
+
 // AssignValues runs memory-module assignment directly on a list of
 // instruction operand sets — the abstract form of the paper's §2, useful
 // when the instructions come from somewhere other than the MPL compiler.
-// Values are arbitrary small integers; k is the module count.
-func AssignValues(instrs []Instruction, k int, strategy Strategy, method Method) (Allocation, error) {
-	return AssignValuesCtx(context.Background(), instrs, k, strategy, method, Budget{})
-}
-
-// AssignValuesCtx is AssignValues with explicit cancellation and budget: a
-// canceled ctx aborts with an error wrapping ErrCanceled, and an exhausted
-// budget degrades to a cheaper duplication strategy, marking the returned
-// Allocation Degraded (its Phases record what each phase spent and which
-// fallback it took). Degraded allocations are still conflict-free.
-func AssignValuesCtx(ctx context.Context, instrs []Instruction, k int, strategy Strategy, method Method, b Budget) (al Allocation, err error) {
+// Values are arbitrary small integers.
+//
+// A canceled ctx aborts with an error wrapping ErrCanceled (nil means
+// context.Background()), and an exhausted cfg.Budget degrades to a
+// cheaper duplication strategy, marking the returned Allocation Degraded
+// (its Phases record what each phase spent and which fallback it took).
+// Degraded allocations are still conflict-free.
+func AssignValues(ctx context.Context, instrs []Instruction, cfg AssignConfig) (al Allocation, err error) {
 	defer recoverPhase("assign", &err)
 	p := assign.Program{Instrs: instrs}
-	al, err = assign.Assign(p, assign.Options{K: k, Strategy: strategy, Method: method, Ctx: ctx, Budget: b})
+	al, err = assign.Assign(p, assign.Options{
+		K:        cfg.K,
+		Strategy: cfg.Strategy,
+		Method:   cfg.Method,
+		Ctx:      ctx,
+		Budget:   cfg.Budget,
+		Workers:  cfg.Workers,
+		Cache:    cfg.Cache,
+	})
 	if err != nil {
 		return Allocation{}, err
 	}
@@ -344,6 +432,20 @@ func AssignValuesCtx(ctx context.Context, instrs []Instruction, k int, strategy 
 		return Allocation{}, fmt.Errorf("parmem: allocation left conflicts in instructions %v", bad)
 	}
 	return al, nil
+}
+
+// AssignValuesLegacy is the positional form of AssignValues.
+//
+// Deprecated: use AssignValues with an AssignConfig.
+func AssignValuesLegacy(instrs []Instruction, k int, strategy Strategy, method Method) (Allocation, error) {
+	return AssignValues(context.Background(), instrs, AssignConfig{K: k, Strategy: strategy, Method: method})
+}
+
+// AssignValuesCtx is the positional, ctx-and-budget form of AssignValues.
+//
+// Deprecated: use AssignValues with an AssignConfig.
+func AssignValuesCtx(ctx context.Context, instrs []Instruction, k int, strategy Strategy, method Method, b Budget) (Allocation, error) {
+	return AssignValues(ctx, instrs, AssignConfig{K: k, Strategy: strategy, Method: method, Budget: b})
 }
 
 // ConflictFree reports whether the operand set can be fetched in one cycle
