@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet staticcheck bench tables
+.PHONY: build test check race vet staticcheck bench bench-json tables
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,16 @@ check: vet staticcheck race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-json runs the dense-core regression benchmarks (graph, coloring and
+# duplication kernels, dense vs map ablation pairs) and archives the numbers
+# — ns/op, B/op, allocs/op — as BENCH_parmem.json for diffing across
+# commits.
+bench-json:
+	$(GO) test -run='^$$' -bench='BenchmarkDenseVsMap|BenchmarkColoring|BenchmarkDuplication' \
+		-benchmem ./internal/graph ./internal/coloring ./internal/duplication \
+		| $(GO) run ./cmd/bench2json -o BENCH_parmem.json
+	@echo wrote BENCH_parmem.json
 
 tables:
 	$(GO) run ./cmd/parmem-tables

@@ -1,0 +1,110 @@
+// Command bench2json converts `go test -bench` text output into JSON so the
+// benchmark numbers can be archived and diffed across commits without any
+// third-party tooling.
+//
+// It reads the benchmark output on stdin and writes a JSON document to
+// stdout (or -o file): one record per benchmark with the iteration count
+// and every reported metric (ns/op, B/op, allocs/op and any custom
+// testing.B ReportMetric units) keyed by unit.
+//
+//	go test -bench . -benchmem ./... | bench2json -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result line.
+type Record struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Output is the whole document.
+type Output struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        []string `json:"packages,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	var doc Output
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = append(doc.Pkg, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		rec, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		doc.Benchmarks = append(doc.Benchmarks, rec)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one result line of the form
+//
+//	BenchmarkName-8   123   456.7 ns/op   89 B/op   10 allocs/op
+//
+// Metric values and units come in pairs after the iteration count.
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Record{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, true
+}

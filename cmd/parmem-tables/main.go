@@ -11,8 +11,9 @@
 //	parmem-tables -speedup   only the speed-up report
 //	parmem-tables -figures   only the worked figures
 //
-// -timeout bounds the whole regeneration with a context deadline. Exit
-// codes: 0 success, 1 failure, 4 canceled (timeout).
+// -timeout bounds the whole regeneration with a context deadline.
+// -cpuprofile and -memprofile write runtime/pprof profiles of the sweep.
+// Exit codes: 0 success, 1 failure, 4 canceled (timeout).
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"parmem"
 	"parmem/internal/assign"
 	"parmem/internal/conflict"
+	"parmem/internal/profiling"
 )
 
 // Exit codes. 2 is reserved (flag parse errors use it), 3 means a
@@ -45,8 +47,17 @@ func main() {
 		workers    = flag.Int("workers", 0, "assignment worker pool size (0 = one per CPU, 1 = sequential)")
 		useCache   = flag.Bool("cache", true, "share an allocation cache across the suite's recompilations")
 		cacheStats = flag.Bool("cache-stats", false, "print allocation-cache hit/miss counters at the end")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -187,7 +198,13 @@ func maxValue(instrs []conflict.Instruction) int {
 	return max
 }
 
+// stopProfiles flushes any active profiles; fatal must call it because
+// deferred functions do not run past os.Exit. Replaced in main once
+// profiling starts.
+var stopProfiles = func() {}
+
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "parmem-tables:", err)
 	if errors.Is(err, parmem.ErrCanceled) {
 		os.Exit(exitCanceled)

@@ -11,7 +11,9 @@
 // Flags select output: -dump-ir, -dump-sched, -dump-alloc, -dump-conflicts,
 // -run, -stats. Robustness flags: -timeout bounds the whole run with a
 // context deadline, -budget-nodes caps the backtracking search, and
-// -max-cycles caps simulation length.
+// -max-cycles caps simulation length. Observability flags: -cpuprofile and
+// -memprofile write runtime/pprof profiles; -reference runs the map-graph
+// reference assignment phases instead of the dense core (ablation).
 //
 // Exit codes: 0 success, 1 failure, 3 success but the allocator degraded
 // to a fallback method (budget exhausted), 4 canceled (timeout).
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"parmem"
+	"parmem/internal/profiling"
 )
 
 // Exit codes. 2 is reserved (flag parse errors use it).
@@ -57,10 +60,20 @@ func main() {
 		showStats = flag.Bool("stats", false, "print allocation and execution statistics")
 		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 disables)")
 		nodes     = flag.Int64("budget-nodes", 0, "backtracking node budget (0 = default, -1 = unlimited)")
-		maxCycles = flag.Int64("max-cycles", 0, "with -run: abort after this many machine cycles (0 disables)")
-		workers   = flag.Int("workers", 0, "assignment worker pool size (0 = one per CPU, 1 = sequential)")
+		maxCycles  = flag.Int64("max-cycles", 0, "with -run: abort after this many machine cycles (0 disables)")
+		workers    = flag.Int("workers", 0, "assignment worker pool size (0 = one per CPU, 1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		reference  = flag.Bool("reference", false, "use the map-graph reference assignment phases (ablation)")
 	)
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -84,6 +97,7 @@ func main() {
 		DisableAtoms:    *noAtoms,
 		DisableRenaming: *noRename,
 		Workers:         *workers,
+		Reference:       *reference,
 	}
 	switch *strategy {
 	case "STOR1":
@@ -162,9 +176,15 @@ func main() {
 			times.TMin, times.TAve, times.TMax, times.RatioAve(), times.RatioMax())
 	}
 	if p.Alloc.Degraded {
+		stopProfiles()
 		os.Exit(exitDegraded)
 	}
 }
+
+// stopProfiles flushes any active profiles; every os.Exit path must call it
+// because deferred functions do not run past Exit. Replaced in main once
+// profiling starts.
+var stopProfiles = func() {}
 
 func readSource(bench string, args []string) (src, name string, err error) {
 	if bench != "" {
@@ -212,6 +232,7 @@ func printAlloc(p *parmem.Program) {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "parmemc:", err)
 	if errors.Is(err, parmem.ErrCanceled) {
 		os.Exit(exitCanceled)

@@ -143,19 +143,30 @@ func (c *Cache) Len() int {
 // the same hash (identical graphs always do), which makes the hash a cheap
 // leading discriminator for cache keys.
 func CanonicalHash(g *graph.Graph) uint64 {
-	nodes := g.Nodes()
-	// Rank vertices by (degree, id): a cheap canonical order that is exact
-	// for identical graphs and groups many isomorphic ones.
-	order := make([]int, len(nodes))
-	copy(order, nodes)
+	return CanonicalHashDense(graph.FromGraph(g))
+}
+
+// CanonicalHashDense is CanonicalHash computed from a dense snapshot. The
+// hashed byte stream is identical to the historical map-graph computation —
+// dense indices ascend with original ids, so the (degree, id) canonical
+// rank equals the (degree, index) rank used here — which keeps every cache
+// key stable across the dense-core migration.
+func CanonicalHashDense(d *graph.Dense) uint64 {
+	n := d.N()
+	// Rank vertices by (degree, index): a cheap canonical order that is
+	// exact for identical graphs and groups many isomorphic ones.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
 	sort.Slice(order, func(i, j int) bool {
-		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		di, dj := d.Deg(order[i]), d.Deg(order[j])
 		if di != dj {
 			return di < dj
 		}
 		return order[i] < order[j]
 	})
-	label := make(map[int]int, len(order))
+	label := make([]int, n)
 	for i, v := range order {
 		label[v] = i
 	}
@@ -168,15 +179,21 @@ func CanonicalHash(g *graph.Graph) uint64 {
 		}
 		h.Write(buf[:])
 	}
-	writeInt(len(nodes))
+	writeInt(n)
 	type edge struct{ u, v, w int }
-	var edges []edge
-	for _, e := range g.Edges() {
-		u, v := label[e.U], label[e.V]
-		if u > v {
-			u, v = v, u
+	edges := make([]edge, 0, d.NumEdges())
+	for i := 0; i < n; i++ {
+		row, wts := d.Row(int32(i)), d.WeightRow(int32(i))
+		for j, nb := range row {
+			if int32(i) >= nb {
+				continue
+			}
+			u, v := label[i], label[nb]
+			if u > v {
+				u, v = v, u
+			}
+			edges = append(edges, edge{u, v, int(wts[j])})
 		}
-		edges = append(edges, edge{u, v, e.W})
 	}
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].u != edges[j].u {
@@ -241,14 +258,27 @@ func (k *Key) IntMap(m map[int]int) {
 // then the precise node and weighted edge lists with their original ids,
 // which is what makes the overall signature a pure memo key.
 func (k *Key) Graph(g *graph.Graph) {
-	k.int64(int64(CanonicalHash(g)))
-	k.Ints(g.Nodes())
-	edges := g.Edges()
-	k.int64(int64(len(edges)))
-	for _, e := range edges {
-		k.int64(int64(e.U))
-		k.int64(int64(e.V))
-		k.int64(int64(e.W))
+	k.GraphDense(graph.FromGraph(g))
+}
+
+// GraphDense is Graph from a dense snapshot, emitting byte-identical
+// signature bytes: IDs() is Nodes() and the ascending CSR walk below visits
+// edges in exactly Edges() order, so keys written before and after the
+// dense-core migration compare equal.
+func (k *Key) GraphDense(d *graph.Dense) {
+	k.int64(int64(CanonicalHashDense(d)))
+	k.Ints(d.IDs())
+	k.int64(int64(d.NumEdges()))
+	n := d.N()
+	for i := 0; i < n; i++ {
+		row, wts := d.Row(int32(i)), d.WeightRow(int32(i))
+		for j, nb := range row {
+			if int32(i) < nb {
+				k.int64(int64(d.ID(int32(i))))
+				k.int64(int64(d.ID(nb)))
+				k.int64(int64(wts[j]))
+			}
+		}
 	}
 }
 

@@ -123,6 +123,12 @@ type Options struct {
 	// computation would have produced — and may be shared by concurrent
 	// assignments.
 	Cache *alloccache.Cache
+	// Reference runs the map-graph reference implementations of the
+	// coloring heuristic and the clique-separator decomposition instead of
+	// the dense-core ones. Both backends are bit-identical (enforced by the
+	// differential pipeline tests); the knob exists for those tests and for
+	// ablation benchmarks.
+	Reference bool
 }
 
 // validate rejects option values that would otherwise trip internal
@@ -310,7 +316,7 @@ func (st *phaseState) colorPhase(g *graph.Graph, opt Options) (map[int]int, []in
 	}
 
 	if opt.DisableAtoms {
-		res := coloring.GuptaSoffa(work, coloring.Options{K: opt.K, Precolored: pre, Pick: opt.Pick})
+		res := coloring.GuptaSoffa(work, coloring.Options{K: opt.K, Precolored: pre, Pick: opt.Pick, Reference: opt.Reference})
 		return res.Assign, res.Unassigned
 	}
 	// Atoms are carved off one at a time, each sharing a clique separator
@@ -324,7 +330,11 @@ func (st *phaseState) colorPhase(g *graph.Graph, opt Options) (map[int]int, []in
 	// worker pool; both produce identical results.
 	// The decomposition itself fans out per connected component (merged in
 	// component order, so it too is deterministic).
-	dec := atoms.DecomposeParallel(work, opt.workerCount())
+	decompose := atoms.DecomposeParallel
+	if opt.Reference {
+		decompose = atoms.DecomposeParallelRef
+	}
+	dec := decompose(work, opt.workerCount())
 	st.atoms += len(dec.Atoms)
 	return colorAtoms(dec, pre, opt)
 }

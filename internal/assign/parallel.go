@@ -104,7 +104,7 @@ func colorOneAtom(a atoms.Atom, removed map[int]bool, assigned, pre map[int]int,
 			return e.(*atomColorResult)
 		}
 	}
-	res := coloring.GuptaSoffa(sub, coloring.Options{K: opt.K, Precolored: preA, Pick: opt.Pick})
+	res := coloring.GuptaSoffa(sub, coloring.Options{K: opt.K, Precolored: preA, Pick: opt.Pick, Reference: opt.Reference})
 	out := &atomColorResult{assign: res.Assign, unassigned: res.Unassigned}
 	if opt.Cache != nil {
 		opt.Cache.Put(key, out)

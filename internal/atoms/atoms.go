@@ -66,8 +66,16 @@ func (h *wheap) Push(x any)   { *h = append(*h, x.(wItem)) }
 func (h *wheap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
 // MCSM runs the MCS-M algorithm on g, returning a minimal elimination
-// ordering and the fill of the corresponding minimal triangulation.
+// ordering and the fill of the corresponding minimal triangulation. It runs
+// on a dense snapshot of g (see mcsmDense); MCSMRef is the map-backed
+// original, which produces bit-identical results.
 func MCSM(g *graph.Graph) Triangulation {
+	return mcsmDense(graph.FromGraph(g))
+}
+
+// MCSMRef is the original map-graph MCS-M implementation, retained as the
+// differential-test and ablation baseline of mcsmDense.
+func MCSMRef(g *graph.Graph) Triangulation {
 	nodes := g.Nodes()
 	n := len(nodes)
 	weight := make(map[int]int, n)
@@ -176,17 +184,31 @@ func MCSM(g *graph.Graph) Triangulation {
 // of each clique minimal separator are shared between atoms. A disconnected
 // graph is decomposed one connected component at a time. An empty graph
 // yields no atoms.
+//
+// The per-component work runs on the dense graph core; DecomposeRef is the
+// map-backed original, which produces bit-identical results.
 func Decompose(g *graph.Graph) Decomposition {
+	return decomposeWith(g, decomposeConnectedDense)
+}
+
+// DecomposeRef is Decompose on the original map-graph implementation,
+// retained as the differential-test and ablation baseline of the dense core.
+func DecomposeRef(g *graph.Graph) Decomposition {
+	return decomposeWith(g, decomposeConnectedRef)
+}
+
+func decomposeWith(g *graph.Graph, fn func(*graph.Graph, *Decomposition)) Decomposition {
 	var d Decomposition
 	for _, comp := range g.ConnectedComponents() {
-		decomposeConnected(g.Induced(comp), &d)
+		fn(g.Induced(comp), &d)
 	}
 	return d
 }
 
-// decomposeConnected appends the atoms of the connected graph g to d.
-func decomposeConnected(g *graph.Graph, d *Decomposition) {
-	tri := MCSM(g)
+// decomposeConnectedRef appends the atoms of the connected graph g to d
+// using the map-backed graph throughout.
+func decomposeConnectedRef(g *graph.Graph, d *Decomposition) {
+	tri := MCSMRef(g)
 	d.Fill += len(tri.Fill)
 
 	// H = G + fill.

@@ -1,0 +1,203 @@
+package atoms
+
+import (
+	"container/heap"
+	"sort"
+
+	"parmem/internal/graph"
+)
+
+// mcsmDense is MCS-M on the frozen dense graph core. The map-backed
+// implementation (mcsmRef) allocates a weight map, a visited map and a
+// sorted neighbor slice per elimination step; this version runs the same
+// algorithm over index-addressed scratch arrays reused across steps.
+//
+// Dense indices ascend with original ids, so every id-based tie-break
+// (heap pops, bottleneck extract-min, bumped-vertex ordering) is preserved
+// and the returned ordering and fill are bit-identical to mcsmRef's.
+func mcsmDense(d *graph.Dense) Triangulation {
+	n := d.N()
+	weight := make([]int, n)
+	numbered := make([]bool, n)
+	order := make([]int, n) // dense indices; converted to ids at the end
+	var fill []graph.Edge
+
+	// Lazy max-heap of candidate (index, weight) pairs; stale entries are
+	// skipped on pop.
+	h := &wheap{}
+	for i := 0; i < n; i++ {
+		heap.Push(h, wItem{i, 0})
+	}
+
+	// Bottleneck-search scratch, reused across elimination steps: mw[u] is
+	// valid only while mwSet[u]; touched lists the set entries to reset.
+	mw := make([]int, n)
+	mwSet := make([]bool, n)
+	var touched []int32
+	type qi struct {
+		v int32
+		d int
+	}
+	var pq []qi
+	var bumped []int32
+
+	for i := n - 1; i >= 0; i-- {
+		// Pick the unnumbered vertex with maximum weight (lowest index on
+		// tie — the heap comparator).
+		var v int32
+		for {
+			it := heap.Pop(h).(wItem)
+			if !numbered[it.v] && weight[it.v] == it.w {
+				v = int32(it.v)
+				break
+			}
+		}
+		order[i] = int(v)
+		numbered[v] = true
+
+		// Bottleneck search: mw[u] = minimum over v→u paths through
+		// unnumbered intermediates of the maximum intermediate weight
+		// (-1 when u is a direct neighbor). u is reachable "for increment"
+		// iff mw[u] < weight[u].
+		for _, u := range touched {
+			mwSet[u] = false
+		}
+		touched = touched[:0]
+		pq = pq[:0]
+		push := func(u int32, dd int) {
+			if !mwSet[u] {
+				mwSet[u] = true
+				mw[u] = dd
+				touched = append(touched, u)
+				pq = append(pq, qi{u, dd})
+			} else if dd < mw[u] {
+				mw[u] = dd
+				pq = append(pq, qi{u, dd})
+			}
+		}
+		for _, u := range d.Row(v) {
+			if !numbered[u] {
+				push(u, -1)
+			}
+		}
+		for len(pq) > 0 {
+			// Extract min (d, v) by linear scan — small sparse graphs;
+			// determinism matters more than asymptotics.
+			best := 0
+			for j := 1; j < len(pq); j++ {
+				if pq[j].d < pq[best].d || (pq[j].d == pq[best].d && pq[j].v < pq[best].v) {
+					best = j
+				}
+			}
+			cur := pq[best]
+			pq[best] = pq[len(pq)-1]
+			pq = pq[:len(pq)-1]
+			if cur.d > mw[cur.v] {
+				continue // stale
+			}
+			through := cur.d
+			if weight[cur.v] > through {
+				through = weight[cur.v]
+			}
+			for _, x := range d.Row(cur.v) {
+				if !numbered[x] && x != v {
+					push(x, through)
+				}
+			}
+		}
+		// Increment and add fill edges, lowest index (= lowest id) first.
+		bumped = bumped[:0]
+		for _, u := range touched {
+			if mw[u] < weight[u] {
+				bumped = append(bumped, u)
+			}
+		}
+		sort.Slice(bumped, func(a, b int) bool { return bumped[a] < bumped[b] })
+		for _, u := range bumped {
+			weight[u]++
+			heap.Push(h, wItem{int(u), weight[u]})
+			if !d.HasEdgeIdx(u, v) {
+				a, b := d.ID(u), d.ID(v)
+				if a > b {
+					a, b = b, a
+				}
+				fill = append(fill, graph.Edge{U: a, V: b, W: 1})
+			}
+		}
+	}
+	sort.Slice(fill, func(i, j int) bool {
+		if fill[i].U != fill[j].U {
+			return fill[i].U < fill[j].U
+		}
+		return fill[i].V < fill[j].V
+	})
+	out := make([]int, n)
+	for i, idx := range order {
+		out[i] = d.ID(int32(idx))
+	}
+	return Triangulation{Order: out, Fill: fill}
+}
+
+// decomposeConnectedDense appends the atoms of the connected graph g to d,
+// using the dense core for the frozen reads: MCS-M runs on a Dense snapshot
+// of g, the triangulation H = G+F is snapshotted once fill edges are known,
+// clique tests probe G's bitset adjacency, and the shrinking G' scans reuse
+// neighbor buffers.
+func decomposeConnectedDense(g *graph.Graph, d *Decomposition) {
+	gd := graph.FromGraph(g)
+	tri := mcsmDense(gd)
+	d.Fill += len(tri.Fill)
+
+	// H = G + fill, frozen after construction.
+	h := g.Clone()
+	for _, e := range tri.Fill {
+		h.AddEdge(e.U, e.V, 0)
+	}
+	hd := graph.FromGraph(h)
+
+	// pos[i] = position of dense index i in the elimination order. H has
+	// exactly G's vertex set, so gd and hd share one id↔index mapping.
+	pos := make([]int, gd.N())
+	for i, v := range tri.Order {
+		pos[gd.Index(v)] = i
+	}
+
+	gp := g.Clone() // G', shrinking as components split off
+	var s []int
+	for i, x := range tri.Order {
+		if !gp.HasNode(x) {
+			continue // already carved out with an earlier atom's component
+		}
+		// S = later neighbors of x in H that are still present in G'.
+		// hd rows are ascending by index (= by id), so s is born sorted.
+		s = s[:0]
+		for _, u := range hd.Row(hd.Index(x)) {
+			if pos[u] > i && gp.HasNode(gd.ID(u)) {
+				s = append(s, gd.ID(u))
+			}
+		}
+		if len(s) == 0 || !gd.IsCliqueIDs(s) {
+			continue
+		}
+		// S is a clique in G; check that removing it separates x from the
+		// rest of G'.
+		comp := gp.ComponentContaining(x, s)
+		if len(comp)+len(s) >= gp.NumNodes() {
+			continue // not a proper split: C ∪ S is all of G'
+		}
+		// S must be a *minimal* separator (see minimalSeparator).
+		if !minimalSeparator(gp, s, comp) {
+			continue
+		}
+		atomNodes := append(append([]int{}, comp...), s...)
+		sort.Ints(atomNodes)
+		d.Atoms = append(d.Atoms, makeAtom(g, atomNodes))
+		d.Separators = append(d.Separators, append([]int{}, s...))
+		for _, c := range comp {
+			gp.RemoveNode(c)
+		}
+	}
+	if gp.NumNodes() > 0 {
+		d.Atoms = append(d.Atoms, makeAtom(g, gp.Nodes()))
+	}
+}

@@ -13,12 +13,22 @@ import (
 // and the per-component results are merged in component order, so the
 // output is bit-identical to Decompose's for every input.
 func DecomposeParallel(g *graph.Graph, workers int) Decomposition {
+	return decomposeParallelWith(g, workers, decomposeConnectedDense)
+}
+
+// DecomposeParallelRef is DecomposeParallel on the map-backed reference
+// implementation (see DecomposeRef).
+func DecomposeParallelRef(g *graph.Graph, workers int) Decomposition {
+	return decomposeParallelWith(g, workers, decomposeConnectedRef)
+}
+
+func decomposeParallelWith(g *graph.Graph, workers int, fn func(*graph.Graph, *Decomposition)) Decomposition {
 	comps := g.ConnectedComponents()
 	if workers > len(comps) {
 		workers = len(comps)
 	}
 	if workers <= 1 || len(comps) < 2 {
-		return Decompose(g)
+		return decomposeWith(g, fn)
 	}
 
 	parts := make([]Decomposition, len(comps))
@@ -36,7 +46,7 @@ func DecomposeParallel(g *graph.Graph, workers int) Decomposition {
 							panics[i] = r
 						}
 					}()
-					decomposeConnected(g.Induced(comps[i]), &parts[i])
+					fn(g.Induced(comps[i]), &parts[i])
 				}()
 			}
 		}()

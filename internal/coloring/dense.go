@@ -1,0 +1,160 @@
+package coloring
+
+import (
+	"fmt"
+
+	"parmem/internal/graph"
+)
+
+// guptaSoffaDense is the urgency heuristic of paper Fig. 4 on the frozen
+// dense graph core: the conflict graph is snapshotted into CSR + flat
+// arrays once, and the selection loop runs over index-addressed scratch
+// slices instead of per-iteration maps and sorted copies.
+//
+// It is bit-identical to guptaSoffaMap for every input: dense indices are
+// assigned in ascending id order, so every "lowest id first" tie-break of
+// the map implementation is "lowest index first" here, and both scan
+// candidates in that same order.
+func guptaSoffaDense(g *graph.Graph, opt Options) Result {
+	k := opt.K
+	if k < 1 {
+		panic(fmt.Sprintf("coloring: K = %d, need at least one module", k))
+	}
+	d := graph.FromGraph(g)
+	n := d.N()
+
+	assign := make(map[int]int, n)
+	asg := make([]int32, n) // module+1 per dense index; 0 = unassigned
+	for v, m := range opt.Precolored {
+		if m < 0 || m >= k {
+			panic(fmt.Sprintf("coloring: precolored node %d has module %d outside [0,%d)", v, m, k))
+		}
+		if i := d.Index(v); i >= 0 {
+			assign[v] = m
+			asg[i] = int32(m) + 1
+		}
+	}
+	res := Result{Assign: assign}
+
+	// S_ni = total outgoing weight under the directed-weight rule of
+	// Fig. 4: edges leaving a node of degree < k weigh nothing, otherwise
+	// conf(ni,nj) — which is the plain sum of the node's CSR weight row.
+	s := make([]int, n)
+	for i := int32(0); int(i) < n; i++ {
+		if d.Deg(i) < k {
+			continue
+		}
+		sum := 0
+		for _, w := range d.WeightRow(i) {
+			sum += int(w)
+		}
+		s[i] = sum
+	}
+
+	rest := make([]bool, n)
+	nrest := 0
+	for i := range rest {
+		if asg[i] == 0 {
+			rest[i] = true
+			nrest++
+		}
+	}
+
+	moduleLoad := make([]int, k)
+	for _, m := range assign {
+		moduleLoad[m]++
+	}
+
+	// If nothing is precolored, seed with the maximum-S node, assigned to
+	// module 0 (paper: ASSIGN(n_first) = M1). Ascending scan with strict
+	// improvement keeps the lowest index on ties.
+	if len(assign) == 0 && nrest > 0 {
+		first := -1
+		for i := 0; i < n; i++ {
+			if rest[i] && (first == -1 || s[i] > s[first]) {
+				first = i
+			}
+		}
+		assign[d.ID(int32(first))] = 0
+		asg[first] = 1
+		moduleLoad[0]++
+		rest[first] = false
+		nrest--
+	}
+
+	used := make([]bool, k) // scratch: modules taken by assigned neighbors
+	for nrest > 0 {
+		// Choose n_next maximizing urgency U = (Σ incoming weight from
+		// assigned neighbors) / K_nj, comparing fractions by
+		// cross-multiplication; K_nj = 0 is infinite urgency (the node goes
+		// to V_unassigned immediately). Ascending index scan + the strict
+		// better() rules reproduce the map implementation's ordering.
+		best, bestNum, bestDen := int32(-1), 0, 0
+		for i := int32(0); int(i) < n; i++ {
+			if !rest[i] {
+				continue
+			}
+			for m := range used {
+				used[m] = false
+			}
+			num := 0
+			row, wts := d.Row(i), d.WeightRow(i)
+			for j, u := range row {
+				if a := asg[u]; a != 0 {
+					used[a-1] = true
+					if d.Deg(u) >= k { // wt(u,i): 0 when deg(u) < k
+						num += int(wts[j])
+					}
+				}
+			}
+			den := 0
+			for m := 0; m < k; m++ {
+				if !used[m] {
+					den++
+				}
+			}
+			if best == -1 || denseBetter(num, den, s[i], bestNum, bestDen, s[best]) {
+				best, bestNum, bestDen = i, num, den
+			}
+		}
+
+		rest[best] = false
+		nrest--
+		if bestDen == 0 {
+			res.Unassigned = append(res.Unassigned, d.ID(best))
+			continue
+		}
+		for m := range used {
+			used[m] = false
+		}
+		for _, u := range d.Row(best) {
+			if a := asg[u]; a != 0 {
+				used[a-1] = true
+			}
+		}
+		m := pickModule(used, moduleLoad, opt.Pick)
+		assign[d.ID(best)] = m
+		asg[best] = int32(m) + 1
+		moduleLoad[m]++
+	}
+	return res
+}
+
+// denseBetter reports whether candidate a = (aNum/aDen, tie aS) beats the
+// incumbent b under the urgency comparison of Fig. 4. The caller scans
+// candidates in ascending index order, so "equal" means the incumbent (the
+// lower index) wins — exactly the a.v < b.v tie-break of the map version.
+func denseBetter(aNum, aDen, aS, bNum, bDen, bS int) bool {
+	// Infinite urgencies (den 0) first.
+	if (aDen == 0) != (bDen == 0) {
+		return aDen == 0
+	}
+	if aDen == 0 { // both infinite: higher num wins, ties keep the incumbent
+		return aNum > bNum
+	}
+	l, r := aNum*bDen, bNum*aDen
+	if l != r {
+		return l > r
+	}
+	return aS > bS
+}

@@ -59,20 +59,64 @@ func Normalize(instrs []Instruction) []Instruction {
 // Every operand becomes a vertex (including operands that never conflict);
 // the weight of edge {u,v} is conf(u,v), the number of instructions whose
 // operand sets contain both u and v.
+//
+// Operand values are interned onto dense int32 indices so the pair counts
+// accumulate in a map keyed by one packed uint64 per pair instead of two
+// nested graph-map probes per occurrence; the graph receives one
+// AddEdgeWeight per *distinct* pair at the end. The result is identical to
+// inserting pairs one occurrence at a time.
 func Build(instrs []Instruction) *graph.Graph {
-	g := graph.New()
+	intern := make(map[ValueID]int32)
+	var ids []ValueID // index -> value id, first-seen order
+	conf := make(map[uint64]int)
+	var ops Instruction // reusable normalize buffer
 	for _, in := range instrs {
-		ops := in.Normalize()
-		for _, v := range ops {
-			g.AddNode(v)
-		}
-		for i := 0; i < len(ops); i++ {
-			for j := i + 1; j < len(ops); j++ {
-				g.AddEdgeWeight(ops[i], ops[j], 1)
+		ops = normalizeInto(in, ops[:0])
+		for i, v := range ops {
+			vi, ok := intern[v]
+			if !ok {
+				vi = int32(len(ids))
+				intern[v] = vi
+				ids = append(ids, v)
+			}
+			// ops is sorted ascending and interning follows scan order only
+			// for fresh values, so pack the pair by index as (lo,hi).
+			for j := 0; j < i; j++ {
+				ui := intern[ops[j]]
+				lo, hi := ui, vi
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				conf[uint64(lo)<<32|uint64(hi)]++
 			}
 		}
 	}
+	g := graph.New()
+	for _, v := range ids {
+		g.AddNode(v)
+	}
+	for key, w := range conf {
+		g.AddEdgeWeight(ids[key>>32], ids[uint32(key)], w)
+	}
 	return g
+}
+
+// normalizeInto is Instruction.Normalize with a caller-supplied buffer: it
+// appends the sorted, deduplicated operand set of in to buf and returns the
+// extended slice.
+func normalizeInto(in Instruction, buf Instruction) Instruction {
+	base := len(buf)
+	buf = append(buf, in...)
+	out := buf[base:]
+	sort.Ints(out)
+	w := 0
+	for i := range out {
+		if i == 0 || out[i] != out[i-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return buf[:base+w]
 }
 
 // Conf returns conf(u,v): the number of instructions using both u and v.

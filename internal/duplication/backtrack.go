@@ -250,11 +250,7 @@ func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int, meter 
 		}
 		if i == len(freeVals) {
 			// Validate with the full SDR including multi-copy fixed values.
-			trial := copies.Clone()
-			for j, v := range freeVals {
-				trial[v] = trial[v].Add(choice[j])
-			}
-			if ConflictFree(ops, trial) {
+			if conflictFreeWith(ops, copies, freeVals, choice) {
 				bestCost = cost
 				bestChoice = append(bestChoice[:0], choice...)
 			}
@@ -292,4 +288,29 @@ func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int, meter 
 		copies[v] = copies[v].Add(bestChoice[j])
 	}
 	return true, nil
+}
+
+// conflictFreeWith is ConflictFree(ops, copies) with a trial placement
+// applied virtually: freeVals[j] gains module choice[j] for the duration of
+// the check, without cloning the copy table. It is the leaf test of the
+// backtracking search, hit once per candidate placement — the clone it
+// replaces dominated the allocation profile of the whole strategy.
+func conflictFreeWith(ops []int, copies Copies, freeVals, choice []int) bool {
+	var arr [64]ModSet
+	sets := arr[:0]
+	for _, v := range ops {
+		s := copies[v]
+		for j, f := range freeVals {
+			if f == v {
+				s = s.Add(choice[j])
+			}
+		}
+		if s != 0 {
+			if len(sets) == cap(sets) {
+				return false // pigeonhole, as in HasSDR
+			}
+			sets = append(sets, s)
+		}
+	}
+	return matchAll(sets)
 }

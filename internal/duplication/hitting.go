@@ -147,11 +147,18 @@ func Place(instrs []conflict.Instruction, copies Copies, hs []int, repl map[int]
 		}
 	}
 
-	// conflicting instructions that involve v, counted per group.
+	// conflicting instructions that involve v, counted per group. copies is
+	// constant until placement starts, so the free/conflicting status of
+	// each instruction is computed once, and each value's vector once —
+	// not per comparator call of the sort below.
+	confl := make([]bool, len(gis))
+	for i, gi := range gis {
+		confl[i] = !ConflictFree(gi.ops, copies)
+	}
 	conflVector := func(v int) []int {
 		vec := make([]int, k+1)
-		for _, gi := range gis {
-			if ConflictFree(gi.ops, copies) {
+		for i, gi := range gis {
+			if !confl[i] {
 				continue
 			}
 			for _, o := range gi.ops {
@@ -163,12 +170,16 @@ func Place(instrs []conflict.Instruction, copies Copies, hs []int, repl map[int]
 		}
 		return vec
 	}
+	vecs := make(map[int][]int, len(hs))
+	for _, v := range hs {
+		vecs[v] = conflVector(v)
+	}
 
 	// Order the values: the one involved in the most group-1 conflicts
 	// first, comparing group vectors lexicographically.
 	order := append([]int(nil), hs...)
 	sort.SliceStable(order, func(a, b int) bool {
-		va, vb := conflVector(order[a]), conflVector(order[b])
+		va, vb := vecs[order[a]], vecs[order[b]]
 		for y := 1; y <= k; y++ {
 			if va[y] != vb[y] {
 				return va[y] > vb[y]

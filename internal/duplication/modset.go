@@ -100,18 +100,83 @@ func (c Copies) Multi() int {
 // combination sizes are at most k ≤ 64, so this is effectively constant
 // time.
 func HasSDR(values []int, copies Copies) bool {
-	// Collect the constrained values (those that already have copies).
+	// Collect the constrained values (those that already have copies) into a
+	// stack buffer — HasSDR runs inside the innermost search loops of both
+	// duplication strategies and must not allocate.
+	var st sdrState
+	sets := st.sets[:0]
+	for _, v := range values {
+		if s := copies[v]; s != 0 {
+			if len(sets) == cap(sets) {
+				return false // pigeonhole: more constrained values than modules
+			}
+			sets = append(sets, s)
+		}
+	}
+	return st.matchAll(sets)
+}
+
+// sdrState is the scratch of one bipartite-matching run. It lives on the
+// caller's stack: the matcher is a method rather than a recursive closure
+// precisely so escape analysis keeps it there (the closure form forced a
+// heap allocation per call).
+type sdrState struct {
+	sets      [64]ModSet
+	matchedBy [64]int8 // module -> set index, -1 = free
+}
+
+// matchAll reports whether every set can be matched to a distinct module.
+// Matching state lives in fixed arrays (module indices are < 64 by the
+// ModSet representation) and candidate modules are iterated by peeling the
+// lowest set bit — ascending module order, exactly like the Modules() slice
+// the map-based implementation walked, so the match outcome is unchanged.
+func (st *sdrState) matchAll(sets []ModSet) bool {
+	if len(sets) > 64 {
+		return false // pigeonhole
+	}
+	for i := range st.matchedBy {
+		st.matchedBy[i] = -1
+	}
+	for i := range sets {
+		visited := ModSet(0)
+		if !st.try(sets, i, &visited) {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *sdrState) try(sets []ModSet, i int, visited *ModSet) bool {
+	for {
+		rem := sets[i] &^ *visited
+		if rem == 0 {
+			return false
+		}
+		m := bits.TrailingZeros64(uint64(rem))
+		*visited = visited.Add(m)
+		if h := st.matchedBy[m]; h < 0 || st.try(sets, int(h), visited) {
+			st.matchedBy[m] = int8(i)
+			return true
+		}
+	}
+}
+
+// matchAll is the slice-input form used by callers that assemble their own
+// set list (conflictFreeWith).
+func matchAll(sets []ModSet) bool {
+	var st sdrState
+	return st.matchAll(sets)
+}
+
+// hasSDRRef is the original map-and-slice implementation of HasSDR,
+// retained as the ablation baseline for BenchmarkDuplication*.
+func hasSDRRef(values []int, copies Copies) bool {
 	sets := make([]ModSet, 0, len(values))
 	for _, v := range values {
 		if s := copies[v]; s != 0 {
 			sets = append(sets, s)
 		}
 	}
-	return matchAll(sets)
-}
-
-// matchAll reports whether every set can be matched to a distinct module.
-func matchAll(sets []ModSet) bool {
 	matchedBy := make(map[int]int) // module -> set index
 	var try func(i int, visited *ModSet) bool
 	try = func(i int, visited *ModSet) bool {
@@ -160,40 +225,39 @@ func MatchModules(values []int, copies Copies) (map[int]int, bool) {
 			es = append(es, entry{v, s})
 		}
 	}
-	matchedBy := make(map[int]int) // module -> entry index
+	var matchedBy [64]int // module -> entry index, -1 = free
+	for i := range matchedBy {
+		matchedBy[i] = -1
+	}
 	var try func(i int, visited *ModSet) bool
 	try = func(i int, visited *ModSet) bool {
-		for _, m := range es[i].s.Modules() {
-			if visited.Has(m) {
-				continue
+		for {
+			rem := es[i].s &^ *visited
+			if rem == 0 {
+				return false
 			}
+			m := bits.TrailingZeros64(uint64(rem))
 			*visited = visited.Add(m)
-			holder, taken := matchedBy[m]
-			if !taken || try(holder, visited) {
+			if h := matchedBy[m]; h < 0 || try(h, visited) {
 				matchedBy[m] = i
 				return true
 			}
 		}
-		return false
 	}
 	ok := true
-	matched := make(map[int]int, len(es)) // entry index -> module
 	for i := range es {
 		visited := ModSet(0)
-		if try(i, &visited) {
-			continue
+		if !try(i, &visited) {
+			ok = false
 		}
-		ok = false
-	}
-	for m, i := range matchedBy {
-		matched[i] = m
 	}
 	out := make(map[int]int, len(es))
-	for i, e := range es {
-		if m, has := matched[i]; has {
-			out[e.v] = m
-		} else {
-			out[e.v] = e.s.Modules()[0]
+	for _, e := range es {
+		out[e.v] = bits.TrailingZeros64(uint64(e.s)) // first copy, fallback
+	}
+	for m, i := range matchedBy {
+		if i >= 0 {
+			out[es[i].v] = m
 		}
 	}
 	return out, ok

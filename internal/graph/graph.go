@@ -18,6 +18,7 @@ import (
 // The zero value is not ready to use; call New.
 type Graph struct {
 	adj map[int]map[int]int // adj[u][v] = weight of edge {u,v}
+	m   int                 // number of undirected edges, maintained by every mutator
 }
 
 // New returns an empty graph.
@@ -49,6 +50,9 @@ func (g *Graph) AddEdge(u, v, w int) {
 	}
 	g.AddNode(u)
 	g.AddNode(v)
+	if _, ok := g.adj[u][v]; !ok {
+		g.m++
+	}
 	g.adj[u][v] = w
 	g.adj[v][u] = w
 }
@@ -63,6 +67,9 @@ func (g *Graph) AddEdgeWeight(u, v, w int) {
 	}
 	g.AddNode(u)
 	g.AddNode(v)
+	if _, ok := g.adj[u][v]; !ok {
+		g.m++
+	}
 	g.adj[u][v] += w
 	g.adj[v][u] += w
 }
@@ -83,11 +90,16 @@ func (g *Graph) RemoveNode(v int) {
 	for u := range g.adj[v] {
 		delete(g.adj[u], v)
 	}
+	g.m -= len(g.adj[v])
 	delete(g.adj, v)
 }
 
 // RemoveEdge deletes the undirected edge {u,v} if present.
 func (g *Graph) RemoveEdge(u, v int) {
+	if _, ok := g.adj[u][v]; !ok {
+		return
+	}
+	g.m--
 	delete(g.adj[u], v)
 	delete(g.adj[v], u)
 }
@@ -95,36 +107,44 @@ func (g *Graph) RemoveEdge(u, v int) {
 // NumNodes returns the number of vertices.
 func (g *Graph) NumNodes() int { return len(g.adj) }
 
-// NumEdges returns the number of undirected edges.
-func (g *Graph) NumEdges() int {
-	n := 0
-	for _, nbrs := range g.adj {
-		n += len(nbrs)
-	}
-	return n / 2
-}
+// NumEdges returns the number of undirected edges. It is a maintained
+// counter, not a recount, so callers may consult it per iteration for free.
+func (g *Graph) NumEdges() int { return g.m }
 
 // Degree returns the number of neighbors of v.
 func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
 
 // Nodes returns all vertex ids in ascending order.
 func (g *Graph) Nodes() []int {
-	out := make([]int, 0, len(g.adj))
+	return g.NodesAppend(nil)
+}
+
+// NodesAppend appends all vertex ids in ascending order to buf and returns
+// the extended slice. Callers that scan nodes inside a loop pass buf[:0] of
+// a reusable buffer so the per-call allocation of Nodes disappears.
+func (g *Graph) NodesAppend(buf []int) []int {
+	base := len(buf)
 	for v := range g.adj {
-		out = append(out, v)
+		buf = append(buf, v)
 	}
-	sort.Ints(out)
-	return out
+	sort.Ints(buf[base:])
+	return buf
 }
 
 // Neighbors returns the neighbors of v in ascending order.
 func (g *Graph) Neighbors(v int) []int {
-	out := make([]int, 0, len(g.adj[v]))
+	return g.NeighborsAppend(v, nil)
+}
+
+// NeighborsAppend appends the neighbors of v in ascending order to buf and
+// returns the extended slice; the reusable-buffer counterpart of Neighbors.
+func (g *Graph) NeighborsAppend(v int, buf []int) []int {
+	base := len(buf)
 	for u := range g.adj[v] {
-		out = append(out, u)
+		buf = append(buf, u)
 	}
-	sort.Ints(out)
-	return out
+	sort.Ints(buf[base:])
+	return buf
 }
 
 // Edge is an undirected edge with U < V.
@@ -134,7 +154,7 @@ type Edge struct {
 
 // Edges returns all edges sorted by (U,V).
 func (g *Graph) Edges() []Edge {
-	var out []Edge
+	out := make([]Edge, 0, g.m)
 	for u, nbrs := range g.adj {
 		for v, w := range nbrs {
 			if u < v {
@@ -155,11 +175,13 @@ func (g *Graph) Edges() []Edge {
 func (g *Graph) Clone() *Graph {
 	c := New()
 	for u, nbrs := range g.adj {
-		c.AddNode(u)
+		m := make(map[int]int, len(nbrs))
 		for v, w := range nbrs {
-			c.adj[u][v] = w
+			m[v] = w
 		}
+		c.adj[u] = m
 	}
+	c.m = g.m
 	return c
 }
 
@@ -202,18 +224,20 @@ func (g *Graph) IsClique(vs []int) bool {
 func (g *Graph) ConnectedComponents() [][]int {
 	seen := make(map[int]bool, len(g.adj))
 	var comps [][]int
+	var stack, nbuf []int
 	for _, start := range g.Nodes() {
 		if seen[start] {
 			continue
 		}
 		var comp []int
-		stack := []int{start}
+		stack = append(stack[:0], start)
 		seen[start] = true
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, v)
-			for _, u := range g.Neighbors(v) {
+			nbuf = g.NeighborsAppend(v, nbuf[:0])
+			for _, u := range nbuf {
 				if !seen[u] {
 					seen[u] = true
 					stack = append(stack, u)
@@ -239,12 +263,13 @@ func (g *Graph) ComponentContaining(v int, separator []int) []int {
 	}
 	seen := map[int]bool{v: true}
 	stack := []int{v}
-	var comp []int
+	var comp, nbuf []int
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		comp = append(comp, x)
-		for _, u := range g.Neighbors(x) {
+		nbuf = g.NeighborsAppend(x, nbuf[:0])
+		for _, u := range nbuf {
 			if !seen[u] && !sep[u] {
 				seen[u] = true
 				stack = append(stack, u)

@@ -1,0 +1,57 @@
+// Package profiling wires runtime/pprof into the command-line drivers.
+//
+// Both CLIs expose -cpuprofile and -memprofile flags so a slow compilation
+// or table sweep can be captured and inspected with `go tool pprof` without
+// rebuilding anything. The package exists because the drivers exit through
+// several paths (success, degraded, canceled, fatal) and every one of them
+// must flush the profiles; Start returns one idempotent stop function that
+// all of those paths can call.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins CPU profiling into cpuPath (if non-empty) and arranges for a
+// heap profile to be written to memPath (if non-empty) when the returned
+// stop function runs. Empty paths disable the corresponding profile, so
+// callers can pass flag values through unconditionally. The stop function
+// is safe to call more than once and from any exit path.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "profiling:", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // materialize the final live heap
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "profiling:", err)
+				}
+			}
+		})
+	}, nil
+}

@@ -168,6 +168,12 @@ type Options struct {
 	// disables caching. Share one NewAllocCache across repeated compiles
 	// of the same sources to skip the coloring and duplication searches.
 	Cache *AllocCache
+	// Reference runs the map-graph reference implementations of the hot
+	// assignment phases (urgency coloring, clique-separator decomposition)
+	// instead of the dense CSR/bitset-backed ones. Output is bit-identical
+	// either way — the knob exists for the differential tests and ablation
+	// benchmarks that prove and measure that.
+	Reference bool
 }
 
 func (o Options) withDefaults() Options {
@@ -332,6 +338,7 @@ func Compile(src string, opt Options) (p *Program, err error) {
 		Budget:       opt.Budget,
 		Workers:      opt.Workers,
 		Cache:        opt.Cache,
+		Reference:    opt.Reference,
 	})
 	if err != nil {
 		return nil, err
@@ -401,6 +408,9 @@ type AssignConfig struct {
 	// Cache memoizes subproblem results across calls; nil disables. See
 	// Options.Cache.
 	Cache *AllocCache
+	// Reference selects the map-graph reference implementations of the hot
+	// assignment phases; see Options.Reference.
+	Reference bool
 }
 
 // AssignValues runs memory-module assignment directly on a list of
@@ -420,10 +430,11 @@ func AssignValues(ctx context.Context, instrs []Instruction, cfg AssignConfig) (
 		K:        cfg.K,
 		Strategy: cfg.Strategy,
 		Method:   cfg.Method,
-		Ctx:      ctx,
-		Budget:   cfg.Budget,
-		Workers:  cfg.Workers,
-		Cache:    cfg.Cache,
+		Ctx:       ctx,
+		Budget:    cfg.Budget,
+		Workers:   cfg.Workers,
+		Cache:     cfg.Cache,
+		Reference: cfg.Reference,
 	})
 	if err != nil {
 		return Allocation{}, err
