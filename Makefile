@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet staticcheck bench bench-json tables
+.PHONY: build test check race vet staticcheck bench bench-run bench-json bench-diff tables
 
 build:
 	$(GO) build ./...
@@ -31,15 +31,32 @@ check: vet staticcheck race
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# bench-json runs the dense-core regression benchmarks (graph, coloring and
-# duplication kernels, dense vs map ablation pairs) and archives the numbers
-# — ns/op, B/op, allocs/op — as BENCH_parmem.json for diffing across
-# commits.
-bench-json:
+# bench-run collects the gated benchmark set into bench.out: the dense-core
+# kernels (graph, coloring, duplication) and the steady-state/batch
+# throughput benchmarks of the root package. Output goes to a file, not a
+# pipe, so a failing `go test` fails the target instead of feeding a
+# truncated stream to the converter.
+bench-run:
 	$(GO) test -run='^$$' -bench='BenchmarkDenseVsMap|BenchmarkColoring|BenchmarkDuplication' \
-		-benchmem ./internal/graph ./internal/coloring ./internal/duplication \
-		| $(GO) run ./cmd/bench2json -o BENCH_parmem.json
+		-benchmem ./internal/graph ./internal/coloring ./internal/duplication > bench.out
+	$(GO) test -run='^$$' -bench='BenchmarkAssignSteadyState|BenchmarkCompileBatch' \
+		-benchmem . >> bench.out
+
+# bench-json archives the gated benchmark numbers — ns/op, B/op, allocs/op —
+# as BENCH_parmem.json, the committed baseline bench-diff compares against.
+bench-json: bench-run
+	$(GO) run ./cmd/bench2json -o BENCH_parmem.json < bench.out
+	@rm -f bench.out
 	@echo wrote BENCH_parmem.json
+
+# bench-diff reruns the gated benchmarks and fails when any allocs/op
+# regresses more than 10% over the committed BENCH_parmem.json (or a
+# baseline benchmark disappeared). The fresh numbers land in BENCH_new.json
+# either way; promote them with `make bench-json` after an intentional
+# change.
+bench-diff: bench-run
+	$(GO) run ./cmd/bench2json -baseline BENCH_parmem.json -o BENCH_new.json < bench.out
+	@rm -f bench.out
 
 tables:
 	$(GO) run ./cmd/parmem-tables

@@ -1,0 +1,117 @@
+package parmem
+
+// Differential testing of the scratch arenas: every compilation must
+// produce a bit-identical allocation whether the hot phases draw their
+// per-call state from the pooled arenas (the default) or from fresh
+// heap allocations (arena disabled). This is the pipeline-level proof of
+// the arena ownership contract — a buffer that leaked into a result, or
+// one returned unzeroed, would show up here as a divergence between the
+// first (cold-pool) and later (reused-pool) runs or between the pooled
+// and fresh backends.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"parmem/internal/arena"
+	"parmem/internal/benchprog"
+)
+
+// assertPooledMatchesFresh compiles src twice with pooling on — the second
+// run reuses whatever the first returned to the pool — and once with
+// pooling off, and requires all three allocations identical.
+func assertPooledMatchesFresh(t *testing.T, label string, opt Options, src string) {
+	t.Helper()
+	p1, err := Compile(src, opt)
+	if err != nil {
+		t.Fatalf("%s (%+v): pooled compile: %v", label, opt, err)
+	}
+	p2, err := Compile(src, opt)
+	if err != nil {
+		t.Fatalf("%s (%+v): pooled recompile: %v", label, opt, err)
+	}
+	prev := arena.SetEnabled(false)
+	defer arena.SetEnabled(prev)
+	pf, err := Compile(src, opt)
+	if err != nil {
+		t.Fatalf("%s (%+v): fresh compile: %v", label, opt, err)
+	}
+	f1, f2, ff := fingerprint(p1), fingerprint(p2), fingerprint(pf)
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatalf("%s (%+v): pooled runs diverged from each other\nfirst:  %+v\nsecond: %+v",
+			label, opt, f1, f2)
+	}
+	if !reflect.DeepEqual(f1, ff) {
+		t.Fatalf("%s (%+v): pooled and fresh allocations diverged\npooled: %+v\nfresh:  %+v",
+			label, opt, f1, ff)
+	}
+}
+
+// TestArenaBitIdenticalBenchmarks runs the full benchmark suite through
+// every engine config with the pooled and fresh-allocation backends.
+func TestArenaBitIdenticalBenchmarks(t *testing.T) {
+	configs := denseDiffConfigs()
+	if testing.Short() {
+		configs = configs[:3]
+	}
+	for _, spec := range benchprog.All() {
+		for _, opt := range configs {
+			assertPooledMatchesFresh(t, spec.Name, opt, spec.Source)
+		}
+	}
+}
+
+// TestArenaBitIdenticalFuzz does the same over random MPL programs.
+func TestArenaBitIdenticalFuzz(t *testing.T) {
+	iters := 25
+	if testing.Short() {
+		iters = 5
+	}
+	configs := denseDiffConfigs()
+	for seed := int64(0); seed < int64(iters); seed++ {
+		g := &progGen{r: rand.New(rand.NewSource(seed + 9000))}
+		src := g.gen()
+		opt := configs[int(seed)%len(configs)]
+		assertPooledMatchesFresh(t, "fuzz", opt, src)
+	}
+}
+
+// TestArenaBitIdenticalAssignValues covers the direct entry point with
+// adversarial operand sets, batch and single-call.
+func TestArenaBitIdenticalAssignValues(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 20; iter++ {
+		k := 2 + r.Intn(7)
+		var instrs []Instruction
+		for i := 0; i < 5+r.Intn(25); i++ {
+			n := 1 + r.Intn(k)
+			in := make(Instruction, n)
+			for j := range in {
+				in[j] = r.Intn(30)
+			}
+			instrs = append(instrs, in)
+		}
+		for _, method := range []Method{HittingSet, Backtrack} {
+			cfg := AssignConfig{K: k, Method: method}
+			ap, err := AssignValues(nil, instrs, cfg)
+			if err != nil {
+				t.Fatalf("iter %d: pooled assign: %v", iter, err)
+			}
+			var af Allocation
+			func() {
+				prev := arena.SetEnabled(false)
+				defer arena.SetEnabled(prev)
+				af, err = AssignValues(nil, instrs, cfg)
+			}()
+			if err != nil {
+				t.Fatalf("iter %d: fresh assign: %v", iter, err)
+			}
+			ap.Phases, af.Phases = nil, nil // wall-clock timings differ
+			if !reflect.DeepEqual(ap, af) {
+				t.Fatalf("iter %d (k=%d %v): pooled and fresh allocations diverged\npooled: %+v\nfresh:  %+v",
+					iter, k, method, ap, af)
+			}
+		}
+	}
+}

@@ -8,6 +8,17 @@
 // testing.B ReportMetric units) keyed by unit.
 //
 //	go test -bench . -benchmem ./... | bench2json -o BENCH.json
+//
+// With -baseline FILE it additionally diffs the run against a previously
+// archived document and exits nonzero when the allocation profile
+// regressed: a benchmark's allocs/op more than 10% (plus a grace of 2
+// allocations for tiny counts) above its baseline value, or a baseline
+// benchmark missing from the run entirely, is a failure. Benchmarks new in
+// this run only warn — they become binding once the baseline is
+// regenerated. Only allocs/op is gated: it is deterministic for this
+// repo's single-goroutine benchmark bodies, while ns/op varies with the
+// machine. The -o document is written before the diff verdict, so a
+// failing gate still leaves the fresh numbers on disk for inspection.
 package main
 
 import (
@@ -37,6 +48,7 @@ type Output struct {
 
 func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	baseline := flag.String("baseline", "", "diff allocs/op against this archived JSON; exit nonzero on regression")
 	flag.Parse()
 
 	var doc Output
@@ -64,24 +76,98 @@ func main() {
 		doc.Benchmarks = append(doc.Benchmarks, rec)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "bench2json:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench2json:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench2json:", err)
-		os.Exit(1)
+
+	if *baseline != "" {
+		if !diffBaseline(*baseline, doc) {
+			os.Exit(1)
+		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench2json:", err)
+	os.Exit(1)
+}
+
+// benchKey normalizes a benchmark name for cross-machine comparison by
+// stripping the trailing -P GOMAXPROCS suffix the testing package appends.
+func benchKey(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// diffBaseline compares the run's allocs/op against the archived baseline
+// and reports whether the gate passes. The tolerance is relative 10% plus
+// an absolute grace of 2 allocs/op, so single-digit counts do not fail on
+// one stray allocation.
+func diffBaseline(path string, doc Output) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var base Output
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parsing baseline %s: %w", path, err))
+	}
+
+	got := make(map[string]Record, len(doc.Benchmarks))
+	for _, rec := range doc.Benchmarks {
+		got[benchKey(rec.Name)] = rec
+	}
+	seen := make(map[string]bool, len(base.Benchmarks))
+
+	pass := true
+	for _, old := range base.Benchmarks {
+		key := benchKey(old.Name)
+		seen[key] = true
+		oldAllocs, tracked := old.Metrics["allocs/op"]
+		rec, ok := got[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench2json: FAIL %s: in baseline but missing from this run\n", key)
+			pass = false
+			continue
+		}
+		if !tracked {
+			continue
+		}
+		newAllocs, ok := rec.Metrics["allocs/op"]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench2json: FAIL %s: baseline tracks allocs/op but the run reports none (run with -benchmem)\n", key)
+			pass = false
+			continue
+		}
+		if limit := oldAllocs*1.10 + 2.0; newAllocs > limit {
+			fmt.Fprintf(os.Stderr, "bench2json: FAIL %s: allocs/op %.1f exceeds baseline %.1f (limit %.1f)\n",
+				key, newAllocs, oldAllocs, limit)
+			pass = false
+		}
+	}
+	for _, rec := range doc.Benchmarks {
+		if key := benchKey(rec.Name); !seen[key] {
+			fmt.Fprintf(os.Stderr, "bench2json: note: %s not in baseline %s; regenerate it to start gating\n", key, path)
+		}
+	}
+	if pass {
+		fmt.Fprintf(os.Stderr, "bench2json: allocs/op within tolerance of %s (%d benchmarks)\n", path, len(base.Benchmarks))
+	}
+	return pass
 }
 
 // parseLine parses one result line of the form

@@ -5,15 +5,21 @@
 //
 // Usage:
 //
-//	parmem-tables            print everything
-//	parmem-tables -table 1   only Table 1
-//	parmem-tables -table 2   only Table 2
-//	parmem-tables -speedup   only the speed-up report
-//	parmem-tables -figures   only the worked figures
+//	parmem-tables                  print everything
+//	parmem-tables -table 1         only Table 1
+//	parmem-tables -table 2         only Table 2
+//	parmem-tables -speedup         only the speed-up report
+//	parmem-tables -figures         only the worked figures
+//	parmem-tables -batch 'x/*.mpl' Table-1-style rows for external files
+//
+// -batch compiles every MPL file matching the glob through the batch
+// compiler (shared worker pool, budget and cache) and prints one
+// allocation row per file instead of the built-in suite.
 //
 // -timeout bounds the whole regeneration with a context deadline.
 // -cpuprofile and -memprofile write runtime/pprof profiles of the sweep.
-// Exit codes: 0 success, 1 failure, 4 canceled (timeout).
+// Exit codes: 0 success, 1 failure (any file, in batch mode), 4 canceled
+// (timeout).
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"parmem"
 	"parmem/internal/assign"
@@ -42,6 +50,7 @@ func main() {
 		speedup    = flag.Bool("speedup", false, "print only the speed-up report")
 		figures    = flag.Bool("figures", false, "print only the worked figures")
 		sweep      = flag.String("sweep", "", "width-sweep this benchmark across k = 2..16")
+		batchGlob  = flag.String("batch", "", "compile MPL files matching this glob as one batch")
 		k          = flag.Int("k", 8, "memory modules for Table 1 and speed-ups")
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 disables)")
 		workers    = flag.Int("workers", 0, "assignment worker pool size (0 = one per CPU, 1 = sequential)")
@@ -77,6 +86,13 @@ func main() {
 		opts = append(opts, parmem.WithAllocCache(alcache))
 	}
 
+	if *batchGlob != "" {
+		printBatch(ctx, *batchGlob, *k, *workers, alcache)
+		if *cacheStats && alcache != nil {
+			printCacheStats(alcache)
+		}
+		return
+	}
 	if *sweep != "" {
 		rows, err := parmem.WidthSweep(ctx, *sweep, []int{2, 4, 8, 16}, opts...)
 		if err != nil {
@@ -100,8 +116,61 @@ func main() {
 		printFigures()
 	}
 	if *cacheStats && alcache != nil {
-		st := alcache.Stats()
-		fmt.Printf("allocation cache: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
+		printCacheStats(alcache)
+	}
+}
+
+// printCacheStats prints the aggregate counters plus the per-memo-level
+// breakdown (whole assignments, duplication phases, atom colorings).
+func printCacheStats(c *parmem.AllocCache) {
+	st := c.Stats()
+	fmt.Printf("allocation cache: %d hits, %d misses, %d entries\n", st.Hits, st.Misses, st.Entries)
+	for _, lv := range []string{"assign", "dup", "atomcolor"} {
+		if ls, ok := st.Levels[lv]; ok {
+			fmt.Printf("  %-10s %d hits, %d misses\n", lv, ls.Hits, ls.Misses)
+		}
+	}
+}
+
+// printBatch compiles every file matching the glob through the batch
+// compiler and prints a Table-1-style allocation row per file.
+func printBatch(ctx context.Context, pattern string, k, workers int, cache *parmem.AllocCache) {
+	files, err := filepath.Glob(pattern)
+	if err != nil {
+		fatal(err)
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no files match %q", pattern))
+	}
+	sort.Strings(files)
+	srcs := make([]string, len(files))
+	for i, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		srcs[i] = string(b)
+	}
+	results := parmem.CompileBatch(ctx, srcs, parmem.Options{Modules: k, Workers: workers, Cache: cache})
+	fmt.Printf("Batch allocation (k=%d, %d files)\n\n", k, len(files))
+	fmt.Printf("%-24s %8s %8s %8s %6s\n", "file", "single", "multi", "copies", "words")
+	failed := false
+	for i, r := range results {
+		if r.Err != nil {
+			if errors.Is(r.Err, parmem.ErrCanceled) {
+				fatal(r.Err)
+			}
+			failed = true
+			fmt.Printf("%-24s error: %v\n", filepath.Base(files[i]), r.Err)
+			continue
+		}
+		al := r.Program.Alloc
+		fmt.Printf("%-24s %8d %8d %8d %6d\n", filepath.Base(files[i]),
+			al.SingleCopy, al.MultiCopy, al.TotalCopies, len(r.Program.Sched.Words))
+	}
+	if failed {
+		stopProfiles()
+		os.Exit(exitFailure)
 	}
 }
 

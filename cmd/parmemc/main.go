@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	parmemc [flags] file.mpl        compile a source file
-//	parmemc [flags] -bench TAYLOR1  compile a built-in benchmark
+//	parmemc [flags] file.mpl             compile a source file
+//	parmemc [flags] -bench TAYLOR1       compile a built-in benchmark
+//	parmemc [flags] -batch 'src/*.mpl'…  compile many files as one batch
 //
 // Flags select output: -dump-ir, -dump-sched, -dump-alloc, -dump-conflicts,
 // -run, -stats. Robustness flags: -timeout bounds the whole run with a
@@ -15,8 +16,15 @@
 // -memprofile write runtime/pprof profiles; -reference runs the map-graph
 // reference assignment phases instead of the dense core (ablation).
 //
-// Exit codes: 0 success, 1 failure, 3 success but the allocator degraded
-// to a fallback method (budget exhausted), 4 canceled (timeout).
+// -batch treats every positional argument as a file or glob pattern and
+// streams the expanded file list through the batch compiler (one bounded
+// worker pool, one shared budget, shared subproblem cache), printing one
+// summary line per file. The dump and -run flags apply to single-file mode
+// only.
+//
+// Exit codes: 0 success, 1 failure (in batch mode: any file failed),
+// 3 success but the allocator degraded to a fallback method (budget
+// exhausted; any file in batch mode), 4 canceled (timeout).
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -51,6 +60,7 @@ func main() {
 		noAtoms   = flag.Bool("no-atoms", false, "disable clique-separator decomposition")
 		noRename  = flag.Bool("no-rename", false, "disable definition renaming")
 		benchName = flag.String("bench", "", "compile a built-in benchmark instead of a file")
+		batch     = flag.Bool("batch", false, "treat arguments as files/globs and compile them as one batch")
 		dumpIR    = flag.Bool("dump-ir", false, "print the three-address IR")
 		dumpSched = flag.Bool("dump-sched", false, "print the long-instruction-word schedule")
 		dumpAlloc = flag.Bool("dump-alloc", false, "print the memory-module allocation")
@@ -80,11 +90,6 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
-	}
-
-	src, name, err := readSource(*benchName, flag.Args())
-	if err != nil {
-		fatal(err)
 	}
 
 	opt := parmem.Options{
@@ -118,6 +123,16 @@ func main() {
 		opt.Method = parmem.Backtrack
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	if *batch {
+		runBatch(ctx, flag.Args(), opt)
+		return
+	}
+
+	src, name, err := readSource(*benchName, flag.Args())
+	if err != nil {
+		fatal(err)
 	}
 
 	p, err := parmem.CompileCtx(ctx, src, opt)
@@ -185,6 +200,80 @@ func main() {
 // because deferred functions do not run past Exit. Replaced in main once
 // profiling starts.
 var stopProfiles = func() {}
+
+// expandBatchArgs resolves each argument as a glob pattern, falling back to
+// a literal path when the pattern matches nothing (so plain file names work
+// whether or not the shell expanded them).
+func expandBatchArgs(args []string) ([]string, error) {
+	var files []string
+	for _, arg := range args {
+		matches, err := filepath.Glob(arg)
+		if err != nil {
+			return nil, fmt.Errorf("bad pattern %q: %w", arg, err)
+		}
+		if len(matches) == 0 {
+			matches = []string{arg}
+		}
+		sort.Strings(matches)
+		files = append(files, matches...)
+	}
+	if len(files) == 0 {
+		return nil, errors.New("usage: parmemc -batch [flags] file.mpl... (or glob patterns)")
+	}
+	return files, nil
+}
+
+// runBatch compiles every matched file through the batch pipeline, prints
+// one summary line per file, and exits: 1 if any file failed, 3 if all
+// succeeded but any allocation degraded, 4 if canceled, 0 otherwise.
+func runBatch(ctx context.Context, args []string, opt parmem.Options) {
+	files, err := expandBatchArgs(args)
+	if err != nil {
+		fatal(err)
+	}
+	srcs := make([]string, len(files))
+	for i, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		srcs[i] = string(b)
+	}
+	if opt.Cache == nil {
+		opt.Cache = parmem.NewAllocCache(0) // batch items share subproblems
+	}
+	results := parmem.CompileBatch(ctx, srcs, opt)
+	failed, degraded, canceled := 0, 0, false
+	for i, r := range results {
+		if r.Err != nil {
+			failed++
+			if errors.Is(r.Err, parmem.ErrCanceled) {
+				canceled = true
+			}
+			fmt.Fprintf(os.Stderr, "parmemc: %s: %v\n", files[i], r.Err)
+			continue
+		}
+		al := r.Program.Alloc
+		status := ""
+		if al.Degraded {
+			degraded++
+			status = " (degraded)"
+		}
+		fmt.Printf("%s: %d values (%d single-copy, %d multi-copy), %d total copies, %d words, %d atoms%s\n",
+			files[i], al.SingleCopy+al.MultiCopy, al.SingleCopy,
+			al.MultiCopy, al.TotalCopies, len(r.Program.Sched.Words), al.Atoms, status)
+	}
+	fmt.Printf("batch: %d/%d compiled, %d degraded\n", len(files)-failed, len(files), degraded)
+	stopProfiles()
+	switch {
+	case canceled:
+		os.Exit(exitCanceled)
+	case failed > 0:
+		os.Exit(exitFailure)
+	case degraded > 0:
+		os.Exit(exitDegraded)
+	}
+}
 
 func readSource(bench string, args []string) (src, name string, err error) {
 	if bench != "" {

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"parmem/internal/arena"
 	"parmem/internal/graph"
 )
 
@@ -51,6 +52,23 @@ type Stats struct {
 	Hits    int64 // Get calls that found a usable entry
 	Misses  int64 // Get calls that found nothing
 	Entries int   // entries currently resident
+	// Levels breaks hits and misses down by memo level — the leading kind
+	// string of each key ("assign", "dup", "atomcolor"). Keys without a
+	// decodable kind are counted under "".
+	Levels map[string]LevelStats
+}
+
+// LevelStats is the hit/miss pair of one memo level.
+type LevelStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// levelCounters is the live per-level counter pair; aggregated counters
+// stay atomic so Get never serializes on the stats path.
+type levelCounters struct {
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // Cache is a capacity-bounded memo table keyed by signature strings built
@@ -62,10 +80,16 @@ type Cache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[string]Entry
-	order   []string // insertion order, for FIFO eviction
+	// order plus head form the FIFO eviction queue: order[head:] are the
+	// live keys, oldest first. Evicting advances head instead of reslicing
+	// so the backing array cannot pin evicted key strings; the consumed
+	// prefix is compacted away once it dominates the array.
+	order []string
+	head  int
 
 	hits   atomic.Int64
 	misses atomic.Int64
+	levels sync.Map // level string -> *levelCounters
 }
 
 // New returns an empty cache holding at most capacity entries; capacity
@@ -86,12 +110,43 @@ func (c *Cache) Get(key string) (Entry, bool) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	c.mu.Unlock()
+	lc := c.level(key)
 	if !ok {
 		c.misses.Add(1)
+		lc.misses.Add(1)
 		return nil, false
 	}
 	c.hits.Add(1)
+	lc.hits.Add(1)
 	return e.CloneEntry(), true
+}
+
+// level returns the counter pair of key's memo level, creating it on first
+// use.
+func (c *Cache) level(key string) *levelCounters {
+	lv := KeyLevel(key)
+	if lc, ok := c.levels.Load(lv); ok {
+		return lc.(*levelCounters)
+	}
+	lc, _ := c.levels.LoadOrStore(lv, &levelCounters{})
+	return lc.(*levelCounters)
+}
+
+// KeyLevel decodes the memo level of a signature built with Key: the
+// leading length-prefixed kind string ("assign", "dup", "atomcolor").
+// Malformed keys decode to "".
+func KeyLevel(key string) string {
+	if len(key) < 8 {
+		return ""
+	}
+	n := uint64(0)
+	for i := 7; i >= 0; i-- {
+		n = n<<8 | uint64(key[i])
+	}
+	if n > uint64(len(key)-8) || n > 64 {
+		return ""
+	}
+	return key[8 : 8+n]
 }
 
 // Put stores a deep copy of e under key, evicting the oldest entry when
@@ -105,17 +160,25 @@ func (c *Cache) Put(key string, e Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, exists := c.entries[key]; !exists {
-		for len(c.entries) >= c.cap && len(c.order) > 0 {
-			victim := c.order[0]
-			c.order = c.order[1:]
+		for len(c.entries) >= c.cap && c.head < len(c.order) {
+			victim := c.order[c.head]
+			c.order[c.head] = "" // release the key string
+			c.head++
 			delete(c.entries, victim)
+		}
+		if c.head > 32 && c.head > len(c.order)/2 {
+			c.order = append(c.order[:0], c.order[c.head:]...)
+			c.head = 0
 		}
 		c.order = append(c.order, key)
 	}
 	c.entries[key] = clone
 }
 
-// Stats returns a snapshot of the effectiveness counters.
+// Stats returns a snapshot of the effectiveness counters. The aggregate
+// hit/miss pair and each level's pair are individually consistent; under
+// concurrent traffic the aggregate can run slightly ahead of the level
+// breakdown (each Get bumps both counters without a lock).
 func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
@@ -123,7 +186,16 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	n := len(c.entries)
 	c.mu.Unlock()
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+	s := Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+	c.levels.Range(func(k, v any) bool {
+		lc := v.(*levelCounters)
+		if s.Levels == nil {
+			s.Levels = make(map[string]LevelStats)
+		}
+		s.Levels[k.(string)] = LevelStats{Hits: lc.hits.Load(), Misses: lc.misses.Load()}
+		return true
+	})
+	return s
 }
 
 // Len returns the number of resident entries.
@@ -143,7 +215,9 @@ func (c *Cache) Len() int {
 // the same hash (identical graphs always do), which makes the hash a cheap
 // leading discriminator for cache keys.
 func CanonicalHash(g *graph.Graph) uint64 {
-	return CanonicalHashDense(graph.FromGraph(g))
+	sc := arena.Get()
+	defer sc.Release()
+	return CanonicalHashDense(graph.FromGraphScratch(g, sc))
 }
 
 // CanonicalHashDense is CanonicalHash computed from a dense snapshot. The
@@ -152,10 +226,12 @@ func CanonicalHash(g *graph.Graph) uint64 {
 // rank equals the (degree, index) rank used here — which keeps every cache
 // key stable across the dense-core migration.
 func CanonicalHashDense(d *graph.Dense) uint64 {
+	sc := arena.Get()
+	defer sc.Release()
 	n := d.N()
 	// Rank vertices by (degree, index): a cheap canonical order that is
 	// exact for identical graphs and groups many isomorphic ones.
-	order := make([]int32, n)
+	order := sc.Int32s(n)
 	for i := range order {
 		order[i] = int32(i)
 	}
@@ -166,7 +242,7 @@ func CanonicalHashDense(d *graph.Dense) uint64 {
 		}
 		return order[i] < order[j]
 	})
-	label := make([]int, n)
+	label := sc.Ints(n)
 	for i, v := range order {
 		label[v] = i
 	}
@@ -216,6 +292,12 @@ type Key struct {
 	buf []byte
 }
 
+// NewKey returns a Key writing into buf (reset to length zero) — callers
+// on hot paths pass an arena buffer so signature building does not grow a
+// fresh allocation per call. String() copies, so the buffer may be reused
+// afterwards.
+func NewKey(buf []byte) Key { return Key{buf: buf[:0]} }
+
 func (k *Key) int64(v int64) {
 	u := uint64(v)
 	k.buf = append(k.buf,
@@ -258,7 +340,9 @@ func (k *Key) IntMap(m map[int]int) {
 // then the precise node and weighted edge lists with their original ids,
 // which is what makes the overall signature a pure memo key.
 func (k *Key) Graph(g *graph.Graph) {
-	k.GraphDense(graph.FromGraph(g))
+	sc := arena.Get()
+	defer sc.Release()
+	k.GraphDense(graph.FromGraphScratch(g, sc))
 }
 
 // GraphDense is Graph from a dense snapshot, emitting byte-identical

@@ -1,0 +1,117 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBuffersZeroedOnReuse(t *testing.T) {
+	sc := Get()
+	if sc == nil {
+		t.Fatal("Get returned nil with pooling enabled")
+	}
+	b := sc.Ints(8)
+	for i := range b {
+		b[i] = i + 1
+	}
+	first := &b[0]
+	sc.Reset()
+	b2 := sc.Ints(4)
+	if &b2[0] != first {
+		t.Error("expected buffer reuse after Reset")
+	}
+	for i, v := range b2 {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %d", i, v)
+		}
+	}
+	sc.Release()
+}
+
+func TestMapsClearedOnReuse(t *testing.T) {
+	sc := Get()
+	defer sc.Release()
+	m := sc.IntMap(4)
+	m[1] = 2
+	m[3] = 4
+	sc.Reset()
+	m2 := sc.IntMap(0)
+	if len(m2) != 0 {
+		t.Fatalf("reused map not cleared: %v", m2)
+	}
+}
+
+func TestNilScratchAllocatesFresh(t *testing.T) {
+	var sc *Scratch
+	b := sc.Ints(5)
+	if len(b) != 5 {
+		t.Fatalf("nil Scratch Ints len = %d, want 5", len(b))
+	}
+	if m := sc.PairMap(3); m == nil {
+		t.Fatal("nil Scratch PairMap returned nil map")
+	}
+	sc.Reset()   // must not panic
+	sc.Release() // must not panic
+}
+
+func TestSetEnabled(t *testing.T) {
+	defer SetEnabled(true)
+	if prev := SetEnabled(false); !prev {
+		t.Error("pooling should start enabled")
+	}
+	if Get() != nil {
+		t.Error("Get should return nil while disabled")
+	}
+	SetEnabled(true)
+	if Get() == nil {
+		t.Error("Get should return a Scratch when enabled")
+	}
+}
+
+func TestDistinctBuffersWithinScope(t *testing.T) {
+	sc := Get()
+	defer sc.Release()
+	a := sc.Ints(4)
+	b := sc.Ints(4)
+	a[0] = 7
+	if b[0] != 0 {
+		t.Fatal("concurrent borrows alias the same buffer")
+	}
+}
+
+func TestRetentionBounded(t *testing.T) {
+	sc := Get()
+	for i := 0; i < 4*maxFree; i++ {
+		sc.Ints(16)
+	}
+	sc.Reset()
+	if n := len(sc.ints.free); n > maxFree {
+		t.Fatalf("free list retained %d buffers, cap %d", n, maxFree)
+	}
+	sc.Release()
+}
+
+func TestConcurrentGetRelease(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sc := Get()
+				b := sc.Ints(32)
+				for j := range b {
+					if b[j] != 0 {
+						panic("dirty buffer")
+					}
+					b[j] = j
+				}
+				m := sc.IntMap(8)
+				m[i] = i
+				sc.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	Drain()
+}

@@ -22,11 +22,13 @@ package assign
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime/debug"
 	"sort"
 	"time"
 
 	"parmem/internal/alloccache"
+	"parmem/internal/arena"
 	"parmem/internal/atoms"
 	"parmem/internal/budget"
 	"parmem/internal/coloring"
@@ -110,6 +112,13 @@ type Options struct {
 	// budget.DefaultMaxBacktrackNodes. Exhaustion degrades to a cheaper
 	// strategy and marks the Allocation Degraded instead of failing.
 	Budget budget.Budget
+	// Meter, when non-nil, charges this assignment's search work against an
+	// externally owned meter instead of building one from Ctx/Budget — the
+	// batch API shares one meter across every item of a batch so the whole
+	// batch observes one node/time cap. Cancellation and exhaustion behave
+	// exactly as with an internally built meter; Ctx and Budget are ignored
+	// while a Meter is set.
+	Meter *budget.Meter
 	// Workers bounds the worker pool of the parallel assignment engine:
 	// per-atom coloring and per-component duplication fan out across this
 	// many goroutines. 0 (the default) means one worker per available CPU
@@ -242,7 +251,11 @@ func Assign(p Program, opt Options) (al Allocation, err error) {
 	if err := conflict.Validate(p.Instrs, opt.K); err != nil {
 		return Allocation{}, err
 	}
-	st.meter = budget.NewMeter(opt.Ctx, opt.Budget.BacktrackNodes(), opt.Budget.MaxDuplicationTime)
+	if opt.Meter != nil {
+		st.meter = opt.Meter
+	} else {
+		st.meter = budget.NewMeter(opt.Ctx, opt.Budget.BacktrackNodes(), opt.Budget.MaxDuplicationTime)
+	}
 	if err := st.meter.Canceled(); err != nil {
 		return Allocation{}, fmt.Errorf("assign: %w", err)
 	}
@@ -293,21 +306,26 @@ func newPhaseState() *phaseState {
 // that hold exactly one copy (multi-copy values stay flexible and are
 // handled by the SDR checks during duplication).
 func (st *phaseState) colorPhase(g *graph.Graph, opt Options) (map[int]int, []int) {
-	pre := map[int]int{}
-	skip := map[int]bool{}
-	for _, v := range g.Nodes() {
+	// Arena scope for the phase-local views (precoloring, skip set, node
+	// buffers); the returned assignment escapes and stays fresh.
+	sc := arena.Get()
+	defer sc.Release()
+	nodes := g.NodesAppend(sc.Ints(g.NumNodes())[:0])
+	pre := sc.IntMap(len(nodes))
+	skip := sc.IntBoolMap(8)
+	for _, v := range nodes {
 		s := st.copies[v]
 		switch {
 		case s.Count() == 1:
-			pre[v] = s.Modules()[0]
+			pre[v] = bits.TrailingZeros64(uint64(s))
 		case s.Count() > 1:
 			skip[v] = true // replicated already; flexible, not colorable
 		}
 	}
 	work := g
 	if len(skip) > 0 {
-		var keep []int
-		for _, v := range g.Nodes() {
+		keep := sc.Ints(len(nodes))[:0]
+		for _, v := range nodes {
 			if !skip[v] {
 				keep = append(keep, v)
 			}
@@ -360,10 +378,14 @@ func (st *phaseState) runPhase(name string, instrs []conflict.Instruction, g *gr
 
 	assignMap, unassigned := st.colorPhase(g, opt)
 
+	sc := arena.Get()
+	defer sc.Release()
 	// Values already in st.copies are pinned; only newly colored values go
 	// into Assigned (so that Backtrack reserves their modules, the pinned
-	// single-copies came in through Initial).
-	newAssigned := map[int]int{}
+	// single-copies came in through Initial). The map only feeds the
+	// duplication input (cloned into results there), so it can live in the
+	// arena.
+	newAssigned := sc.IntMap(len(assignMap))
 	for v, m := range assignMap {
 		if st.copies[v] == 0 {
 			newAssigned[v] = m
@@ -476,20 +498,26 @@ func assignSTOR2(st *phaseState, p Program, opt Options) (Allocation, error) {
 	st.phase = "stor2/global"
 	globalStart := time.Now()
 	globalGraph := graph.New()
-	for _, in := range p.Instrs {
-		var gl []int
-		for _, v := range in.Normalize() {
-			if p.Global[v] {
-				gl = append(gl, v)
-				globalGraph.AddNode(v)
+	func() {
+		sc := arena.Get()
+		defer sc.Release()
+		tbl := conflict.NormalizeTable(p.Instrs, sc)
+		gl := sc.Ints(opt.K + 1)[:0]
+		for i := 0; i < tbl.Len(); i++ {
+			gl = gl[:0]
+			for _, v := range tbl.Row(i) {
+				if p.Global[v] {
+					gl = append(gl, v)
+					globalGraph.AddNode(v)
+				}
+			}
+			for i := 0; i < len(gl); i++ {
+				for j := i + 1; j < len(gl); j++ {
+					globalGraph.AddEdgeWeight(gl[i], gl[j], 1)
+				}
 			}
 		}
-		for i := 0; i < len(gl); i++ {
-			for j := i + 1; j < len(gl); j++ {
-				globalGraph.AddEdgeWeight(gl[i], gl[j], 1)
-			}
-		}
-	}
+	}()
 	// The global stage only *colors*; duplication decisions are taken when
 	// the full per-region conflicts are visible. Globals the coloring
 	// rejected become replicable for all regions.
@@ -585,9 +613,12 @@ func assignSTOR3(st *phaseState, p Program, opt Options) (Allocation, error) {
 // Verify checks that every instruction of p is conflict-free under al.
 // It returns the indices of conflicting instructions (nil when clean).
 func Verify(p Program, al Allocation) []int {
+	sc := arena.Get()
+	defer sc.Release()
+	tbl := conflict.NormalizeTable(p.Instrs, sc)
 	var bad []int
-	for i, in := range p.Instrs {
-		if !duplication.ConflictFree(in.Normalize(), al.Copies) {
+	for i := 0; i < tbl.Len(); i++ {
+		if !duplication.ConflictFree(tbl.Row(i), al.Copies) {
 			bad = append(bad, i)
 		}
 	}

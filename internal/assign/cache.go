@@ -1,9 +1,10 @@
 package assign
 
 import (
-	"sort"
+	"slices"
 
 	"parmem/internal/alloccache"
+	"parmem/internal/arena"
 	"parmem/internal/duplication"
 )
 
@@ -31,7 +32,9 @@ func (e *dupResultEntry) CloneEntry() alloccache.Entry {
 
 // dupKey signs a duplication.Input plus the method that will consume it.
 func dupKey(in duplication.Input, opt Options) string {
-	var k alloccache.Key
+	sc := arena.Get()
+	defer sc.Release()
+	k := alloccache.NewKey(sc.Bytes(1024))
 	k.Str("dup")
 	k.Int(opt.K)
 	k.Int(int(opt.Method))
@@ -39,18 +42,40 @@ func dupKey(in duplication.Input, opt Options) string {
 	for _, instr := range in.Instrs {
 		k.Ints(instr)
 	}
-	k.IntMap(in.Assigned)
+	writeIntMap(&k, in.Assigned, sc)
 	k.Ints(in.Unassigned)
-	writeCopies(&k, in.Initial)
+	writeCopies(&k, in.Initial, sc)
 	return k.String()
 }
 
-func writeCopies(k *alloccache.Key, c duplication.Copies) {
-	m := make(map[int]int, len(c))
-	for v, s := range c {
-		m[v] = int(s)
+// writeIntMap is Key.IntMap with the sort scratch drawn from the arena; the
+// emitted bytes are identical (length, then sorted key/value pairs).
+func writeIntMap(k *alloccache.Key, m map[int]int, sc *arena.Scratch) {
+	keys := sc.Ints(len(m))[:0]
+	for v := range m {
+		keys = append(keys, v)
 	}
-	k.IntMap(m)
+	slices.Sort(keys)
+	k.Int(len(keys))
+	for _, v := range keys {
+		k.Int(v)
+		k.Int(m[v])
+	}
+}
+
+// writeCopies signs a copy table with the same bytes IntMap would emit for
+// the value -> ModSet-as-int view of it, without materializing that map.
+func writeCopies(k *alloccache.Key, c duplication.Copies, sc *arena.Scratch) {
+	keys := sc.Ints(len(c))[:0]
+	for v := range c {
+		keys = append(keys, v)
+	}
+	slices.Sort(keys)
+	k.Int(len(keys))
+	for _, v := range keys {
+		k.Int(v)
+		k.Int(int(c[v]))
+	}
 }
 
 // cachedDup consults the cache for a duplication call; nil means miss (or
@@ -96,7 +121,9 @@ func (e *allocEntry) CloneEntry() alloccache.Entry {
 // engine is bit-identical to the sequential one — and so is the budget,
 // because only budget-independent (non-degraded) results are stored.
 func assignKey(p Program, opt Options) string {
-	var k alloccache.Key
+	sc := arena.Get()
+	defer sc.Release()
+	k := alloccache.NewKey(sc.Bytes(1024))
 	k.Str("assign")
 	k.Int(opt.K)
 	k.Int(int(opt.Strategy))
@@ -113,13 +140,13 @@ func assignKey(p Program, opt Options) string {
 		k.Ints(instr)
 	}
 	k.Ints(p.RegionOf)
-	globals := make([]int, 0, len(p.Global))
+	globals := sc.Ints(len(p.Global))[:0]
 	for v, ok := range p.Global {
 		if ok {
 			globals = append(globals, v)
 		}
 	}
-	sort.Ints(globals)
+	slices.Sort(globals)
 	k.Ints(globals)
 	return k.String()
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"parmem/internal/alloccache"
+	"parmem/internal/arena"
 	"parmem/internal/atoms"
 	"parmem/internal/coloring"
 	"parmem/internal/graph"
@@ -59,11 +60,11 @@ func (r *atomColorResult) CloneEntry() alloccache.Entry {
 // atomColorKey builds the pure-memo signature of one atom coloring
 // subproblem: the exact subgraph (original ids included), the
 // precoloring visible to the atom, and the knobs the colorer reads.
-func atomColorKey(sub *graph.Graph, preA map[int]int, opt Options) string {
-	var k alloccache.Key
+func atomColorKey(sub *graph.Graph, preA map[int]int, opt Options, sc *arena.Scratch) string {
+	k := alloccache.NewKey(sc.Bytes(1024))
 	k.Str("atomcolor")
 	k.Graph(sub)
-	k.IntMap(preA)
+	writeIntMap(&k, preA, sc)
 	k.Int(opt.K)
 	k.Int(int(opt.Pick))
 	return k.String()
@@ -73,12 +74,14 @@ func atomColorKey(sub *graph.Graph, preA map[int]int, opt Options) string {
 // state, consulting the cache when one is configured. The views must
 // already reflect every atom this one depends on.
 func colorOneAtom(a atoms.Atom, removed map[int]bool, assigned, pre map[int]int, opt Options) *atomColorResult {
+	sc := arena.Get()
+	defer sc.Release()
 	sub := a.Graph
 	// Vertices a previously processed atom failed to color are no longer
 	// coloring candidates anywhere: they will be replicated, and the SDR
 	// checks of the duplication stage cover their conflicts.
 	if len(removed) > 0 {
-		var keep []int
+		keep := sc.Ints(len(a.Nodes))[:0]
 		for _, v := range a.Nodes {
 			if !removed[v] {
 				keep = append(keep, v)
@@ -88,8 +91,10 @@ func colorOneAtom(a atoms.Atom, removed map[int]bool, assigned, pre map[int]int,
 			sub = a.Graph.Induced(keep)
 		}
 	}
-	preA := map[int]int{}
-	for _, v := range sub.Nodes() {
+	// The colorer only reads Precolored and the key builder copies it, so
+	// the map can live in the arena.
+	preA := sc.IntMap(len(a.Nodes))
+	for _, v := range sub.NodesAppend(sc.Ints(sub.NumNodes())[:0]) {
 		if m, ok := pre[v]; ok {
 			preA[v] = m
 		}
@@ -99,7 +104,7 @@ func colorOneAtom(a atoms.Atom, removed map[int]bool, assigned, pre map[int]int,
 	}
 	var key string
 	if opt.Cache != nil {
-		key = atomColorKey(sub, preA, opt)
+		key = atomColorKey(sub, preA, opt, sc)
 		if e, ok := opt.Cache.Get(key); ok {
 			return e.(*atomColorResult)
 		}

@@ -21,6 +21,7 @@ import (
 	"container/heap"
 	"sort"
 
+	"parmem/internal/arena"
 	"parmem/internal/graph"
 )
 
@@ -70,7 +71,9 @@ func (h *wheap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = ol
 // on a dense snapshot of g (see mcsmDense); MCSMRef is the map-backed
 // original, which produces bit-identical results.
 func MCSM(g *graph.Graph) Triangulation {
-	return mcsmDense(graph.FromGraph(g))
+	sc := arena.Get()
+	defer sc.Release()
+	return mcsmDense(graph.FromGraphScratch(g, sc), sc)
 }
 
 // MCSMRef is the original map-graph MCS-M implementation, retained as the

@@ -2,8 +2,10 @@ package atoms
 
 import (
 	"container/heap"
+	"slices"
 	"sort"
 
+	"parmem/internal/arena"
 	"parmem/internal/graph"
 )
 
@@ -15,11 +17,11 @@ import (
 // Dense indices ascend with original ids, so every id-based tie-break
 // (heap pops, bottleneck extract-min, bumped-vertex ordering) is preserved
 // and the returned ordering and fill are bit-identical to mcsmRef's.
-func mcsmDense(d *graph.Dense) Triangulation {
+func mcsmDense(d *graph.Dense, sc *arena.Scratch) Triangulation {
 	n := d.N()
-	weight := make([]int, n)
-	numbered := make([]bool, n)
-	order := make([]int, n) // dense indices; converted to ids at the end
+	weight := sc.Ints(n)
+	numbered := sc.Bools(n)
+	order := sc.Ints(n) // dense indices; converted to ids at the end
 	var fill []graph.Edge
 
 	// Lazy max-heap of candidate (index, weight) pairs; stale entries are
@@ -31,15 +33,14 @@ func mcsmDense(d *graph.Dense) Triangulation {
 
 	// Bottleneck-search scratch, reused across elimination steps: mw[u] is
 	// valid only while mwSet[u]; touched lists the set entries to reset.
-	mw := make([]int, n)
-	mwSet := make([]bool, n)
-	var touched []int32
-	type qi struct {
-		v int32
-		d int
-	}
-	var pq []qi
-	var bumped []int32
+	mw := sc.Ints(n)
+	mwSet := sc.Bools(n)
+	touched := sc.Int32s(n)[:0]
+	// pq entries pack (distance+1, vertex) into one uint64 so the queue can
+	// live in the arena; the packed order equals (distance, vertex)
+	// lexicographic order because both halves are non-negative.
+	pq := sc.Uint64s(n)[:0]
+	bumped := sc.Int32s(n)[:0]
 
 	for i := n - 1; i >= 0; i-- {
 		// Pick the unnumbered vertex with maximum weight (lowest index on
@@ -69,10 +70,10 @@ func mcsmDense(d *graph.Dense) Triangulation {
 				mwSet[u] = true
 				mw[u] = dd
 				touched = append(touched, u)
-				pq = append(pq, qi{u, dd})
+				pq = append(pq, uint64(dd+1)<<32|uint64(uint32(u)))
 			} else if dd < mw[u] {
 				mw[u] = dd
-				pq = append(pq, qi{u, dd})
+				pq = append(pq, uint64(dd+1)<<32|uint64(uint32(u)))
 			}
 		}
 		for _, u := range d.Row(v) {
@@ -82,24 +83,26 @@ func mcsmDense(d *graph.Dense) Triangulation {
 		}
 		for len(pq) > 0 {
 			// Extract min (d, v) by linear scan — small sparse graphs;
-			// determinism matters more than asymptotics.
+			// determinism matters more than asymptotics. The packed keys
+			// compare exactly like the (d, v) pairs they encode.
 			best := 0
 			for j := 1; j < len(pq); j++ {
-				if pq[j].d < pq[best].d || (pq[j].d == pq[best].d && pq[j].v < pq[best].v) {
+				if pq[j] < pq[best] {
 					best = j
 				}
 			}
-			cur := pq[best]
+			curD := int(pq[best]>>32) - 1
+			curV := int32(uint32(pq[best]))
 			pq[best] = pq[len(pq)-1]
 			pq = pq[:len(pq)-1]
-			if cur.d > mw[cur.v] {
+			if curD > mw[curV] {
 				continue // stale
 			}
-			through := cur.d
-			if weight[cur.v] > through {
-				through = weight[cur.v]
+			through := curD
+			if weight[curV] > through {
+				through = weight[curV]
 			}
-			for _, x := range d.Row(cur.v) {
+			for _, x := range d.Row(curV) {
 				if !numbered[x] && x != v {
 					push(x, through)
 				}
@@ -112,7 +115,7 @@ func mcsmDense(d *graph.Dense) Triangulation {
 				bumped = append(bumped, u)
 			}
 		}
-		sort.Slice(bumped, func(a, b int) bool { return bumped[a] < bumped[b] })
+		slices.Sort(bumped)
 		for _, u := range bumped {
 			weight[u]++
 			heap.Push(h, wItem{int(u), weight[u]})
@@ -144,8 +147,13 @@ func mcsmDense(d *graph.Dense) Triangulation {
 // clique tests probe G's bitset adjacency, and the shrinking G' scans reuse
 // neighbor buffers.
 func decomposeConnectedDense(g *graph.Graph, d *Decomposition) {
-	gd := graph.FromGraph(g)
-	tri := mcsmDense(gd)
+	// The frozen snapshots (gd, hd), the elimination scratch and the
+	// position table all come from one arena scope; the atoms and
+	// separators appended to d are freshly allocated and outlive it.
+	sc := arena.Get()
+	defer sc.Release()
+	gd := graph.FromGraphScratch(g, sc)
+	tri := mcsmDense(gd, sc)
 	d.Fill += len(tri.Fill)
 
 	// H = G + fill, frozen after construction.
@@ -153,11 +161,11 @@ func decomposeConnectedDense(g *graph.Graph, d *Decomposition) {
 	for _, e := range tri.Fill {
 		h.AddEdge(e.U, e.V, 0)
 	}
-	hd := graph.FromGraph(h)
+	hd := graph.FromGraphScratch(h, sc)
 
 	// pos[i] = position of dense index i in the elimination order. H has
 	// exactly G's vertex set, so gd and hd share one id↔index mapping.
-	pos := make([]int, gd.N())
+	pos := sc.Ints(gd.N())
 	for i, v := range tri.Order {
 		pos[gd.Index(v)] = i
 	}

@@ -3,6 +3,7 @@ package coloring
 import (
 	"fmt"
 
+	"parmem/internal/arena"
 	"parmem/internal/graph"
 )
 
@@ -20,11 +21,16 @@ func guptaSoffaDense(g *graph.Graph, opt Options) Result {
 	if k < 1 {
 		panic(fmt.Sprintf("coloring: K = %d, need at least one module", k))
 	}
-	d := graph.FromGraph(g)
+	// All selection-loop scratch (the dense snapshot, urgency and load
+	// arrays) is borrowed from the arena; only assign and Unassigned escape
+	// into the Result and stay freshly allocated.
+	sc := arena.Get()
+	defer sc.Release()
+	d := graph.FromGraphScratch(g, sc)
 	n := d.N()
 
 	assign := make(map[int]int, n)
-	asg := make([]int32, n) // module+1 per dense index; 0 = unassigned
+	asg := sc.Int32s(n) // module+1 per dense index; 0 = unassigned
 	for v, m := range opt.Precolored {
 		if m < 0 || m >= k {
 			panic(fmt.Sprintf("coloring: precolored node %d has module %d outside [0,%d)", v, m, k))
@@ -39,7 +45,7 @@ func guptaSoffaDense(g *graph.Graph, opt Options) Result {
 	// S_ni = total outgoing weight under the directed-weight rule of
 	// Fig. 4: edges leaving a node of degree < k weigh nothing, otherwise
 	// conf(ni,nj) — which is the plain sum of the node's CSR weight row.
-	s := make([]int, n)
+	s := sc.Ints(n)
 	for i := int32(0); int(i) < n; i++ {
 		if d.Deg(i) < k {
 			continue
@@ -51,7 +57,7 @@ func guptaSoffaDense(g *graph.Graph, opt Options) Result {
 		s[i] = sum
 	}
 
-	rest := make([]bool, n)
+	rest := sc.Bools(n)
 	nrest := 0
 	for i := range rest {
 		if asg[i] == 0 {
@@ -60,7 +66,7 @@ func guptaSoffaDense(g *graph.Graph, opt Options) Result {
 		}
 	}
 
-	moduleLoad := make([]int, k)
+	moduleLoad := sc.Ints(k)
 	for _, m := range assign {
 		moduleLoad[m]++
 	}
@@ -82,7 +88,7 @@ func guptaSoffaDense(g *graph.Graph, opt Options) Result {
 		nrest--
 	}
 
-	used := make([]bool, k) // scratch: modules taken by assigned neighbors
+	used := sc.Bools(k) // scratch: modules taken by assigned neighbors
 	for nrest > 0 {
 		// Choose n_next maximizing urgency U = (Σ incoming weight from
 		// assigned neighbors) / K_nj, comparing fractions by

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"parmem/internal/arena"
 	"parmem/internal/graph"
 )
 
@@ -66,10 +67,14 @@ func Normalize(instrs []Instruction) []Instruction {
 // AddEdgeWeight per *distinct* pair at the end. The result is identical to
 // inserting pairs one occurrence at a time.
 func Build(instrs []Instruction) *graph.Graph {
-	intern := make(map[ValueID]int32)
-	var ids []ValueID // index -> value id, first-seen order
-	conf := make(map[uint64]int)
-	var ops Instruction // reusable normalize buffer
+	// The interning tables, pair counts and normalize buffer are all
+	// borrowed scratch; only the returned graph is freshly allocated.
+	sc := arena.Get()
+	defer sc.Release()
+	intern := sc.IntInt32Map(len(instrs))
+	ids := sc.Ints(len(instrs))[:0] // index -> value id, first-seen order
+	conf := sc.PairMap(len(instrs))
+	ops := Instruction(sc.Ints(16)[:0]) // reusable normalize buffer
 	for _, in := range instrs {
 		ops = normalizeInto(in, ops[:0])
 		for i, v := range ops {
@@ -128,21 +133,61 @@ func Conf(g *graph.Graph, u, v ValueID) int { return g.Weight(u, v) }
 // machine has memory modules; such an instruction could never be fetched in
 // one cycle regardless of data placement and indicates a scheduler bug.
 func Validate(instrs []Instruction, modules int) error {
+	sc := arena.Get()
+	defer sc.Release()
+	buf := Instruction(sc.Ints(16)[:0])
 	for i, in := range instrs {
-		if n := len(in.Normalize()); n > modules {
+		buf = normalizeInto(in, buf[:0])
+		if n := len(buf); n > modules {
 			return fmt.Errorf("instruction %d has %d distinct operands but the machine has %d memory modules", i, n, modules)
 		}
 	}
 	return nil
 }
 
-// combKey is a canonical key for an operand combination.
-func combKey(comb []ValueID) string {
-	b := make([]byte, 0, len(comb)*3)
+// OpsTable holds the normalized (sorted, deduplicated) operand sets of an
+// instruction stream in CSR form: one flat operand array plus per-
+// instruction offsets. It replaces per-call Instruction.Normalize in the
+// duplication hot loops; when built from a Scratch it is valid only for
+// that arena scope.
+type OpsTable struct {
+	flat []ValueID
+	off  []int32
+}
+
+// Len returns the number of instructions in the table.
+func (t OpsTable) Len() int { return len(t.off) - 1 }
+
+// Row returns the normalized operand set of instruction i. The slice
+// aliases the table storage; callers must not modify it.
+func (t OpsTable) Row(i int) Instruction { return Instruction(t.flat[t.off[i]:t.off[i+1]]) }
+
+// NormalizeTable normalizes every instruction into one flat table backed
+// by sc (a nil sc allocates fresh storage).
+func NormalizeTable(instrs []Instruction, sc *arena.Scratch) OpsTable {
+	total := 0
+	for _, in := range instrs {
+		total += len(in)
+	}
+	// Dedup only ever shrinks rows, so the flat buffer never regrows and
+	// the row offsets stay valid.
+	t := OpsTable{
+		flat: sc.Ints(total)[:0],
+		off:  sc.Int32s(len(instrs) + 1),
+	}
+	for i, in := range instrs {
+		t.flat = []ValueID(normalizeInto(in, Instruction(t.flat)))
+		t.off[i+1] = int32(len(t.flat))
+	}
+	return t
+}
+
+// appendCombKey appends the canonical dedup key bytes of a combination.
+func appendCombKey(b []byte, comb []ValueID) []byte {
 	for _, v := range comb {
 		b = append(b, byte(v), byte(v>>8), byte(v>>16))
 	}
-	return string(b)
+	return b
 }
 
 // Combinations enumerates, without repetition, every size-n subset of
@@ -151,27 +196,42 @@ func combKey(comb []ValueID) string {
 // is sorted lexicographically. Instructions with fewer than n operands
 // contribute nothing.
 func Combinations(instrs []Instruction, n int) [][]ValueID {
+	sc := arena.Get()
+	defer sc.Release()
+	// nil output scratch: the combinations escape to the caller.
+	return CombinationsTable(NormalizeTable(instrs, sc), n, nil)
+}
+
+// CombinationsTable is Combinations over a pre-normalized table. The
+// returned combination slices are carved from sc and share its lifetime
+// (nil sc allocates them fresh); internal dedup state is pooled either
+// way.
+func CombinationsTable(t OpsTable, n int, sc *arena.Scratch) [][]ValueID {
 	if n <= 0 {
 		return nil
 	}
-	seen := make(map[string][]ValueID)
-	for _, in := range instrs {
-		ops := in.Normalize()
+	isc := arena.Get()
+	defer isc.Release()
+	seen := isc.StrSet(0)
+	kb := isc.Bytes(3 * n)[:0]
+	// Combinations are appended to a flat chunk and carved by full slice
+	// expressions; when append regrows the chunk, already carved slices
+	// keep pointing into the previous (still live) backing array.
+	flat := sc.Ints(64 * n)[:0]
+	var out [][]ValueID
+	for i := 0; i < t.Len(); i++ {
+		ops := t.Row(i)
 		if len(ops) < n {
 			continue
 		}
 		forEachSubset(ops, n, func(comb []ValueID) {
-			k := combKey(comb)
-			if _, ok := seen[k]; !ok {
-				c := make([]ValueID, n)
-				copy(c, comb)
-				seen[k] = c
+			kb = appendCombKey(kb[:0], comb)
+			if _, ok := seen[string(kb)]; !ok {
+				seen[string(kb)] = struct{}{}
+				flat = append(flat, comb...)
+				out = append(out, flat[len(flat)-n : len(flat) : len(flat)])
 			}
 		})
-	}
-	out := make([][]ValueID, 0, len(seen))
-	for _, c := range seen {
-		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool { return lessIntSlice(out[i], out[j]) })
 	return out

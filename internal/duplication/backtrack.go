@@ -2,8 +2,10 @@ package duplication
 
 import (
 	"errors"
-	"sort"
+	"math/bits"
+	"slices"
 
+	"parmem/internal/arena"
 	"parmem/internal/budget"
 	"parmem/internal/conflict"
 	"parmem/internal/faultinject"
@@ -81,10 +83,14 @@ func unassignedSet(in Input) map[int]bool {
 // unassigned value has at least one copy (a value that appears in no
 // conflicting instruction still needs storage somewhere).
 func finishResult(in Input, copies Copies) Result {
-	load := make([]int, in.K)
+	sc := arena.Get()
+	defer sc.Release()
+	load := sc.Ints(in.K)
 	for _, s := range copies {
-		for _, m := range s.Modules() {
+		for t := s; t != 0; {
+			m := bits.TrailingZeros64(uint64(t))
 			load[m]++
+			t = t.Remove(m)
 		}
 	}
 	for _, v := range in.Unassigned {
@@ -100,8 +106,9 @@ func finishResult(in Input, copies Copies) Result {
 		}
 	}
 	res := Result{Copies: copies}
-	for i, instr := range in.Instrs {
-		if !ConflictFree(instr.Normalize(), copies) {
+	tbl := conflict.NormalizeTable(in.Instrs, sc)
+	for i := 0; i < tbl.Len(); i++ {
+		if !ConflictFree(tbl.Row(i), copies) {
 			res.Residual = append(res.Residual, i)
 		}
 	}
@@ -149,31 +156,37 @@ func Backtrack(in Input) (Result, error) {
 // partial view and diverge from the sequential result.
 func backtrackCore(in Input) (Copies, string, error) {
 	faultinject.Check("duplication.backtrack")
+	sc := arena.Get()
+	defer sc.Release()
+	tbl := conflict.NormalizeTable(in.Instrs, sc)
 	copies := baseCopies(in)
-	repl := unassignedSet(in)
-
-	type item struct {
-		idx  int
-		ops  []int // normalized operands
-		nrep int   // operands in V_unassigned
+	repl := sc.IntBoolMap(len(in.Unassigned))
+	for _, v := range in.Unassigned {
+		repl[v] = true
 	}
-	var work []item
-	for i, instr := range in.Instrs {
-		ops := instr.Normalize()
+
+	// Work items are (nrep, arrival) keys packed into uint64s, so a plain
+	// sort is the stable fewest-replicable-operands-first order; workIdx
+	// maps arrival position back to the instruction's table row.
+	workIdx := sc.Ints(tbl.Len())[:0]
+	keys := sc.Uint64s(tbl.Len())[:0]
+	for i := 0; i < tbl.Len(); i++ {
 		nrep := 0
-		for _, v := range ops {
+		for _, v := range tbl.Row(i) {
 			if repl[v] {
 				nrep++
 			}
 		}
 		if nrep > 0 {
-			work = append(work, item{idx: i, ops: ops, nrep: nrep})
+			keys = append(keys, uint64(nrep)<<32|uint64(len(workIdx)))
+			workIdx = append(workIdx, i)
 		}
 	}
-	sort.SliceStable(work, func(a, b int) bool { return work[a].nrep < work[b].nrep })
+	slices.Sort(keys)
 
-	for _, it := range work {
-		if _, err := placeInstruction(it.ops, copies, repl, in.K, in.Meter); err != nil {
+	for _, key := range keys {
+		ops := tbl.Row(workIdx[uint32(key)])
+		if _, err := placeInstruction(ops, copies, repl, in.K, in.Meter); err != nil {
 			if errors.Is(err, budget.ErrCanceled) {
 				return nil, "", err
 			}
@@ -204,7 +217,10 @@ func backtrackCore(in Input) (Copies, string, error) {
 // operands already clash). A non-nil error means the meter cut the search
 // short (budget exhausted or canceled); no copies are recorded then.
 func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int, meter *budget.Meter) (bool, error) {
-	var fixedVals, freeVals []int
+	sc := arena.Get()
+	defer sc.Release()
+	fixedVals := sc.Ints(len(ops))[:0]
+	freeVals := sc.Ints(len(ops))[:0]
 	for _, v := range ops {
 		if repl[v] {
 			freeVals = append(freeVals, v)
@@ -232,8 +248,9 @@ func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int, meter 
 	// the search we conservatively only reserve single-copy modules.
 
 	bestCost := k + 1
-	var bestChoice []int
-	choice := make([]int, len(freeVals))
+	found := false
+	bestChoice := sc.Ints(len(freeVals))
+	choice := sc.Ints(len(freeVals))
 
 	var searchErr error
 	var rec func(i int, used ModSet, cost int)
@@ -252,7 +269,8 @@ func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int, meter 
 			// Validate with the full SDR including multi-copy fixed values.
 			if conflictFreeWith(ops, copies, freeVals, choice) {
 				bestCost = cost
-				bestChoice = append(bestChoice[:0], choice...)
+				found = true
+				copy(bestChoice, choice)
 			}
 			return
 		}
@@ -281,7 +299,7 @@ func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int, meter 
 	if searchErr != nil {
 		return false, searchErr
 	}
-	if bestChoice == nil {
+	if !found {
 		return false, nil
 	}
 	for j, v := range freeVals {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 
+	"parmem/internal/arena"
 	"parmem/internal/budget"
 	"parmem/internal/conflict"
 	"parmem/internal/faultinject"
@@ -129,21 +130,30 @@ func occLess(a, b []int, from, to int) bool {
 // choice is deterministic (smallest module index on ties; the paper makes a
 // random choice).
 func Place(instrs []conflict.Instruction, copies Copies, hs []int, repl map[int]bool, k int) {
-	type ginstr struct {
-		ops   []int
-		group int // number of replicable operands, 1..k
-	}
-	var gis []ginstr
-	for _, in := range instrs {
-		ops := in.Normalize()
+	sc := arena.Get()
+	defer sc.Release()
+	placeTable(conflict.NormalizeTable(instrs, sc), copies, hs, repl, k, sc)
+}
+
+// placeTable is Place over a pre-normalized operand table, with every
+// placement buffer (grouping, conflict flags, occurrence vectors, trial
+// vectors) borrowed from sc. It mutates copies in place and allocates
+// nothing that outlives the call.
+func placeTable(t conflict.OpsTable, copies Copies, hs []int, repl map[int]bool, k int, sc *arena.Scratch) {
+	// gisIdx lists the instructions with at least one replicable operand
+	// (table row indices); gisGrp is the parallel group number 1..k.
+	gisIdx := sc.Ints(t.Len())[:0]
+	gisGrp := sc.Ints(t.Len())[:0]
+	for i := 0; i < t.Len(); i++ {
 		y := 0
-		for _, v := range ops {
+		for _, v := range t.Row(i) {
 			if repl[v] {
 				y++
 			}
 		}
 		if y >= 1 {
-			gis = append(gis, ginstr{ops: ops, group: y})
+			gisIdx = append(gisIdx, i)
+			gisGrp = append(gisGrp, y)
 		}
 	}
 
@@ -151,44 +161,51 @@ func Place(instrs []conflict.Instruction, copies Copies, hs []int, repl map[int]
 	// constant until placement starts, so the free/conflicting status of
 	// each instruction is computed once, and each value's vector once —
 	// not per comparator call of the sort below.
-	confl := make([]bool, len(gis))
-	for i, gi := range gis {
-		confl[i] = !ConflictFree(gi.ops, copies)
+	confl := sc.Bools(len(gisIdx))
+	for j, i := range gisIdx {
+		confl[j] = !ConflictFree(t.Row(i), copies)
 	}
-	conflVector := func(v int) []int {
-		vec := make([]int, k+1)
-		for i, gi := range gis {
-			if !confl[i] {
+	// vecs holds one (k+1)-wide occurrence vector per hs entry, flat.
+	vecs := sc.Ints(len(hs) * (k + 1))
+	for vi, v := range hs {
+		vec := vecs[vi*(k+1) : (vi+1)*(k+1)]
+		for j, i := range gisIdx {
+			if !confl[j] {
 				continue
 			}
-			for _, o := range gi.ops {
+			for _, o := range t.Row(i) {
 				if o == v {
-					vec[gi.group]++
+					vec[gisGrp[j]]++
 					break
 				}
 			}
 		}
-		return vec
-	}
-	vecs := make(map[int][]int, len(hs))
-	for _, v := range hs {
-		vecs[v] = conflVector(v)
 	}
 
 	// Order the values: the one involved in the most group-1 conflicts
-	// first, comparing group vectors lexicographically.
-	order := append([]int(nil), hs...)
+	// first, comparing group vectors lexicographically. order permutes hs
+	// positions; ties fall back to the smaller value id, and stable sorting
+	// from hs order keeps the historical ordering on full ties.
+	order := sc.Ints(len(hs))
+	for i := range order {
+		order[i] = i
+	}
 	sort.SliceStable(order, func(a, b int) bool {
-		va, vb := vecs[order[a]], vecs[order[b]]
+		va := vecs[order[a]*(k+1) : order[a]*(k+1)+k+1]
+		vb := vecs[order[b]*(k+1) : order[b]*(k+1)+k+1]
 		for y := 1; y <= k; y++ {
 			if va[y] != vb[y] {
 				return va[y] > vb[y]
 			}
 		}
-		return order[a] < order[b]
+		return hs[order[a]] < hs[order[b]]
 	})
 
-	for _, v := range order {
+	involved := sc.Ints(len(gisIdx))[:0]
+	vec := sc.Ints(k + 1)
+	bestVec := sc.Ints(k + 1)
+	for _, oi := range order {
+		v := hs[oi]
 		if copies[v].Count() >= k {
 			continue // already everywhere; nothing to place
 		}
@@ -199,32 +216,32 @@ func Place(instrs []conflict.Instruction, copies Copies, hs []int, repl map[int]
 		// steers the *first* copy of a value (whose placement narrows the
 		// value from a wildcard to one module) away from modules that
 		// would create new conflicts.
-		var involved []ginstr
-		for _, gi := range gis {
-			for _, o := range gi.ops {
+		involved = involved[:0]
+		for j, i := range gisIdx {
+			for _, o := range t.Row(i) {
 				if o == v {
-					involved = append(involved, gi)
+					involved = append(involved, j)
 					break
 				}
 			}
 		}
 		old := copies[v]
 		bestM := -1
-		var bestVec []int
 		for m := 0; m < k; m++ {
 			if old.Has(m) {
 				continue
 			}
-			vec := make([]int, k+1)
+			clear(vec)
 			copies[v] = old.Add(m)
-			for _, gi := range involved {
-				if ConflictFree(gi.ops, copies) {
-					vec[gi.group]++
+			for _, j := range involved {
+				if ConflictFree(t.Row(gisIdx[j]), copies) {
+					vec[gisGrp[j]]++
 				}
 			}
 			copies[v] = old
 			if bestM == -1 || vecGreater(vec, bestVec, k) {
-				bestM, bestVec = m, vec
+				bestM = m
+				copy(bestVec, vec)
 			}
 		}
 		if bestM >= 0 {
@@ -278,8 +295,17 @@ func HittingSetApproach(in Input) (Result, error) {
 // backtrackCore for why the split exists.
 func hittingCore(in Input) (Copies, string, error) {
 	faultinject.Check("duplication.hittingset")
+	// One arena scope covers the whole strategy: the normalized operand
+	// table, the replicable set and every Place/Combinations buffer. The
+	// copy table escapes into the Result and stays freshly allocated.
+	sc := arena.Get()
+	defer sc.Release()
+	tbl := conflict.NormalizeTable(in.Instrs, sc)
 	copies := baseCopies(in)
-	repl := unassignedSet(in)
+	repl := sc.IntBoolMap(len(in.Unassigned))
+	for _, v := range in.Unassigned {
+		repl[v] = true
+	}
 
 	// degrade resolves every remaining conflict by brute replication. A
 	// single forward pass suffices: ConflictFree is monotone in the copy
@@ -287,8 +313,8 @@ func hittingCore(in Input) (Copies, string, error) {
 	// earlier one.
 	degrade := func() (Copies, string, error) {
 		full := Full(in.K)
-		for _, instr := range in.Instrs {
-			ops := instr.Normalize()
+		for i := 0; i < tbl.Len(); i++ {
+			ops := tbl.Row(i)
 			if ConflictFree(ops, copies) {
 				continue
 			}
@@ -329,12 +355,12 @@ func hittingCore(in Input) (Copies, string, error) {
 		} else if deg {
 			return degrade()
 		}
-		Place(in.Instrs, copies, todo, repl, in.K)
+		placeTable(tbl, copies, todo, repl, in.K, sc)
 	}
 
 	for num := 3; num <= in.K; num++ {
 		for round := 0; ; round++ {
-			combs := conflict.Combinations(in.Instrs, num)
+			combs := conflict.CombinationsTable(tbl, num, sc)
 			if deg, err := charge(len(combs)); err != nil {
 				return nil, "", err
 			} else if deg {
@@ -365,7 +391,7 @@ func hittingCore(in Input) (Copies, string, error) {
 				return degrade()
 			}
 			before := copies.TotalCopies()
-			Place(in.Instrs, copies, hs, repl, in.K)
+			placeTable(tbl, copies, hs, repl, in.K, sc)
 			if copies.TotalCopies() == before {
 				// No progress is possible (every candidate already has a
 				// copy in all modules); the remaining conflicts involve

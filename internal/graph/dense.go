@@ -1,6 +1,11 @@
 package graph
 
-import "sort"
+import (
+	"slices"
+	"sort"
+
+	"parmem/internal/arena"
+)
 
 // Dense is a frozen, cache-friendly snapshot of a Graph, built once and then
 // read by the hot phases (MCS-M ordering, urgency coloring, clique checks).
@@ -48,11 +53,20 @@ const DenseBitsetMaxN = 2048
 // reflected; callers freeze the graph first (every compiler phase does — the
 // conflict graph never changes after construction).
 func FromGraph(g *Graph) *Dense {
+	return FromGraphScratch(g, nil)
+}
+
+// FromGraphScratch is FromGraph with the backing arrays (ids, index map,
+// CSR offsets/neighbors/weights, bitset matrix) borrowed from sc. The
+// returned Dense is only valid until sc is Reset or Released and must not
+// escape that scope. A nil sc allocates fresh storage, identical to
+// FromGraph.
+func FromGraphScratch(g *Graph, sc *arena.Scratch) *Dense {
 	n := len(g.adj)
 	d := &Dense{
-		ids: make([]int, 0, n),
-		idx: make(map[int]int32, n),
-		off: make([]int32, n+1),
+		ids: sc.Ints(n)[:0],
+		idx: sc.IntInt32Map(n),
+		off: sc.Int32s(n + 1),
 	}
 	for v := range g.adj {
 		d.ids = append(d.ids, v)
@@ -68,8 +82,8 @@ func FromGraph(g *Graph) *Dense {
 		total += deg
 		d.off[i+1] = d.off[i] + int32(deg)
 	}
-	d.nbr = make([]int32, total)
-	d.wt = make([]int32, total)
+	d.nbr = sc.Int32s(total)
+	d.wt = sc.Int32s(total)
 	d.numEdges = total / 2
 
 	for i, v := range d.ids {
@@ -77,7 +91,7 @@ func FromGraph(g *Graph) *Dense {
 		for u := range g.adj[v] {
 			row = append(row, d.idx[u])
 		}
-		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		slices.Sort(row)
 		for j, u := range row {
 			d.wt[int(d.off[i])+j] = int32(g.adj[v][d.ids[u]])
 		}
@@ -85,7 +99,7 @@ func FromGraph(g *Graph) *Dense {
 
 	if n > 0 && n <= DenseBitsetMaxN {
 		d.stride = (n + 63) / 64
-		d.bits = make([]uint64, n*d.stride)
+		d.bits = sc.Uint64s(n * d.stride)
 		for i := 0; i < n; i++ {
 			for _, u := range d.Row(int32(i)) {
 				d.bits[i*d.stride+int(u)/64] |= 1 << (uint(u) % 64)

@@ -14,6 +14,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sync"
+
+	"parmem/internal/arena"
 )
 
 // Start begins CPU profiling into cpuPath (if non-empty) and arranges for a
@@ -47,6 +49,10 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 					return
 				}
 				defer f.Close()
+				// Retained scratch buffers are pool bookkeeping, not program
+				// state; release them so the profile shows what the workload
+				// itself holds live.
+				arena.Drain()
 				runtime.GC() // materialize the final live heap
 				if err := pprof.WriteHeapProfile(f); err != nil {
 					fmt.Fprintln(os.Stderr, "profiling:", err)

@@ -174,6 +174,11 @@ type Options struct {
 	// either way — the knob exists for the differential tests and ablation
 	// benchmarks that prove and measure that.
 	Reference bool
+
+	// meter, when set by the batch API, charges assignment search work
+	// against a meter shared by the whole batch instead of a fresh per-call
+	// one built from Ctx and Budget.
+	meter *budget.Meter
 }
 
 func (o Options) withDefaults() Options {
@@ -339,6 +344,7 @@ func Compile(src string, opt Options) (p *Program, err error) {
 		Workers:      opt.Workers,
 		Cache:        opt.Cache,
 		Reference:    opt.Reference,
+		Meter:        opt.meter,
 	})
 	if err != nil {
 		return nil, err
@@ -411,6 +417,10 @@ type AssignConfig struct {
 	// Reference selects the map-graph reference implementations of the hot
 	// assignment phases; see Options.Reference.
 	Reference bool
+
+	// meter, when set by the batch API, charges assignment search work
+	// against a meter shared by the whole batch; see Options.meter.
+	meter *budget.Meter
 }
 
 // AssignValues runs memory-module assignment directly on a list of
@@ -427,14 +437,15 @@ func AssignValues(ctx context.Context, instrs []Instruction, cfg AssignConfig) (
 	defer recoverPhase("assign", &err)
 	p := assign.Program{Instrs: instrs}
 	al, err = assign.Assign(p, assign.Options{
-		K:        cfg.K,
-		Strategy: cfg.Strategy,
-		Method:   cfg.Method,
+		K:         cfg.K,
+		Strategy:  cfg.Strategy,
+		Method:    cfg.Method,
 		Ctx:       ctx,
 		Budget:    cfg.Budget,
 		Workers:   cfg.Workers,
 		Cache:     cfg.Cache,
 		Reference: cfg.Reference,
+		Meter:     cfg.meter,
 	})
 	if err != nil {
 		return Allocation{}, err
