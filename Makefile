@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet staticcheck bench bench-run bench-json bench-diff tables
+.PHONY: build test check race vet staticcheck bench bench-run bench-json bench-diff tables trace-smoke
 
 build:
 	$(GO) build ./...
@@ -60,3 +60,16 @@ bench-diff: bench-run
 
 tables:
 	$(GO) run ./cmd/parmem-tables
+
+# trace-smoke compiles a benchmark with full telemetry on and checks that
+# the Chrome trace file and the metrics dump actually materialize — the
+# end-to-end sanity pass of the observability layer (the structural
+# assertions live in the test suite; this proves the shipped binaries wire
+# it all up).
+trace-smoke:
+	$(GO) run ./cmd/parmemc -bench FFT -workers 4 -trace trace-smoke.json -metrics 2> trace-smoke.metrics
+	@grep -q '"traceEvents"' trace-smoke.json || { echo "trace-smoke: no traceEvents in trace-smoke.json"; exit 1; }
+	@grep -q '"name": "atom"' trace-smoke.json || { echo "trace-smoke: no atom spans in trace-smoke.json"; exit 1; }
+	@grep -q 'parmem_instructions_total' trace-smoke.metrics || { echo "trace-smoke: no metrics dump"; exit 1; }
+	@rm -f trace-smoke.json trace-smoke.metrics
+	@echo trace-smoke OK

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"parmem/internal/budget"
+	"parmem/internal/telemetry"
 )
 
 // This file is the batch front of the engine: many independent programs
@@ -79,7 +80,20 @@ func newBatchMeter(ctx context.Context, b Budget, n int) *budget.Meter {
 
 // runBatch is the shared scheduling skeleton: run fn(i) for every index
 // across a bounded pool, preserving input order in the caller's results.
-func runBatch(workers, n int, fn func(i int)) {
+// When rec is non-nil each item is counted started and tracked in-flight,
+// so a scrape mid-batch sees the pool's instantaneous occupancy.
+func runBatch(rec *Recorder, workers, n int, fn func(i int)) {
+	if rec != nil {
+		items := rec.Counter(telemetry.MBatchItems)
+		inflight := rec.Gauge(telemetry.MBatchInFlight)
+		inner := fn
+		fn = func(i int) {
+			items.Inc()
+			inflight.Add(1)
+			defer inflight.Add(-1)
+			inner(i)
+		}
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
@@ -135,7 +149,7 @@ func CompileBatch(ctx context.Context, srcs []string, opt Options) []BatchResult
 	if len(srcs) > 1 {
 		inner.Workers = 1
 	}
-	runBatch(batchWorkers(opt.Workers, len(srcs)), len(srcs), func(i int) {
+	runBatch(opt.Telemetry, batchWorkers(opt.Workers, len(srcs)), len(srcs), func(i int) {
 		p, err := Compile(srcs[i], inner)
 		results[i] = BatchResult{Program: p, Err: err}
 	})
@@ -160,7 +174,7 @@ func AssignValuesBatch(ctx context.Context, items [][]Instruction, cfg AssignCon
 	if len(items) > 1 {
 		inner.Workers = 1
 	}
-	runBatch(batchWorkers(cfg.Workers, len(items)), len(items), func(i int) {
+	runBatch(cfg.Telemetry, batchWorkers(cfg.Workers, len(items)), len(items), func(i int) {
 		al, err := AssignValues(ctx, items[i], inner)
 		results[i] = AssignBatchResult{Alloc: al, Err: err}
 	})

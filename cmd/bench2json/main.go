@@ -52,6 +52,7 @@ func main() {
 	flag.Parse()
 
 	var doc Output
+	skipped := 0
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -71,12 +72,19 @@ func main() {
 		}
 		rec, ok := parseLine(line)
 		if !ok {
+			// A Benchmark-prefixed line that does not parse is usually a
+			// truncated or interleaved result; dropping it silently would
+			// shrink the gated set without anyone noticing.
+			skipped++
 			continue
 		}
 		doc.Benchmarks = append(doc.Benchmarks, rec)
 	}
 	if err := sc.Err(); err != nil {
 		fatal(err)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "bench2json: warning: skipped %d unparseable benchmark line(s)\n", skipped)
 	}
 
 	enc, err := json.MarshalIndent(doc, "", "  ")

@@ -17,7 +17,11 @@
 // allocation row per file instead of the built-in suite.
 //
 // -timeout bounds the whole regeneration with a context deadline.
-// -cpuprofile and -memprofile write runtime/pprof profiles of the sweep.
+// -cpuprofile and -memprofile write runtime/pprof profiles of the sweep;
+// -trace FILE writes a Chrome trace_event file of every compilation,
+// -metrics dumps the engine metrics to stderr on exit, and -telemetry-addr
+// serves /metrics, /debug/vars and /debug/pprof while the sweep runs
+// (-telemetry-linger keeps the endpoint up afterwards).
 // Exit codes: 0 success, 1 failure (any file, in batch mode), 4 canceled
 // (timeout).
 package main
@@ -35,6 +39,7 @@ import (
 	"parmem/internal/assign"
 	"parmem/internal/conflict"
 	"parmem/internal/profiling"
+	"parmem/internal/telemetrycli"
 )
 
 // Exit codes. 2 is reserved (flag parse errors use it), 3 means a
@@ -59,6 +64,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	tcfg := telemetrycli.Flags(flag.CommandLine)
 	flag.Parse()
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
@@ -67,6 +73,13 @@ func main() {
 	}
 	stopProfiles = stop
 	defer stop()
+
+	rec, stopTel, err := tcfg.Start()
+	if err != nil {
+		fatal(err)
+	}
+	stopTelemetry = stopTel
+	defer stopTel()
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -79,7 +92,7 @@ func main() {
 	// same six benchmark programs over and over (Table 1 alone compiles
 	// each under three strategies), which is exactly the workload the
 	// allocation cache exists for.
-	opts := []parmem.ExperimentOption{parmem.WithWorkers(*workers)}
+	opts := []parmem.ExperimentOption{parmem.WithWorkers(*workers), parmem.WithTelemetry(rec)}
 	var alcache *parmem.AllocCache
 	if *useCache {
 		alcache = parmem.NewAllocCache(0)
@@ -87,7 +100,7 @@ func main() {
 	}
 
 	if *batchGlob != "" {
-		printBatch(ctx, *batchGlob, *k, *workers, alcache)
+		printBatch(ctx, *batchGlob, *k, *workers, alcache, rec)
 		if *cacheStats && alcache != nil {
 			printCacheStats(alcache)
 		}
@@ -134,7 +147,7 @@ func printCacheStats(c *parmem.AllocCache) {
 
 // printBatch compiles every file matching the glob through the batch
 // compiler and prints a Table-1-style allocation row per file.
-func printBatch(ctx context.Context, pattern string, k, workers int, cache *parmem.AllocCache) {
+func printBatch(ctx context.Context, pattern string, k, workers int, cache *parmem.AllocCache, rec *parmem.Recorder) {
 	files, err := filepath.Glob(pattern)
 	if err != nil {
 		fatal(err)
@@ -151,7 +164,7 @@ func printBatch(ctx context.Context, pattern string, k, workers int, cache *parm
 		}
 		srcs[i] = string(b)
 	}
-	results := parmem.CompileBatch(ctx, srcs, parmem.Options{Modules: k, Workers: workers, Cache: cache})
+	results := parmem.CompileBatch(ctx, srcs, parmem.Options{Modules: k, Workers: workers, Cache: cache, Telemetry: rec})
 	fmt.Printf("Batch allocation (k=%d, %d files)\n\n", k, len(files))
 	fmt.Printf("%-24s %8s %8s %8s %6s\n", "file", "single", "multi", "copies", "words")
 	failed := false
@@ -170,6 +183,7 @@ func printBatch(ctx context.Context, pattern string, k, workers int, cache *parm
 	}
 	if failed {
 		stopProfiles()
+		stopTelemetry()
 		os.Exit(exitFailure)
 	}
 }
@@ -272,8 +286,13 @@ func maxValue(instrs []conflict.Instruction) int {
 // profiling starts.
 var stopProfiles = func() {}
 
+// stopTelemetry flushes the trace file, dumps metrics and closes the live
+// endpoint; same every-exit-path discipline as stopProfiles.
+var stopTelemetry = func() {}
+
 func fatal(err error) {
 	stopProfiles()
+	stopTelemetry()
 	fmt.Fprintln(os.Stderr, "parmem-tables:", err)
 	if errors.Is(err, parmem.ErrCanceled) {
 		os.Exit(exitCanceled)

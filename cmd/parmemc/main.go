@@ -13,8 +13,12 @@
 // -run, -stats. Robustness flags: -timeout bounds the whole run with a
 // context deadline, -budget-nodes caps the backtracking search, and
 // -max-cycles caps simulation length. Observability flags: -cpuprofile and
-// -memprofile write runtime/pprof profiles; -reference runs the map-graph
-// reference assignment phases instead of the dense core (ablation).
+// -memprofile write runtime/pprof profiles; -trace FILE writes a Chrome
+// trace_event file of the pipeline (open in chrome://tracing or Perfetto);
+// -metrics dumps the engine metrics to stderr on exit; -telemetry-addr
+// serves /metrics, /debug/vars and /debug/pprof live (-telemetry-linger
+// keeps it up after the run); -reference runs the map-graph reference
+// assignment phases instead of the dense core (ablation).
 //
 // -batch treats every positional argument as a file or glob pattern and
 // streams the expanded file list through the batch compiler (one bounded
@@ -39,6 +43,7 @@ import (
 
 	"parmem"
 	"parmem/internal/profiling"
+	"parmem/internal/telemetrycli"
 )
 
 // Exit codes. 2 is reserved (flag parse errors use it).
@@ -50,32 +55,33 @@ const (
 
 func main() {
 	var (
-		modules   = flag.Int("k", 8, "number of parallel memory modules")
-		units     = flag.Int("units", 0, "functional units per word (default: k)")
-		strategy  = flag.String("strategy", "STOR1", "conflict-graph strategy: STOR1, STOR2, STOR3 or PerRegion")
-		method    = flag.String("method", "hittingset", "duplication method: hittingset or backtrack")
-		unroll    = flag.Int("unroll", 0, "loop unrolling factor (0 disables)")
-		optimize  = flag.Bool("optimize", false, "run the scalar optimizer (folding, copy propagation, DCE)")
-		ifconvert = flag.Bool("ifconvert", false, "predicate short fault-free conditionals")
-		noAtoms   = flag.Bool("no-atoms", false, "disable clique-separator decomposition")
-		noRename  = flag.Bool("no-rename", false, "disable definition renaming")
-		benchName = flag.String("bench", "", "compile a built-in benchmark instead of a file")
-		batch     = flag.Bool("batch", false, "treat arguments as files/globs and compile them as one batch")
-		dumpIR    = flag.Bool("dump-ir", false, "print the three-address IR")
-		dumpSched = flag.Bool("dump-sched", false, "print the long-instruction-word schedule")
-		dumpAlloc = flag.Bool("dump-alloc", false, "print the memory-module allocation")
-		dumpConfl = flag.Bool("dump-conflicts", false, "print per-word operand sets")
-		run       = flag.Bool("run", false, "execute on the simulated machine")
-		trace     = flag.Bool("trace", false, "with -run: print each executed word")
-		showStats = flag.Bool("stats", false, "print allocation and execution statistics")
-		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 disables)")
-		nodes     = flag.Int64("budget-nodes", 0, "backtracking node budget (0 = default, -1 = unlimited)")
+		modules    = flag.Int("k", 8, "number of parallel memory modules")
+		units      = flag.Int("units", 0, "functional units per word (default: k)")
+		strategy   = flag.String("strategy", "STOR1", "conflict-graph strategy: STOR1, STOR2, STOR3 or PerRegion")
+		method     = flag.String("method", "hittingset", "duplication method: hittingset or backtrack")
+		unroll     = flag.Int("unroll", 0, "loop unrolling factor (0 disables)")
+		optimize   = flag.Bool("optimize", false, "run the scalar optimizer (folding, copy propagation, DCE)")
+		ifconvert  = flag.Bool("ifconvert", false, "predicate short fault-free conditionals")
+		noAtoms    = flag.Bool("no-atoms", false, "disable clique-separator decomposition")
+		noRename   = flag.Bool("no-rename", false, "disable definition renaming")
+		benchName  = flag.String("bench", "", "compile a built-in benchmark instead of a file")
+		batch      = flag.Bool("batch", false, "treat arguments as files/globs and compile them as one batch")
+		dumpIR     = flag.Bool("dump-ir", false, "print the three-address IR")
+		dumpSched  = flag.Bool("dump-sched", false, "print the long-instruction-word schedule")
+		dumpAlloc  = flag.Bool("dump-alloc", false, "print the memory-module allocation")
+		dumpConfl  = flag.Bool("dump-conflicts", false, "print per-word operand sets")
+		run        = flag.Bool("run", false, "execute on the simulated machine")
+		traceWords = flag.Bool("trace-words", false, "with -run: print each executed word")
+		showStats  = flag.Bool("stats", false, "print allocation and execution statistics")
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 disables)")
+		nodes      = flag.Int64("budget-nodes", 0, "backtracking node budget (0 = default, -1 = unlimited)")
 		maxCycles  = flag.Int64("max-cycles", 0, "with -run: abort after this many machine cycles (0 disables)")
 		workers    = flag.Int("workers", 0, "assignment worker pool size (0 = one per CPU, 1 = sequential)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		reference  = flag.Bool("reference", false, "use the map-graph reference assignment phases (ablation)")
 	)
+	tcfg := telemetrycli.Flags(flag.CommandLine)
 	flag.Parse()
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
@@ -84,6 +90,13 @@ func main() {
 	}
 	stopProfiles = stop
 	defer stop()
+
+	rec, stopTel, err := tcfg.Start()
+	if err != nil {
+		fatal(err)
+	}
+	stopTelemetry = stopTel
+	defer stopTel()
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -103,6 +116,7 @@ func main() {
 		DisableRenaming: *noRename,
 		Workers:         *workers,
 		Reference:       *reference,
+		Telemetry:       rec,
 	}
 	switch *strategy {
 	case "STOR1":
@@ -177,7 +191,7 @@ func main() {
 	}
 	if *run {
 		ropt := parmem.RunOptions{}
-		if *trace {
+		if *traceWords {
 			ropt.Trace = os.Stdout
 		}
 		res, err := p.RunCtx(ctx, ropt)
@@ -192,6 +206,7 @@ func main() {
 	}
 	if p.Alloc.Degraded {
 		stopProfiles()
+		stopTelemetry()
 		os.Exit(exitDegraded)
 	}
 }
@@ -200,6 +215,11 @@ func main() {
 // because deferred functions do not run past Exit. Replaced in main once
 // profiling starts.
 var stopProfiles = func() {}
+
+// stopTelemetry flushes the trace file, dumps metrics and closes the live
+// endpoint; same every-exit-path discipline as stopProfiles. Replaced in
+// main once telemetry starts.
+var stopTelemetry = func() {}
 
 // expandBatchArgs resolves each argument as a glob pattern, falling back to
 // a literal path when the pattern matches nothing (so plain file names work
@@ -265,6 +285,7 @@ func runBatch(ctx context.Context, args []string, opt parmem.Options) {
 	}
 	fmt.Printf("batch: %d/%d compiled, %d degraded\n", len(files)-failed, len(files), degraded)
 	stopProfiles()
+	stopTelemetry()
 	switch {
 	case canceled:
 		os.Exit(exitCanceled)
@@ -322,6 +343,7 @@ func printAlloc(p *parmem.Program) {
 
 func fatal(err error) {
 	stopProfiles()
+	stopTelemetry()
 	fmt.Fprintln(os.Stderr, "parmemc:", err)
 	if errors.Is(err, parmem.ErrCanceled) {
 		os.Exit(exitCanceled)

@@ -1,12 +1,17 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildCLI compiles this command into a temp dir once per test run.
@@ -106,7 +111,7 @@ func TestCLITrace(t *testing.T) {
 	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	out, err := run(t, bin, "-run", "-trace", file)
+	out, err := run(t, bin, "-run", "-trace-words", file)
 	if err != nil {
 		t.Fatalf("%v\n%s", err, out)
 	}
@@ -166,6 +171,107 @@ func TestCLITimeoutExitCode(t *testing.T) {
 	}
 	if !strings.Contains(out, "canceled") {
 		t.Fatalf("output missing cancellation notice:\n%s", out)
+	}
+}
+
+// TestCLITraceSmoke: -trace must produce a Chrome trace_event document
+// that parses as JSON and carries one span per pipeline phase plus the
+// per-atom coloring spans — the file a developer drops into
+// chrome://tracing or Perfetto.
+func TestCLITraceSmoke(t *testing.T) {
+	bin := buildCLI(t)
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	out, err := run(t, bin, "-bench", "FFT", "-workers", "4", "-trace", traceFile, "-metrics")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Pid  int64  `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	seen := map[string]int{}
+	lastTs := int64(-1)
+	for _, ev := range doc.TraceEvents {
+		seen[ev.Name]++
+		if ev.Ph == "X" {
+			if ev.Ts < lastTs {
+				t.Fatalf("timestamps not monotonic: %d after %d", ev.Ts, lastTs)
+			}
+			lastTs = ev.Ts
+		}
+	}
+	for _, phase := range []string{"process_name", "compile", "parse", "schedule", "assign", "phase", "atom"} {
+		if seen[phase] == 0 {
+			t.Errorf("trace missing %q events (saw %v)", phase, seen)
+		}
+	}
+	// -metrics dumps the registry to stderr on exit.
+	if !strings.Contains(out, "parmem_instructions_total") {
+		t.Fatalf("-metrics dump missing from output:\n%s", out)
+	}
+}
+
+// TestCLITelemetryEndpoint scrapes /metrics from a live run: the server
+// line on stderr names the bound port, and -telemetry-linger keeps the
+// endpoint up after the compile finishes so a one-shot invocation can
+// still be scraped.
+func TestCLITelemetryEndpoint(t *testing.T) {
+	bin := buildCLI(t)
+	cmd := exec.Command(bin, "-bench", "FFT", "-telemetry-addr", "127.0.0.1:0", "-telemetry-linger", "30s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	sc := bufio.NewScanner(stderr)
+	addr := ""
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "telemetry: serving on ") {
+			addr = strings.TrimPrefix(line, "telemetry: serving on ")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no serving line on stderr (scan err: %v)", sc.Err())
+	}
+
+	// The compile may still be running; poll until the instruction counter
+	// shows up or the deadline passes.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && strings.Contains(string(body), "parmem_instructions_total") {
+				if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+					t.Fatalf("content-type = %q", ct)
+				}
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never scraped parmem_instructions_total from /metrics")
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

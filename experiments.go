@@ -49,6 +49,13 @@ func WithAllocCache(c *AllocCache) ExperimentOption {
 	return func(o *Options) { o.Cache = c }
 }
 
+// WithTelemetry records every compilation of an experiment driver run into
+// one Recorder (see Options.Telemetry), aggregating the whole sweep's
+// spans and metrics in one place.
+func WithTelemetry(rec *Recorder) ExperimentOption {
+	return func(o *Options) { o.Telemetry = rec }
+}
+
 // applyExperimentOptions folds driver-level options into compile Options.
 func applyExperimentOptions(o Options, opts []ExperimentOption) Options {
 	for _, fn := range opts {

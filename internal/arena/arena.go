@@ -65,6 +65,9 @@ func (b *bufs[T]) get(n int) []T {
 	return s
 }
 
+// pending reports how many borrowed buffers Reset will return.
+func (b *bufs[T]) pending() int { return len(b.lent) }
+
 // reset recycles every lent buffer, dropping the excess beyond maxFree.
 func (b *bufs[T]) reset() {
 	for _, s := range b.lent {
@@ -96,6 +99,8 @@ func (m *maps[K, V]) get(hint int) map[K]V {
 	return mp
 }
 
+func (m *maps[K, V]) pending() int { return len(m.lent) }
+
 func (m *maps[K, V]) reset() {
 	for _, mp := range m.lent {
 		if len(m.free) < maxFree {
@@ -120,6 +125,39 @@ type Scratch struct {
 	intBool  maps[int, bool]
 	pairInt  maps[uint64, int]
 	strSet   maps[string, struct{}]
+
+	// Local telemetry tallies: plain fields (the Scratch is single-owner)
+	// incremented on the hot getters and flushed to the package counters
+	// once per Reset, so observability costs no atomics per borrow.
+	gets   int64
+	zeroed int64 // bytes handed out zeroed (reused capacity + fresh)
+}
+
+// Stats is a snapshot of the package-wide arena counters.
+type Stats struct {
+	// Gets counts buffers and maps borrowed from scratches.
+	Gets int64
+	// Puts counts buffers and maps returned to the free lists on Reset.
+	Puts int64
+	// ZeroedBytes counts slice bytes handed out zeroed.
+	ZeroedBytes int64
+}
+
+// global counters, flushed from per-Scratch tallies on Reset. Disabled
+// pooling (nil Scratch) bypasses the arena entirely and counts nothing.
+var (
+	statGets   atomic.Int64
+	statPuts   atomic.Int64
+	statZeroed atomic.Int64
+)
+
+// ReadStats returns the cumulative arena counters for this process.
+func ReadStats() Stats {
+	return Stats{
+		Gets:        statGets.Load(),
+		Puts:        statPuts.Load(),
+		ZeroedBytes: statZeroed.Load(),
+	}
 }
 
 // Ints returns a zeroed []int of length n.
@@ -127,6 +165,8 @@ func (s *Scratch) Ints(n int) []int {
 	if s == nil {
 		return make([]int, n)
 	}
+	s.gets++
+	s.zeroed += int64(n) * 8
 	return s.ints.get(n)
 }
 
@@ -135,6 +175,8 @@ func (s *Scratch) Int32s(n int) []int32 {
 	if s == nil {
 		return make([]int32, n)
 	}
+	s.gets++
+	s.zeroed += int64(n) * 4
 	return s.int32s.get(n)
 }
 
@@ -143,6 +185,8 @@ func (s *Scratch) Bools(n int) []bool {
 	if s == nil {
 		return make([]bool, n)
 	}
+	s.gets++
+	s.zeroed += int64(n) * 1
 	return s.bools.get(n)
 }
 
@@ -151,6 +195,8 @@ func (s *Scratch) Uint64s(n int) []uint64 {
 	if s == nil {
 		return make([]uint64, n)
 	}
+	s.gets++
+	s.zeroed += int64(n) * 8
 	return s.uint64s.get(n)
 }
 
@@ -159,6 +205,8 @@ func (s *Scratch) Bytes(n int) []byte {
 	if s == nil {
 		return make([]byte, n)
 	}
+	s.gets++
+	s.zeroed += int64(n) * 1
 	return s.bytes.get(n)
 }
 
@@ -167,6 +215,7 @@ func (s *Scratch) IntMap(hint int) map[int]int {
 	if s == nil {
 		return make(map[int]int, hint)
 	}
+	s.gets++
 	return s.intInt.get(hint)
 }
 
@@ -175,6 +224,7 @@ func (s *Scratch) IntInt32Map(hint int) map[int]int32 {
 	if s == nil {
 		return make(map[int]int32, hint)
 	}
+	s.gets++
 	return s.intInt32.get(hint)
 }
 
@@ -183,6 +233,7 @@ func (s *Scratch) IntBoolMap(hint int) map[int]bool {
 	if s == nil {
 		return make(map[int]bool, hint)
 	}
+	s.gets++
 	return s.intBool.get(hint)
 }
 
@@ -191,6 +242,7 @@ func (s *Scratch) PairMap(hint int) map[uint64]int {
 	if s == nil {
 		return make(map[uint64]int, hint)
 	}
+	s.gets++
 	return s.pairInt.get(hint)
 }
 
@@ -199,6 +251,7 @@ func (s *Scratch) StrSet(hint int) map[string]struct{} {
 	if s == nil {
 		return make(map[string]struct{}, hint)
 	}
+	s.gets++
 	return s.strSet.get(hint)
 }
 
@@ -207,6 +260,18 @@ func (s *Scratch) StrSet(hint int) map[string]struct{} {
 func (s *Scratch) Reset() {
 	if s == nil {
 		return
+	}
+	puts := s.ints.pending() + s.int32s.pending() + s.bools.pending() +
+		s.uint64s.pending() + s.bytes.pending() +
+		s.intInt.pending() + s.intInt32.pending() + s.intBool.pending() +
+		s.pairInt.pending() + s.strSet.pending()
+	if puts > 0 {
+		statPuts.Add(int64(puts))
+	}
+	if s.gets > 0 {
+		statGets.Add(s.gets)
+		statZeroed.Add(s.zeroed)
+		s.gets, s.zeroed = 0, 0
 	}
 	s.ints.reset()
 	s.int32s.reset()

@@ -36,6 +36,7 @@ import (
 	"parmem/internal/duplication"
 	"parmem/internal/faultinject"
 	"parmem/internal/graph"
+	"parmem/internal/telemetry"
 )
 
 // Strategy selects how much of the program the conflict graph may span.
@@ -138,6 +139,13 @@ type Options struct {
 	// differential pipeline tests); the knob exists for those tests and for
 	// ablation benchmarks.
 	Reference bool
+	// Telemetry records spans and metrics for this assignment. nil (the
+	// default) disables all instrumentation at zero cost: every telemetry
+	// operation on a nil recorder is a no-op.
+	Telemetry *telemetry.Recorder
+	// Parent, when Telemetry is set, nests the assignment's root span under
+	// an outer pipeline span (the compile driver's).
+	Parent *telemetry.Span
 }
 
 // validate rejects option values that would otherwise trip internal
@@ -259,12 +267,33 @@ func Assign(p Program, opt Options) (al Allocation, err error) {
 	if err := st.meter.Canceled(); err != nil {
 		return Allocation{}, fmt.Errorf("assign: %w", err)
 	}
+	st.rec = opt.Telemetry
+	st.root = st.rec.StartSpan("assign", opt.Parent)
+	if st.root != nil {
+		st.root.SetAttrStr("strategy", opt.Strategy.String())
+		st.root.SetAttrStr("method", opt.Method.String())
+		st.root.SetAttr("k", int64(opt.K))
+		st.root.SetAttr("instructions", int64(len(p.Instrs)))
+	}
+	nodes0 := st.meter.Spent()
+	defer func() {
+		st.root.SetAttr("budget_nodes", st.meter.Spent()-nodes0)
+		st.rec.Counter(telemetry.MBudgetNodes).Add(st.meter.Spent() - nodes0)
+		st.root.End()
+	}()
 	var key string
 	if opt.Cache != nil {
 		key = assignKey(p, opt)
+		lookup := time.Now()
 		if e, ok := opt.Cache.Get(key); ok {
 			al := e.(*allocEntry).al // Get already deep-cloned the entry
-			al.Phases = []PhaseReport{{Phase: "cache", Method: opt.Method.String(), Cached: true}}
+			al.Phases = []PhaseReport{{
+				Phase: "cache", Method: opt.Method.String(), Cached: true,
+				Elapsed: time.Since(lookup),
+			}}
+			if st.root != nil {
+				st.root.SetAttrStr("cache", "hit")
+			}
 			return al, nil
 		}
 	}
@@ -296,6 +325,10 @@ type phaseState struct {
 	phase    string        // current phase name, for reports and errors
 	reports  []PhaseReport
 	degraded bool
+
+	rec  *telemetry.Recorder // nil disables all instrumentation
+	root *telemetry.Span     // the whole-assignment span
+	span *telemetry.Span     // the current phase's span (parent for sub-spans)
 }
 
 func newPhaseState() *phaseState {
@@ -334,7 +367,13 @@ func (st *phaseState) colorPhase(g *graph.Graph, opt Options) (map[int]int, []in
 	}
 
 	if opt.DisableAtoms {
+		csp := st.rec.StartSpan("color", st.span)
 		res := coloring.GuptaSoffa(work, coloring.Options{K: opt.K, Precolored: pre, Pick: opt.Pick, Reference: opt.Reference})
+		if csp != nil {
+			csp.SetAttr("nodes", int64(work.NumNodes()))
+			csp.SetAttr("unassigned", int64(len(res.Unassigned)))
+			csp.End()
+		}
 		return res.Assign, res.Unassigned
 	}
 	// Atoms are carved off one at a time, each sharing a clique separator
@@ -352,9 +391,22 @@ func (st *phaseState) colorPhase(g *graph.Graph, opt Options) (map[int]int, []in
 	if opt.Reference {
 		decompose = atoms.DecomposeParallelRef
 	}
+	dsp := st.rec.StartSpan("decompose", st.span)
 	dec := decompose(work, opt.workerCount())
 	st.atoms += len(dec.Atoms)
-	return colorAtoms(dec, pre, opt)
+	if dsp != nil {
+		dsp.SetAttr("nodes", int64(work.NumNodes()))
+		dsp.SetAttr("atoms", int64(len(dec.Atoms)))
+		dsp.SetAttr("max_atom", int64(dec.MaxAtomSize()))
+		dsp.End()
+		st.rec.Counter(telemetry.MAtoms).Add(int64(len(dec.Atoms)))
+		st.rec.Gauge(telemetry.MAtomSizeMax).Max(int64(dec.MaxAtomSize()))
+		sizes := st.rec.Histogram(telemetry.MAtomSize)
+		for _, a := range dec.Atoms {
+			sizes.Observe(int64(len(a.Nodes)))
+		}
+	}
+	return colorAtoms(st, dec, pre, opt)
 }
 
 // runPhase colors the values of instrs not yet allocated and then runs the
@@ -367,10 +419,24 @@ func (st *phaseState) runPhase(name string, instrs []conflict.Instruction, g *gr
 	rep := PhaseReport{Phase: name, Method: opt.Method.String()}
 	phaseStart := time.Now()
 	nodes0 := st.meter.Spent()
+	st.span = st.rec.StartSpan("phase", st.root)
+	if st.span != nil {
+		st.span.SetAttrStr("phase", name)
+		st.span.SetAttrStr("method", opt.Method.String())
+	}
 	defer func() {
 		rep.Nodes = st.meter.Spent() - nodes0
 		rep.Elapsed = time.Since(phaseStart)
 		st.reports = append(st.reports, rep)
+		if st.span != nil {
+			st.span.SetAttr("nodes", rep.Nodes)
+			if rep.Fallback != "" {
+				st.span.SetAttrStr("fallback", rep.Fallback)
+			}
+			st.span.End()
+			st.rec.Histogram(telemetry.MPhaseMicros, "phase", name).Observe(rep.Elapsed.Microseconds())
+		}
+		st.span = nil
 	}()
 	if err := st.meter.Canceled(); err != nil {
 		return fmt.Errorf("assign: %s: %w", name, err)
@@ -397,8 +463,12 @@ func (st *phaseState) runPhase(name string, instrs []conflict.Instruction, g *gr
 			st.unassigned = append(st.unassigned, v)
 		}
 	}
+	st.rec.Histogram(telemetry.MUnassigned).Observe(int64(len(unassigned)))
 
 	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			st.rec.Counter(telemetry.MRepairRounds).Inc()
+		}
 		in := duplication.Input{
 			Instrs:     instrs,
 			Assigned:   newAssigned,
@@ -413,9 +483,11 @@ func (st *phaseState) runPhase(name string, instrs []conflict.Instruction, g *gr
 		if opt.Cache != nil {
 			key = dupKey(in, opt)
 		}
+		dupSpan := st.rec.StartSpan("duplicate", st.span)
 		if hit := st.cachedDup(key, opt); hit != nil {
 			res = *hit
 			rep.Cached = true
+			dupSpan.SetAttrStr("cache", "hit")
 		} else {
 			w := opt.workerCount()
 			switch {
@@ -432,12 +504,26 @@ func (st *phaseState) runPhase(name string, instrs []conflict.Instruction, g *gr
 				st.storeDup(key, opt, res)
 			}
 		}
+		if dupSpan != nil {
+			dupSpan.SetAttrStr("method", opt.Method.String())
+			dupSpan.SetAttr("unassigned", int64(len(in.Unassigned)))
+			if err == nil {
+				dupSpan.SetAttr("new_copies", int64(res.NewCopies))
+				dupSpan.SetAttr("residual", int64(len(res.Residual)))
+				if res.Fallback != "" {
+					dupSpan.SetAttrStr("fallback", res.Fallback)
+				}
+			}
+			dupSpan.End()
+		}
 		if err != nil {
 			return fmt.Errorf("assign: %s: %w", name, err)
 		}
+		st.rec.Counter(telemetry.MCopiesPlaced, "method", opt.Method.String()).Add(int64(res.NewCopies))
 		if res.Fallback != "" {
 			rep.Fallback = res.Fallback
 			st.degraded = true
+			st.rec.Counter(telemetry.MDegradations, "fallback", res.Fallback).Inc()
 		}
 		if len(res.Residual) == 0 {
 			st.copies = res.Copies
@@ -485,8 +571,24 @@ func (st *phaseState) finish(p Program) Allocation {
 	return al
 }
 
+// buildConflict wraps conflict.Build with a span and the conflict-graph
+// volume counters, attributing the build to the named phase.
+func (st *phaseState) buildConflict(name string, instrs []conflict.Instruction) *graph.Graph {
+	sp := st.rec.StartSpan("conflict", st.root)
+	g := conflict.Build(instrs)
+	if sp != nil {
+		sp.SetAttrStr("phase", name)
+		sp.SetAttr("nodes", int64(g.NumNodes()))
+		sp.SetAttr("edges", int64(g.NumEdges()))
+		sp.End()
+		st.rec.Counter(telemetry.MConflictNodes).Add(int64(g.NumNodes()))
+		st.rec.Counter(telemetry.MConflictEdges).Add(int64(g.NumEdges()))
+	}
+	return g
+}
+
 func assignSTOR1(st *phaseState, p Program, opt Options) (Allocation, error) {
-	g := conflict.Build(p.Instrs)
+	g := st.buildConflict("stor1", p.Instrs)
 	if err := st.runPhase("stor1", p.Instrs, g, opt); err != nil {
 		return Allocation{}, err
 	}
@@ -497,6 +599,11 @@ func assignSTOR2(st *phaseState, p Program, opt Options) (Allocation, error) {
 	// Stage 1: conflicts among globals only, across the whole program.
 	st.phase = "stor2/global"
 	globalStart := time.Now()
+	st.span = st.rec.StartSpan("phase", st.root)
+	if st.span != nil {
+		st.span.SetAttrStr("phase", "stor2/global")
+		st.span.SetAttrStr("method", "coloring")
+	}
 	globalGraph := graph.New()
 	func() {
 		sc := arena.Get()
@@ -529,9 +636,19 @@ func assignSTOR2(st *phaseState, p Program, opt Options) (Allocation, error) {
 		st.replicable[v] = true
 		st.unassigned = append(st.unassigned, v)
 	}
+	globalElapsed := time.Since(globalStart)
 	st.reports = append(st.reports, PhaseReport{
-		Phase: "stor2/global", Method: "coloring", Elapsed: time.Since(globalStart),
+		Phase: "stor2/global", Method: "coloring", Elapsed: globalElapsed,
 	})
+	if st.span != nil {
+		st.span.SetAttr("nodes_colored", int64(len(assignMap)))
+		st.span.SetAttr("unassigned", int64(len(unassigned)))
+		st.span.End()
+		st.rec.Counter(telemetry.MConflictNodes).Add(int64(globalGraph.NumNodes()))
+		st.rec.Counter(telemetry.MConflictEdges).Add(int64(globalGraph.NumEdges()))
+		st.rec.Histogram(telemetry.MPhaseMicros, "phase", "stor2/global").Observe(globalElapsed.Microseconds())
+	}
+	st.span = nil
 	if err := st.meter.Canceled(); err != nil {
 		return Allocation{}, fmt.Errorf("assign: stor2/global: %w", err)
 	}
@@ -542,8 +659,9 @@ func assignSTOR2(st *phaseState, p Program, opt Options) (Allocation, error) {
 		for _, i := range idxs {
 			instrs = append(instrs, p.Instrs[i])
 		}
-		g := conflict.Build(instrs)
-		if err := st.runPhase(fmt.Sprintf("stor2/region%d", ri), instrs, g, opt); err != nil {
+		name := fmt.Sprintf("stor2/region%d", ri)
+		g := st.buildConflict(name, instrs)
+		if err := st.runPhase(name, instrs, g, opt); err != nil {
 			return Allocation{}, err
 		}
 	}
@@ -582,8 +700,9 @@ func assignPerRegion(st *phaseState, p Program, opt Options) (Allocation, error)
 		for _, i := range idxs {
 			instrs = append(instrs, p.Instrs[i])
 		}
-		g := conflict.Build(instrs)
-		if err := st.runPhase(fmt.Sprintf("region%d", ri), instrs, g, opt); err != nil {
+		name := fmt.Sprintf("region%d", ri)
+		g := st.buildConflict(name, instrs)
+		if err := st.runPhase(name, instrs, g, opt); err != nil {
 			return Allocation{}, err
 		}
 	}
@@ -602,8 +721,9 @@ func assignSTOR3(st *phaseState, p Program, opt Options) (Allocation, error) {
 			continue
 		}
 		instrs := p.Instrs[lo:hi]
-		g := conflict.Build(instrs)
-		if err := st.runPhase(fmt.Sprintf("stor3/group%d", gi), instrs, g, opt); err != nil {
+		name := fmt.Sprintf("stor3/group%d", gi)
+		g := st.buildConflict(name, instrs)
+		if err := st.runPhase(name, instrs, g, opt); err != nil {
 			return Allocation{}, err
 		}
 	}

@@ -4,12 +4,14 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"parmem/internal/alloccache"
 	"parmem/internal/arena"
 	"parmem/internal/atoms"
 	"parmem/internal/coloring"
 	"parmem/internal/graph"
+	"parmem/internal/telemetry"
 )
 
 // This file is the parallel side of the assignment engine: per-atom
@@ -72,8 +74,16 @@ func atomColorKey(sub *graph.Graph, preA map[int]int, opt Options, sc *arena.Scr
 
 // colorOneAtom colors one atom against the given views of the shared
 // state, consulting the cache when one is configured. The views must
-// already reflect every atom this one depends on.
-func colorOneAtom(a atoms.Atom, removed map[int]bool, assigned, pre map[int]int, opt Options) *atomColorResult {
+// already reflect every atom this one depends on. The span (parented under
+// the current phase) carries the atom's size, outcome and worker lane.
+func colorOneAtom(st *phaseState, a atoms.Atom, removed map[int]bool, assigned, pre map[int]int, opt Options, lane int64) *atomColorResult {
+	sp := st.rec.StartSpan("atom", st.span)
+	if sp != nil {
+		sp.SetLane(lane)
+		sp.SetAttr("size", int64(len(a.Nodes)))
+		defer sp.End()
+	}
+	st.rec.Counter(telemetry.MColorings).Inc()
 	sc := arena.Get()
 	defer sc.Release()
 	sub := a.Graph
@@ -106,11 +116,13 @@ func colorOneAtom(a atoms.Atom, removed map[int]bool, assigned, pre map[int]int,
 	if opt.Cache != nil {
 		key = atomColorKey(sub, preA, opt, sc)
 		if e, ok := opt.Cache.Get(key); ok {
+			sp.SetAttrStr("cache", "hit")
 			return e.(*atomColorResult)
 		}
 	}
 	res := coloring.GuptaSoffa(sub, coloring.Options{K: opt.K, Precolored: preA, Pick: opt.Pick, Reference: opt.Reference})
 	out := &atomColorResult{assign: res.Assign, unassigned: res.Unassigned}
+	sp.SetAttr("unassigned", int64(len(res.Unassigned)))
 	if opt.Cache != nil {
 		opt.Cache.Put(key, out)
 	}
@@ -120,20 +132,20 @@ func colorOneAtom(a atoms.Atom, removed map[int]bool, assigned, pre map[int]int,
 // colorAtoms colors every atom of dec in reverse carve order, sequentially
 // or across a worker pool depending on opt. It returns the merged
 // assignment and the sorted, deduplicated unassigned set.
-func colorAtoms(dec atoms.Decomposition, pre map[int]int, opt Options) (map[int]int, []int) {
+func colorAtoms(st *phaseState, dec atoms.Decomposition, pre map[int]int, opt Options) (map[int]int, []int) {
 	workers := opt.workerCount()
 	if workers < 2 || len(dec.Atoms) < 2 {
-		return colorAtomsSeq(dec, pre, opt)
+		return colorAtomsSeq(st, dec, pre, opt)
 	}
-	return colorAtomsParallel(dec, pre, opt, workers)
+	return colorAtomsParallel(st, dec, pre, opt, workers)
 }
 
-func colorAtomsSeq(dec atoms.Decomposition, pre map[int]int, opt Options) (map[int]int, []int) {
+func colorAtomsSeq(st *phaseState, dec atoms.Decomposition, pre map[int]int, opt Options) (map[int]int, []int) {
 	assigned := map[int]int{}
 	removed := map[int]bool{}
 	var unassigned []int
 	for i := len(dec.Atoms) - 1; i >= 0; i-- {
-		res := colorOneAtom(dec.Atoms[i], removed, assigned, pre, opt)
+		res := colorOneAtom(st, dec.Atoms[i], removed, assigned, pre, opt, 0)
 		for v, m := range res.assign {
 			assigned[v] = m
 		}
@@ -191,10 +203,15 @@ func atomLevels(as []atoms.Atom) [][]int {
 	return out
 }
 
-func colorAtomsParallel(dec atoms.Decomposition, pre map[int]int, opt Options, workers int) (map[int]int, []int) {
+func colorAtomsParallel(st *phaseState, dec atoms.Decomposition, pre map[int]int, opt Options, workers int) (map[int]int, []int) {
 	assigned := map[int]int{}
 	removed := map[int]bool{}
 	var unassigned []int
+
+	// Pool-utilization instruments, resolved once per call; nil when
+	// telemetry is off, making every update below a no-op.
+	busyWorkers := st.rec.Gauge(telemetry.MPoolBusyWorkers)
+	busyNanos := st.rec.Counter(telemetry.MPoolBusyNanos)
 
 	for _, idxs := range atomLevels(dec.Atoms) {
 		results := make([]*atomColorResult, len(idxs))
@@ -212,9 +229,21 @@ func colorAtomsParallel(dec atoms.Decomposition, pre map[int]int, opt Options, w
 						panics[slot] = r
 					}
 				}()
+				if st.rec != nil {
+					busyWorkers.Add(1)
+					t0 := time.Now()
+					defer func() {
+						busyNanos.Add(time.Since(t0).Nanoseconds())
+						busyWorkers.Add(-1)
+					}()
+				}
 				// The shared views are read-only for the whole level; every
 				// dependency of ai finished in an earlier level.
-				results[slot] = colorOneAtom(dec.Atoms[ai], removed, assigned, pre, opt)
+				// Lanes are 1-based slot numbers: at most `workers` slots run
+				// at once, and the slot is stable for the atom's whole run,
+				// so the Chrome exporter renders one track per concurrent
+				// worker.
+				results[slot] = colorOneAtom(st, dec.Atoms[ai], removed, assigned, pre, opt, int64(slot%workers)+1)
 			}(slot, ai)
 		}
 		wg.Wait()

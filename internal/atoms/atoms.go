@@ -38,6 +38,19 @@ type Decomposition struct {
 	Fill       int     // number of fill edges added by the minimal triangulation
 }
 
+// MaxAtomSize returns the node count of the largest atom (0 when there are
+// none) — the quantity that bounds per-atom coloring cost, reported by the
+// telemetry layer.
+func (d Decomposition) MaxAtomSize() int {
+	max := 0
+	for _, a := range d.Atoms {
+		if len(a.Nodes) > max {
+			max = len(a.Nodes)
+		}
+	}
+	return max
+}
+
 // Triangulation is the result of MCSM: a minimal elimination ordering and
 // the fill edges whose addition to G yields a chordal graph H.
 type Triangulation struct {

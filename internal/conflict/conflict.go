@@ -229,7 +229,7 @@ func CombinationsTable(t OpsTable, n int, sc *arena.Scratch) [][]ValueID {
 			if _, ok := seen[string(kb)]; !ok {
 				seen[string(kb)] = struct{}{}
 				flat = append(flat, comb...)
-				out = append(out, flat[len(flat)-n : len(flat) : len(flat)])
+				out = append(out, flat[len(flat)-n:len(flat):len(flat)])
 			}
 		})
 	}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the live introspection endpoint: a tiny HTTP server exposing
+//
+//	/metrics      Prometheus text exposition (hand-rolled, no dependency)
+//	/debug/vars   expvar JSON (process-wide expvars plus the metric series)
+//	/debug/pprof  net/http/pprof, for live profiling of long batch runs
+//
+// It exists so a heavy -batch run can be watched while it executes: scrape
+// cache hit rates and worker utilization, or attach `go tool pprof` without
+// restarting anything.
+
+// expvarRecorder is the recorder /debug/vars snapshots. One process-wide
+// slot: expvar.Publish panics on duplicate names, so the variable is
+// published once and reads whatever recorder served most recently.
+var (
+	expvarRecorder atomic.Pointer[Recorder]
+	expvarOnce     sync.Once
+)
+
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("parmem", expvar.Func(func() any {
+			return expvarRecorder.Load().MetricsSnapshot()
+		}))
+	})
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the introspection endpoint on addr ("host:port"; port 0
+// picks a free one) and returns once it is listening. The caller owns the
+// returned Server and closes it when done; serving errors after a clean
+// start are discarded (the endpoint is best-effort observability, not a
+// correctness surface). Returns an error only if the listener cannot bind
+// or the Recorder is nil.
+func (r *Recorder) Serve(addr string) (*Server, error) {
+	if r == nil {
+		return nil, fmt.Errorf("telemetry: cannot serve a nil recorder")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	expvarRecorder.Store(r)
+	publishExpvar()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		// expvar.Handler is unexported-route-coupled; render the same JSON
+		// shape by hand so the route works on this mux.
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprint(w, "{")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprint(w, ",")
+			}
+			first = false
+			key, _ := json.Marshal(kv.Key)
+			fmt.Fprintf(w, "\n%s: %s", key, kv.Value.String())
+		})
+		fmt.Fprint(w, "\n}\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // closed via Server.Close
+	return &Server{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,421 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the metrics half of the telemetry core: an atomic registry of
+// counters, gauges and fixed-log-bucket histograms, exportable as Prometheus
+// text exposition, a human-readable dump, or an expvar snapshot. All
+// instruments are nil-safe — methods on a nil *Counter/*Gauge/*Histogram are
+// no-ops — so engine code can resolve instruments once through a possibly-nil
+// Recorder and call them unconditionally on the hot path.
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one. Safe on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Safe on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Sync stores an absolute value. It exists for scrape collectors that mirror
+// an externally maintained monotonic count (arena and cache counters) into
+// the registry; regular producers use Add/Inc. Safe on a nil receiver.
+func (c *Counter) Sync(v int64) {
+	if c != nil {
+		c.v.Store(v)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds n (may be negative). Safe on a nil receiver.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Max raises the gauge to v if v exceeds the current value. Safe on a nil
+// receiver.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of every Histogram: upper bounds
+// 2^0 .. 2^20 plus +Inf. Log-scale buckets cover everything the engine
+// observes (atom sizes, V_unassigned sizes, phase nanoseconds after
+// dividing down) without per-histogram configuration.
+const histBuckets = 22
+
+// histBound returns the inclusive upper bound of bucket i (the last bucket
+// is +Inf).
+func histBound(i int) int64 { return int64(1) << i }
+
+// Histogram counts observations into fixed log-scale buckets.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one sample. Values <= 1 land in the first bucket; values
+// above 2^20 land in +Inf. Safe on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	idx := 0
+	if v > 1 {
+		idx = bits.Len64(uint64(v - 1)) // v in (2^(idx-1), 2^idx]
+		if idx >= histBuckets {
+			idx = histBuckets - 1
+		}
+	}
+	h.buckets[idx].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil receiver).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// series is one labeled instance of a metric family. Exactly one of c, g, h
+// is non-nil, matching the family kind.
+type series struct {
+	labels string // rendered `key="value",...` (no braces), "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups every labeled series of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   string // "counter", "gauge", "histogram"
+	series map[string]*series
+	order  []string // label strings in first-registration order
+}
+
+// Registry is a concurrent registry of named metrics. Instrument lookup
+// takes a mutex (callers are expected to resolve instruments once per phase,
+// not per loop iteration); the instruments themselves are lock-free.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	names []string // family names in first-registration order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// renderLabels turns a key/value pair list into a canonical label string.
+// Pairs keep their given order; values are quoted with minimal escaping.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: labels must be key/value pairs, got %d items", len(labels)))
+	}
+	var b strings.Builder
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		v := labels[i+1]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// lookup returns (creating if needed) the series of the given family name,
+// kind and labels. A kind clash with an existing family panics: metric names
+// are a compile-time catalogue, not user input.
+func (r *Registry) lookup(name, kind string, labels []string) *series {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, kind: kind, series: make(map[string]*series)}
+		r.fams[name] = f
+		r.names = append(r.names, name)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	s := f.series[ls]
+	if s == nil {
+		s = &series{labels: ls}
+		switch kind {
+		case "counter":
+			s.c = &Counter{}
+		case "gauge":
+			s.g = &Gauge{}
+		default:
+			s.h = &Histogram{}
+		}
+		f.series[ls] = s
+		f.order = append(f.order, ls)
+	}
+	return s
+}
+
+// Counter returns the counter named name with the given label key/value
+// pairs, registering it on first use. A nil registry returns a nil (no-op)
+// counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, "counter", labels).c
+}
+
+// Gauge returns the gauge named name, registering it on first use. A nil
+// registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, "gauge", labels).g
+}
+
+// Histogram returns the histogram named name, registering it on first use.
+// A nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, "histogram", labels).h
+}
+
+// SetHelp attaches Prometheus HELP text to a family (creating an empty
+// counter family if the name is unknown is not useful, so unknown names are
+// remembered only once the family exists).
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.fams[name]; f != nil {
+		f.help = help
+	}
+}
+
+// snapshotFamilies copies the family list under the lock so exporters can
+// iterate without holding it (instrument reads are atomic).
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.names))
+	for _, n := range r.names {
+		out = append(out, r.fams[n])
+	}
+	return out
+}
+
+// seriesSnapshot returns the series of f in registration order (taken under
+// the registry lock by the caller's snapshot; order/series only grow, and
+// exporters tolerate concurrent growth by re-reading under the lock).
+func (r *Registry) seriesOf(f *family) []*series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*series, 0, len(f.order))
+	for _, ls := range f.order {
+		out = append(out, f.series[ls])
+	}
+	return out
+}
+
+// braced joins pre-rendered label strings into one {...} block; both parts
+// may be empty.
+func braced(parts ...string) string {
+	var keep []string
+	for _, p := range parts {
+		if p != "" {
+			keep = append(keep, p)
+		}
+	}
+	if len(keep) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(keep, ",") + "}"
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers per family, cumulative le buckets plus
+// _sum/_count for histograms.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	fams := r.snapshotFamilies()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range r.seriesOf(f) {
+			var err error
+			switch f.kind {
+			case "counter":
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, braced(s.labels), s.c.Value())
+			case "gauge":
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, braced(s.labels), s.g.Value())
+			default:
+				cum := int64(0)
+				for i := 0; i < histBuckets; i++ {
+					cum += s.h.buckets[i].Load()
+					le := fmt.Sprintf(`le="%d"`, histBound(i))
+					if i == histBuckets-1 {
+						le = `le="+Inf"`
+					}
+					if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(s.labels, le), cum); err != nil {
+						return err
+					}
+				}
+				if _, err = fmt.Fprintf(w, "%s_sum%s %d\n", f.name, braced(s.labels), s.h.Sum()); err != nil {
+					return err
+				}
+				_, err = fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(s.labels), s.h.Count())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteText writes a compact human-readable dump: one `name{labels} value`
+// line per series (histograms report count/sum/mean), sorted by name.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	fams := r.snapshotFamilies()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		for _, s := range r.seriesOf(f) {
+			var err error
+			switch f.kind {
+			case "counter":
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, braced(s.labels), s.c.Value())
+			case "gauge":
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, braced(s.labels), s.g.Value())
+			default:
+				n, sum := s.h.Count(), s.h.Sum()
+				mean := 0.0
+				if n > 0 {
+					mean = float64(sum) / float64(n)
+				}
+				_, err = fmt.Fprintf(w, "%s%s count=%d sum=%d mean=%.1f\n", f.name, braced(s.labels), n, sum, mean)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot returns every series as a flat map (series name including labels
+// -> value), the shape published through /debug/vars. Histograms expand to
+// _count and _sum entries.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := map[string]int64{}
+	if r == nil {
+		return out
+	}
+	for _, f := range r.snapshotFamilies() {
+		for _, s := range r.seriesOf(f) {
+			key := f.name + braced(s.labels)
+			switch f.kind {
+			case "counter":
+				out[key] = s.c.Value()
+			case "gauge":
+				out[key] = s.g.Value()
+			default:
+				out[key+"_count"] = s.h.Count()
+				out[key+"_sum"] = s.h.Sum()
+			}
+		}
+	}
+	return out
+}

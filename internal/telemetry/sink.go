@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink receives spans as they end. Implementations must be safe for
+// concurrent SpanEnd calls: worker-pool goroutines end spans in parallel.
+// Spans passed to SpanEnd are immutable; sinks may retain them.
+//
+// Ownership rule: the code that constructs a sink owns its lifecycle — the
+// Recorder never closes or flushes sinks, so a CLI that writes a trace file
+// flushes its own ChromeSink/JSONLSink on every exit path (the same
+// discipline as pprof profiles).
+type Sink interface {
+	SpanEnd(s *Span)
+}
+
+// RingSink retains the most recent spans in a fixed-size ring buffer — the
+// always-on, allocation-bounded sink for live introspection and tests.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []*Span
+	next  int
+	total int64
+}
+
+// NewRingSink returns a ring retaining the last n spans (n <= 0 picks 1024).
+func NewRingSink(n int) *RingSink {
+	if n <= 0 {
+		n = 1024
+	}
+	return &RingSink{buf: make([]*Span, 0, n)}
+}
+
+// SpanEnd implements Sink.
+func (r *RingSink) SpanEnd(s *Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+		return
+	}
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Spans returns the retained spans, oldest first.
+func (r *RingSink) Spans() []*Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns how many spans the ring has seen (including evicted ones).
+func (r *RingSink) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// jsonlSpan fixes the field order of one JSON-lines record.
+type jsonlSpan struct {
+	Name    string         `json:"name"`
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Lane    int64          `json:"lane"`
+	StartUs int64          `json:"start_us"`
+	DurUs   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// attrMap converts span attributes to a JSON object; encoding/json sorts
+// map keys, so the rendering is deterministic.
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		if a.IsStr {
+			m[a.Key] = a.Str
+		} else {
+			m[a.Key] = a.Int
+		}
+	}
+	return m
+}
+
+// JSONLSink streams one JSON object per ended span to a writer. Errors are
+// sticky and reported by Flush.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// SpanEnd implements Sink.
+func (j *JSONLSink) SpanEnd(s *Span) {
+	rec := jsonlSpan{
+		Name:    s.Name,
+		ID:      s.ID,
+		Parent:  s.ParentID,
+		Lane:    s.Lane,
+		StartUs: s.Start.Microseconds(),
+		DurUs:   s.Dur.Microseconds(),
+		Attrs:   attrMap(s.Attrs),
+	}
+	b, err := json.Marshal(rec)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (j *JSONLSink) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}

@@ -1,0 +1,242 @@
+// Package telemetry is the unified observability layer of the assignment
+// engine: hierarchical spans (trace.go) feeding pluggable sinks — an
+// in-memory ring, JSON lines, and a Chrome trace_event exporter — plus an
+// atomic metrics registry (metrics.go) of counters, gauges and log-bucket
+// histograms, exported as Prometheus text, expvar JSON and a human dump,
+// and served live over HTTP next to net/http/pprof (http.go).
+//
+// The zero-overhead contract: every entry point is nil-safe. A nil
+// *Recorder yields nil spans and nil instruments whose methods are no-ops,
+// so engine code is instrumented unconditionally and the disabled path
+// costs one pointer test per call site — no allocations, no atomics, no
+// time reads (benchmarked by BenchmarkAssignTelemetry and gated by the
+// steady-state allocs/op baseline).
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// Metric names of the engine catalogue (see DESIGN §10 for types, labels
+// and meanings). Keeping them in one place makes the catalogue greppable
+// and the names consistent across the engine, the CLIs and the docs.
+const (
+	// Pipeline volume.
+	MInstructions  = "parmem_instructions_total"         // counter: long instruction words assigned
+	MConflictNodes = "parmem_conflict_graph_nodes_total" // counter: conflict-graph nodes built
+	MConflictEdges = "parmem_conflict_graph_edges_total" // counter: conflict-graph edges built
+
+	// Decomposition and coloring.
+	MAtoms        = "parmem_atoms_total"          // counter: atoms decomposed
+	MAtomSizeMax  = "parmem_atom_size_max"        // gauge (high-water): largest atom seen
+	MAtomSize     = "parmem_atom_size"            // histogram: nodes per atom
+	MColorings    = "parmem_atom_colorings_total" // counter: atom coloring runs
+	MUnassigned   = "parmem_unassigned_values"    // histogram: V_unassigned size per phase
+	MRepairRounds = "parmem_repair_rounds_total"  // counter: conflict-repair re-duplication rounds
+
+	// Duplication.
+	MCopiesPlaced = "parmem_copies_placed_total" // counter{method}: extra copies placed
+	MDegradations = "parmem_degradations_total"  // counter{fallback}: budget-exhaustion fallbacks
+
+	// Budget.
+	MBudgetNodes = "parmem_budget_nodes_spent_total" // counter: search nodes charged to meters
+
+	// Phase timing.
+	MPhaseMicros = "parmem_phase_duration_us" // histogram{phase}: wall time per assignment phase
+
+	// Allocation cache (scraped from alloccache.Stats by a collector).
+	MCacheHits    = "parmem_cache_hits_total"   // counter{level}
+	MCacheMisses  = "parmem_cache_misses_total" // counter{level}
+	MCacheEntries = "parmem_cache_entries"      // gauge: resident entries
+
+	// Scratch arenas (scraped from arena.ReadStats by a collector).
+	MArenaGets        = "parmem_arena_gets_total"         // counter: buffers borrowed
+	MArenaPuts        = "parmem_arena_puts_total"         // counter: buffers recycled
+	MArenaZeroedBytes = "parmem_arena_zeroed_bytes_total" // counter: bytes zeroed for reuse
+
+	// Worker pools and batching.
+	MPoolBusyWorkers = "parmem_pool_busy_workers"     // gauge: goroutines currently running engine work
+	MPoolBusyNanos   = "parmem_pool_busy_nanos_total" // counter: summed busy wall time (utilization numerator)
+	MBatchInFlight   = "parmem_batch_inflight"        // gauge: batch items currently compiling
+	MBatchItems      = "parmem_batch_items_total"     // counter: batch items started
+)
+
+// metricHelp is the HELP text attached to each family on first registration.
+var metricHelp = map[string]string{
+	MInstructions:     "Long instruction words run through memory-module assignment.",
+	MConflictNodes:    "Conflict-graph nodes built across all phases.",
+	MConflictEdges:    "Conflict-graph edges built across all phases.",
+	MAtoms:            "Atoms produced by clique-separator decomposition.",
+	MAtomSizeMax:      "Largest atom (node count) seen by this process.",
+	MAtomSize:         "Distribution of atom sizes (nodes per atom).",
+	MColorings:        "Urgency-coloring runs over individual atoms.",
+	MUnassigned:       "Distribution of V_unassigned sizes per assignment phase.",
+	MRepairRounds:     "Conflict-repair rounds that re-ran duplication after forced replication.",
+	MCopiesPlaced:     "Extra value copies placed by the duplication strategy.",
+	MDegradations:     "Budget-exhaustion degradations, by fallback strategy taken.",
+	MBudgetNodes:      "Search-budget nodes charged across all assignment phases.",
+	MPhaseMicros:      "Wall time per assignment phase, microseconds.",
+	MCacheHits:        "Allocation-cache hits, by memo level.",
+	MCacheMisses:      "Allocation-cache misses, by memo level.",
+	MCacheEntries:     "Allocation-cache resident entries.",
+	MArenaGets:        "Scratch-arena buffers borrowed.",
+	MArenaPuts:        "Scratch-arena buffers recycled back to free lists.",
+	MArenaZeroedBytes: "Bytes zeroed when handing out scratch buffers.",
+	MPoolBusyWorkers:  "Engine worker goroutines currently busy.",
+	MPoolBusyNanos:    "Summed wall time engine workers spent busy, nanoseconds.",
+	MBatchInFlight:    "Batch items currently being compiled.",
+	MBatchItems:       "Batch items started.",
+}
+
+// Recorder bundles a Tracer and a metrics Registry — the single handle the
+// engine threads through Options.Telemetry. A nil Recorder is fully valid
+// and turns every operation into a no-op.
+type Recorder struct {
+	tracer *Tracer
+	reg    *Registry
+
+	mu         sync.Mutex
+	collectors map[string]func(*Registry)
+	corder     []string
+}
+
+// New returns a Recorder emitting spans to the given sinks, with an empty
+// metrics registry pre-described with the engine catalogue's help text.
+func New(sinks ...Sink) *Recorder {
+	return &Recorder{tracer: NewTracer(sinks...), reg: NewRegistry()}
+}
+
+// NewClock is New with an injected monotonic clock for deterministic tests.
+func NewClock(clock func() time.Duration, sinks ...Sink) *Recorder {
+	return &Recorder{tracer: NewTracerClock(clock, sinks...), reg: NewRegistry()}
+}
+
+// StartSpan begins a span under parent (nil = root). Nil-safe.
+func (r *Recorder) StartSpan(name string, parent *Span) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.StartSpan(name, parent)
+}
+
+// Counter resolves a counter by name and label pairs. Nil-safe: a nil
+// Recorder returns a nil (no-op) counter.
+func (r *Recorder) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.reg.Counter(name, labels...)
+	r.reg.SetHelp(name, metricHelp[name])
+	return c
+}
+
+// Gauge resolves a gauge by name and label pairs. Nil-safe.
+func (r *Recorder) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.reg.Gauge(name, labels...)
+	r.reg.SetHelp(name, metricHelp[name])
+	return g
+}
+
+// Histogram resolves a histogram by name and label pairs. Nil-safe.
+func (r *Recorder) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.reg.Histogram(name, labels...)
+	r.reg.SetHelp(name, metricHelp[name])
+	return h
+}
+
+// Registry exposes the underlying metrics registry (nil on a nil Recorder).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Tracer exposes the underlying tracer (nil on a nil Recorder).
+func (r *Recorder) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// OpenSpans returns the number of unended spans. Nil-safe.
+func (r *Recorder) OpenSpans() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.tracer.OpenSpans()
+}
+
+// AddCollector registers (or replaces, by name) a scrape hook that mirrors
+// externally maintained counters into the registry. Collectors run before
+// every export — the Prometheus endpoint, the text dump and the expvar
+// snapshot — so scraped values are as fresh as the export. Nil-safe.
+func (r *Recorder) AddCollector(name string, fn func(*Registry)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.collectors == nil {
+		r.collectors = map[string]func(*Registry){}
+	}
+	if _, ok := r.collectors[name]; !ok {
+		r.corder = append(r.corder, name)
+	}
+	r.collectors[name] = fn
+}
+
+// runCollectors invokes every collector in registration order.
+func (r *Recorder) runCollectors() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	fns := make([]func(*Registry), 0, len(r.corder))
+	for _, n := range r.corder {
+		fns = append(fns, r.collectors[n])
+	}
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn(r.reg)
+	}
+}
+
+// WritePrometheus scrapes the collectors and writes the registry in
+// Prometheus text exposition format. Nil-safe.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.runCollectors()
+	return r.reg.WritePrometheus(w)
+}
+
+// WriteMetricsText scrapes the collectors and writes the human-readable
+// metrics dump. Nil-safe.
+func (r *Recorder) WriteMetricsText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.runCollectors()
+	return r.reg.WriteText(w)
+}
+
+// MetricsSnapshot scrapes the collectors and returns the flat series map
+// (the /debug/vars payload). Nil-safe.
+func (r *Recorder) MetricsSnapshot() map[string]int64 {
+	if r == nil {
+		return map[string]int64{}
+	}
+	r.runCollectors()
+	return r.reg.Snapshot()
+}

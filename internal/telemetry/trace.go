@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// This file is the tracing half of the telemetry core: hierarchical spans
+// with monotonic timestamps, emitted to pluggable sinks when they end.
+// Everything is nil-safe — StartSpan on a nil Tracer returns a nil Span, and
+// every Span method is a no-op on a nil receiver — so instrumented code
+// never branches on "is telemetry on".
+
+// Attr is one span attribute: a key with either an integer or a string
+// value (IsStr selects which).
+type Attr struct {
+	Key   string
+	Int   int64
+	Str   string
+	IsStr bool
+}
+
+// Span is one timed operation. Spans form a tree through ParentID; Lane is
+// the logical execution track (0 = the calling goroutine, workers claim
+// their own), which the Chrome exporter maps to a tid.
+//
+// A Span is owned by the goroutine that started it: SetAttr/SetLane/End must
+// not race with each other. After End the span is immutable and may be read
+// by any goroutine (sinks retain pointers).
+type Span struct {
+	tracer   *Tracer
+	Name     string
+	ID       uint64
+	ParentID uint64
+	Lane     int64
+	Start    time.Duration // monotonic offset from the tracer epoch
+	Dur      time.Duration // set by End
+	Attrs    []Attr
+	ended    bool
+}
+
+// SetAttr attaches an integer attribute. Safe on a nil receiver.
+func (s *Span) SetAttr(key string, v int64) {
+	if s != nil {
+		s.Attrs = append(s.Attrs, Attr{Key: key, Int: v})
+	}
+}
+
+// SetAttrStr attaches a string attribute. Safe on a nil receiver.
+func (s *Span) SetAttrStr(key, v string) {
+	if s != nil {
+		s.Attrs = append(s.Attrs, Attr{Key: key, Str: v, IsStr: true})
+	}
+}
+
+// SetLane moves the span to a worker lane. Safe on a nil receiver.
+func (s *Span) SetLane(lane int64) {
+	if s != nil {
+		s.Lane = lane
+	}
+}
+
+// End stamps the duration and emits the span to every sink. Ending twice is
+// a no-op, as is ending a nil span.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.Dur = s.tracer.now() - s.Start
+	s.tracer.open.Add(-1)
+	for _, sk := range s.tracer.sinks {
+		sk.SpanEnd(s)
+	}
+}
+
+// Tracer creates spans and routes ended spans to its sinks. Safe for
+// concurrent use; a nil Tracer is valid and produces nil spans.
+type Tracer struct {
+	epoch  time.Time
+	clock  func() time.Duration // test override; nil means time.Since(epoch)
+	sinks  []Sink
+	nextID atomic.Uint64
+	open   atomic.Int64
+}
+
+// NewTracer returns a tracer whose epoch is now, emitting to sinks.
+func NewTracer(sinks ...Sink) *Tracer {
+	return &Tracer{epoch: time.Now(), sinks: sinks}
+}
+
+// NewTracerClock is NewTracer with an injected monotonic clock, for
+// deterministic tests (golden trace files).
+func NewTracerClock(clock func() time.Duration, sinks ...Sink) *Tracer {
+	return &Tracer{clock: clock, sinks: sinks}
+}
+
+func (t *Tracer) now() time.Duration {
+	if t.clock != nil {
+		return t.clock()
+	}
+	return time.Since(t.epoch)
+}
+
+// StartSpan begins a span under parent (nil parent = root). The span
+// inherits the parent's lane. Safe on a nil Tracer, which returns a nil
+// span.
+func (t *Tracer) StartSpan(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, Name: name, ID: t.nextID.Add(1), Start: t.now()}
+	if parent != nil {
+		s.ParentID = parent.ID
+		s.Lane = parent.Lane
+	}
+	t.open.Add(1)
+	return s
+}
+
+// OpenSpans returns the number of started-but-unended spans; a quiesced
+// pipeline must report 0 (the well-formedness tests assert it).
+func (t *Tracer) OpenSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.open.Load()
+}

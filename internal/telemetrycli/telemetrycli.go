@@ -1,0 +1,93 @@
+// Package telemetrycli wires the observability flags shared by the
+// command-line tools (parmemc, parmem-tables): -trace writes a Chrome
+// trace_event file, -metrics dumps the metrics registry on exit, and
+// -telemetry-addr serves /metrics, /debug/vars and /debug/pprof live
+// (-telemetry-linger keeps the endpoint up after the run so one-shot
+// invocations can still be scraped).
+package telemetrycli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"parmem"
+)
+
+// Config holds the parsed observability flags of one CLI invocation.
+type Config struct {
+	TracePath string
+	Metrics   bool
+	Addr      string
+	Linger    time.Duration
+}
+
+// Flags registers the shared observability flags on fs and returns the
+// Config they fill in after fs.Parse.
+func Flags(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.StringVar(&c.TracePath, "trace", "", "write a Chrome trace_event file (open in chrome://tracing or Perfetto)")
+	fs.BoolVar(&c.Metrics, "metrics", false, "print the engine metrics to stderr on exit")
+	fs.StringVar(&c.Addr, "telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this host:port")
+	fs.DurationVar(&c.Linger, "telemetry-linger", 0, "with -telemetry-addr: keep serving this long after the run finishes")
+	return c
+}
+
+// enabled reports whether any flag asked for telemetry.
+func (c *Config) enabled() bool {
+	return c.TracePath != "" || c.Metrics || c.Addr != ""
+}
+
+// Start builds a Recorder matching the flags. It returns a nil Recorder
+// (and a no-op stop) when no observability flag was given, so the compile
+// paths stay on the zero-overhead disabled path. The stop function flushes
+// the trace file, dumps metrics and lingers/closes the HTTP endpoint; it
+// is idempotent and must be called on every exit path (os.Exit skips
+// defers, the same discipline as pprof profile flushing).
+func (c *Config) Start() (*parmem.Recorder, func(), error) {
+	if !c.enabled() {
+		return nil, func() {}, nil
+	}
+	var sinks []parmem.TraceSink
+	var chrome *parmem.ChromeSink
+	if c.TracePath != "" {
+		chrome = parmem.NewChromeSink()
+		sinks = append(sinks, chrome)
+	}
+	rec := parmem.NewRecorder(sinks...)
+	var srv *parmem.TelemetryServer
+	if c.Addr != "" {
+		s, err := rec.Serve(c.Addr)
+		if err != nil {
+			return nil, func() {}, err
+		}
+		srv = s
+		// The parseable "serving on" line lets scripts (and the smoke
+		// tests) discover the bound port when -telemetry-addr used :0.
+		fmt.Fprintf(os.Stderr, "telemetry: serving on %s\n", s.Addr())
+	}
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			if chrome != nil {
+				if err := chrome.WriteFile(c.TracePath); err != nil {
+					fmt.Fprintf(os.Stderr, "telemetry: writing trace: %v\n", err)
+				}
+			}
+			if c.Metrics {
+				if err := rec.WriteMetricsText(os.Stderr); err != nil {
+					fmt.Fprintf(os.Stderr, "telemetry: writing metrics: %v\n", err)
+				}
+			}
+			if srv != nil {
+				if c.Linger > 0 {
+					time.Sleep(c.Linger)
+				}
+				srv.Close()
+			}
+		})
+	}
+	return rec, stop, nil
+}

@@ -34,6 +34,7 @@ import (
 	optpass "parmem/internal/opt"
 	"parmem/internal/sched"
 	"parmem/internal/stats"
+	"parmem/internal/telemetry"
 )
 
 // Re-exported types: the public API surface of the internal packages.
@@ -174,6 +175,11 @@ type Options struct {
 	// either way — the knob exists for the differential tests and ablation
 	// benchmarks that prove and measure that.
 	Reference bool
+	// Telemetry records spans and metrics for this compilation (see
+	// NewRecorder and DESIGN §10). nil — the default — disables all
+	// telemetry: the instrumented paths reduce to one pointer test and
+	// perform no allocations, atomics or clock reads.
+	Telemetry *Recorder
 
 	// meter, when set by the batch API, charges assignment search work
 	// against a meter shared by the whole batch instead of a fresh per-call
@@ -291,13 +297,20 @@ func Compile(src string, opt Options) (p *Program, err error) {
 		return nil, err
 	}
 	ctx := opt.ctx()
+	rec := opt.Telemetry
+	wireTelemetry(rec, opt.Cache)
+	root := rec.StartSpan("compile", nil)
+	defer root.End()
 	if err := checkpoint(ctx, "parse"); err != nil {
 		return nil, err
 	}
+	sp0 := rec.StartSpan("parse", root)
 	ast, err := lang.Parse(src)
+	sp0.End()
 	if err != nil {
 		return nil, err
 	}
+	sp0 = rec.StartSpan("lower", root)
 	if opt.Unroll >= 2 {
 		lang.Unroll(ast, opt.Unroll, 2*opt.Unroll)
 	}
@@ -305,24 +318,30 @@ func Compile(src string, opt Options) (p *Program, err error) {
 		lang.IfConvert(ast, 0)
 	}
 	f, err := lang.Lower(ast)
+	if err == nil && opt.Optimize {
+		optpass.Run(f)
+	}
+	sp0.End()
 	if err != nil {
 		return nil, err
-	}
-	if opt.Optimize {
-		optpass.Run(f)
 	}
 	if err := checkpoint(ctx, "rename"); err != nil {
 		return nil, err
 	}
 	if !opt.DisableRenaming {
-		if _, _, err := dfa.Rename(f); err != nil {
-			return nil, err
+		sp0 = rec.StartSpan("rename", root)
+		_, _, rerr := dfa.Rename(f)
+		sp0.End()
+		if rerr != nil {
+			return nil, rerr
 		}
 	}
 	if err := checkpoint(ctx, "schedule"); err != nil {
 		return nil, err
 	}
+	sp0 = rec.StartSpan("schedule", root)
 	sp, err := sched.Schedule(f, sched.Config{Modules: opt.Modules, Units: opt.Units})
+	sp0.End()
 	if err != nil {
 		return nil, err
 	}
@@ -333,6 +352,7 @@ func Compile(src string, opt Options) (p *Program, err error) {
 		RegionOf: sp.RegionOf,
 		Global:   dfa.GlobalValues(f, regs),
 	}
+	rec.Counter(telemetry.MInstructions).Add(int64(len(aprog.Instrs)))
 	al, err := assign.Assign(aprog, assign.Options{
 		K:            opt.Modules,
 		Strategy:     opt.Strategy,
@@ -345,11 +365,16 @@ func Compile(src string, opt Options) (p *Program, err error) {
 		Cache:        opt.Cache,
 		Reference:    opt.Reference,
 		Meter:        opt.meter,
+		Telemetry:    rec,
+		Parent:       root,
 	})
 	if err != nil {
 		return nil, err
 	}
-	if bad := assign.Verify(aprog, al); bad != nil {
+	sp0 = rec.StartSpan("verify", root)
+	bad := assign.Verify(aprog, al)
+	sp0.End()
+	if bad != nil {
 		return nil, fmt.Errorf("parmem: allocation left %d conflicting instructions (%v)", len(bad), bad)
 	}
 	return &Program{Func: f, Sched: sp, Alloc: al, Opt: opt, aprog: aprog}, nil
@@ -417,6 +442,9 @@ type AssignConfig struct {
 	// Reference selects the map-graph reference implementations of the hot
 	// assignment phases; see Options.Reference.
 	Reference bool
+	// Telemetry records spans and metrics for this call; see
+	// Options.Telemetry.
+	Telemetry *Recorder
 
 	// meter, when set by the batch API, charges assignment search work
 	// against a meter shared by the whole batch; see Options.meter.
@@ -435,6 +463,8 @@ type AssignConfig struct {
 // Degraded allocations are still conflict-free.
 func AssignValues(ctx context.Context, instrs []Instruction, cfg AssignConfig) (al Allocation, err error) {
 	defer recoverPhase("assign", &err)
+	wireTelemetry(cfg.Telemetry, cfg.Cache)
+	cfg.Telemetry.Counter(telemetry.MInstructions).Add(int64(len(instrs)))
 	p := assign.Program{Instrs: instrs}
 	al, err = assign.Assign(p, assign.Options{
 		K:         cfg.K,
@@ -446,6 +476,7 @@ func AssignValues(ctx context.Context, instrs []Instruction, cfg AssignConfig) (
 		Cache:     cfg.Cache,
 		Reference: cfg.Reference,
 		Meter:     cfg.meter,
+		Telemetry: cfg.Telemetry,
 	})
 	if err != nil {
 		return Allocation{}, err
