@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet staticcheck bench bench-run bench-json bench-diff tables trace-smoke
+.PHONY: build test check race vet staticcheck bench bench-run bench-json bench-diff tables trace-smoke soak-smoke
 
 build:
 	$(GO) build ./...
@@ -73,3 +73,29 @@ trace-smoke:
 	@grep -q 'parmem_instructions_total' trace-smoke.metrics || { echo "trace-smoke: no metrics dump"; exit 1; }
 	@rm -f trace-smoke.json trace-smoke.metrics
 	@echo trace-smoke OK
+
+# soak-smoke is the end-to-end robustness pass of the daemon: boot parmemd
+# on a free port, hammer it for 10 seconds with the chaos client (fault
+# injection on: garbage frames, slow loris, disconnects, deadline storms,
+# overload bursts), then SIGTERM it and require a clean graceful drain.
+# The chaos client enforces the acceptance bar itself — >=99% availability,
+# typed shedding, zero dropped in-flight responses — and the latency/
+# accounting summary lands in SOAK_summary.json for CI to archive.
+soak-smoke:
+	$(GO) build -o bin/parmemd ./cmd/parmemd
+	$(GO) build -o bin/parmemsoak ./cmd/parmemsoak
+	@rm -f soak-smoke.log
+	@./bin/parmemd -addr 127.0.0.1:0 2>soak-smoke.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do \
+		grep -q 'listening on' soak-smoke.log && break; sleep 0.1; \
+	done; \
+	addr=$$(sed -n 's/^parmemd: listening on //p' soak-smoke.log | head -1); \
+	if [ -z "$$addr" ]; then echo "soak-smoke: parmemd never announced its address"; cat soak-smoke.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	echo "soak-smoke: daemon at $$addr"; \
+	./bin/parmemsoak -addr "$$addr" -duration 10s -faults -summary SOAK_summary.json; soak=$$?; \
+	kill -TERM $$pid; wait $$pid; daemon=$$?; \
+	cat soak-smoke.log; rm -f soak-smoke.log; \
+	if [ $$soak -ne 0 ]; then echo "soak-smoke: soak FAILED ($$soak)"; exit $$soak; fi; \
+	if [ $$daemon -ne 0 ]; then echo "soak-smoke: parmemd did not drain cleanly ($$daemon)"; exit 1; fi; \
+	echo soak-smoke OK

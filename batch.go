@@ -169,6 +169,12 @@ func AssignValuesBatch(ctx context.Context, items [][]Instruction, cfg AssignCon
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if err := cfg.validate(); err != nil {
+		for i := range results {
+			results[i].Err = err
+		}
+		return results
+	}
 	inner := cfg
 	inner.meter = newBatchMeter(ctx, cfg.Budget, len(items))
 	if len(items) > 1 {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"parmem/internal/benchprog"
 )
@@ -120,6 +121,66 @@ func TestCompileBatchCanceled(t *testing.T) {
 		if !errors.Is(r.Err, ErrCanceled) {
 			t.Fatalf("item %d error does not wrap ErrCanceled: %v", i, r.Err)
 		}
+	}
+}
+
+// TestCompileBatchCancelRace cancels the context while the batch is
+// mid-flight, at a sweep of different points, and checks the contract the
+// daemon's batch handler depends on: every per-item result is either fully
+// complete (non-nil Program, nil Err) or a clean error wrapping ErrCanceled
+// — never a partial or zeroed entry, and never both fields set. Run under
+// -race this also exercises the results-slice writes against the
+// cancellation path.
+func TestCompileBatchCancelRace(t *testing.T) {
+	srcs := batchSources()
+	// Pad the corpus so the batch reliably outlives the earliest cancels.
+	for len(srcs) < 16 {
+		srcs = append(srcs, srcs...)
+	}
+	for _, delay := range []time.Duration{
+		0, 50 * time.Microsecond, 200 * time.Microsecond,
+		time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond,
+	} {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan []BatchResult, 1)
+		go func() {
+			done <- CompileBatch(ctx, srcs, Options{Modules: 8, Workers: 4})
+		}()
+		time.Sleep(delay)
+		cancel()
+		results := <-done
+		if len(results) != len(srcs) {
+			t.Fatalf("delay=%v: got %d results for %d sources", delay, len(results), len(srcs))
+		}
+		var completed int
+		for i, r := range results {
+			switch {
+			case r.Err == nil && r.Program == nil:
+				t.Fatalf("delay=%v item %d: zeroed result — neither Program nor Err", delay, i)
+			case r.Err != nil && r.Program != nil:
+				t.Fatalf("delay=%v item %d: partial result — both Program and Err set", delay, i)
+			case r.Err != nil:
+				if !errors.Is(r.Err, ErrCanceled) {
+					t.Fatalf("delay=%v item %d: error does not wrap ErrCanceled: %v", delay, i, r.Err)
+				}
+			default:
+				completed++
+				// A completed item must be internally whole, identical to a
+				// solo compile of the same source — not a husk that stopped
+				// partway through its phases.
+				if r.Program.Func == nil || r.Program.Sched == nil {
+					t.Fatalf("delay=%v item %d: completed item missing IR or schedule", delay, i)
+				}
+				seq, err := Compile(srcs[i], Options{Modules: 8})
+				if err != nil {
+					t.Fatalf("sequential compile %d: %v", i, err)
+				}
+				if !reflect.DeepEqual(fingerprint(r.Program), fingerprint(seq)) {
+					t.Fatalf("delay=%v item %d: completed-under-cancel allocation differs from solo compile", delay, i)
+				}
+			}
+		}
+		t.Logf("delay=%v: %d/%d items completed before the cancel landed", delay, completed, len(srcs))
 	}
 }
 

@@ -1,0 +1,128 @@
+// Command parmemd is the compile/assign daemon: it serves the parmem
+// engine (compile, assign, batch) over a length-prefixed framed TCP
+// protocol, multiplexing concurrent requests over one shared worker pool
+// and allocation cache.
+//
+// Usage:
+//
+//	parmemd -addr 127.0.0.1:7433 [flags]
+//
+// Robustness envelope (all bounded, all flag-tunable): -max-inflight and
+// -max-queue size the two-stage admission gate — requests beyond both are
+// shed immediately with a typed RESOURCE_EXHAUSTED, never queued
+// unboundedly; -per-conn caps concurrent requests per connection;
+// -max-frame-bytes rejects oversized frames with a typed error;
+// -frame-timeout kills slow-loris connections; -default-deadline /
+// -max-deadline / -max-budget-nodes clamp what clients may ask of the
+// engine. Handler panics come back as typed INTERNAL responses while the
+// process keeps serving.
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: it stops accepting,
+// refuses new requests on live connections with UNAVAILABLE, waits up to
+// -drain-grace for in-flight requests to finish (their responses are always
+// written), then exits 0. A second signal exits immediately.
+//
+// -telemetry-addr serves /metrics, /debug/vars and /debug/pprof plus the
+// daemon's /healthz and /readyz (readiness flips to 503 the moment a drain
+// starts, so load balancers stop routing before connections close).
+//
+// The listen address is announced on stderr as "parmemd: listening on
+// ADDR" once the socket is bound — with -addr :0 this is how scripts learn
+// the picked port.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parmem"
+	"parmem/internal/server"
+	"parmem/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:7433", "listen address (host:port; port 0 picks a free one)")
+		maxInFlight   = flag.Int("max-inflight", 8, "requests executing concurrently")
+		maxQueue      = flag.Int("max-queue", 0, "admission queue length (0: 2*max-inflight, negative: no queue)")
+		perConn       = flag.Int("per-conn", 4, "concurrent requests per connection")
+		maxFrame      = flag.Int("max-frame-bytes", server.DefaultMaxFrame, "largest accepted frame payload")
+		maxBatch      = flag.Int("max-batch-items", 64, "sources per batch request")
+		defDeadline   = flag.Duration("default-deadline", 10*time.Second, "deadline for requests that carry none")
+		maxDeadline   = flag.Duration("max-deadline", 60*time.Second, "clamp on client-requested deadlines")
+		budgetNodes   = flag.Int64("max-budget-nodes", parmem.DefaultMaxBacktrackNodes, "clamp on client-requested search budgets")
+		frameTimeout  = flag.Duration("frame-timeout", 10*time.Second, "slow-loris guard: max wall time per frame")
+		workers       = flag.Int("workers", 1, "engine pool size per request")
+		cacheCap      = flag.Int("cache-cap", 0, "shared allocation cache capacity (0: engine default, negative: disabled)")
+		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics, /debug/*, /healthz and /readyz on this address")
+		drainGrace    = flag.Duration("drain-grace", 30*time.Second, "how long a graceful drain waits for in-flight requests")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "parmemd: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	rec := telemetry.New()
+	s, err := server.New(server.Config{
+		Addr:            *addr,
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *maxQueue,
+		PerConnInFlight: *perConn,
+		MaxFrameBytes:   *maxFrame,
+		MaxBatchItems:   *maxBatch,
+		DefaultDeadline: *defDeadline,
+		MaxDeadline:     *maxDeadline,
+		MaxBudgetNodes:  *budgetNodes,
+		FrameTimeout:    *frameTimeout,
+		Workers:         *workers,
+		CacheCapacity:   *cacheCap,
+		Telemetry:       rec,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parmemd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "parmemd: listening on %s\n", s.Addr())
+
+	if *telemetryAddr != "" {
+		ts, err := rec.Serve(*telemetryAddr)
+		switch {
+		case errors.Is(err, telemetry.ErrAddrInUse):
+			// The engine port bound fine; losing the observability endpoint
+			// is worth a warning, not the daemon.
+			fmt.Fprintf(os.Stderr, "parmemd: -telemetry-addr %s: %v; live endpoint disabled\n", *telemetryAddr, err)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "parmemd: %v\n", err)
+			os.Exit(1)
+		default:
+			defer ts.Close()
+			s.MountHealth(ts)
+			fmt.Fprintf(os.Stderr, "parmemd: telemetry on http://%s/metrics (health: /healthz, /readyz)\n", ts.Addr())
+		}
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigs
+	fmt.Fprintf(os.Stderr, "parmemd: %v: draining (grace %v)\n", sig, *drainGrace)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "parmemd: %v during drain: exiting now\n", sig)
+		os.Exit(1)
+	}()
+	if err := s.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "parmemd: drain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "parmemd: drained cleanly")
+}

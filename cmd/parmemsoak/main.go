@@ -1,0 +1,96 @@
+// Command parmemsoak is the chaos client for parmemd: it hammers a running
+// daemon with mixed well-formed traffic while (optionally) injecting the
+// faults a long-lived service actually meets — mid-request disconnects,
+// garbage bytes, slow-loris writers, oversized frames, deadline storms and
+// overload bursts — then holds the daemon to the availability bar.
+//
+// Usage:
+//
+//	parmemsoak -addr 127.0.0.1:7433 -duration 10s -faults
+//
+// Every request is accounted for. The run fails (exit 1) unless:
+//
+//   - >= 99% of well-formed in-budget requests succeeded,
+//   - zero requests lost their response mid-flight (transport errors),
+//   - zero INTERNAL or spurious INVALID_ARGUMENT responses,
+//   - overload bursts were shed with typed RESOURCE_EXHAUSTED, and
+//   - every deadline-storm request got a typed answer.
+//
+// -summary FILE writes the full report as JSON (latency percentiles
+// included) for CI artifacts. Exit codes: 0 pass, 1 acceptance failure,
+// 2 flag errors, 3 setup failure (daemon unreachable).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parmem/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7433", "parmemd address to soak")
+		duration   = flag.Duration("duration", 10*time.Second, "how long the load runs")
+		clients    = flag.Int("clients", 4, "well-formed load-generator connections")
+		faults     = flag.Bool("faults", false, "inject faults (garbage frames, slow loris, disconnects, deadline storms, overload bursts)")
+		seed       = flag.Int64("seed", 1, "workload mix seed")
+		deadlineMS = flag.Int64("deadline-ms", 5000, "deadline on well-formed requests")
+		summary    = flag.String("summary", "", "write the JSON report to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "parmemsoak: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration+60*time.Second)
+	defer cancel()
+	report, err := server.Soak(ctx, server.SoakOptions{
+		Addr:       *addr,
+		Duration:   *duration,
+		Workers:    *clients,
+		Faults:     *faults,
+		Seed:       *seed,
+		DeadlineMS: *deadlineMS,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parmemsoak: %v\n", err)
+		os.Exit(3)
+	}
+
+	fmt.Printf("parmemsoak: %s for %v: sent=%d ok=%d (degraded=%d) shed=%d unavailable=%d deadline=%d canceled=%d\n",
+		*addr, *duration, report.Sent, report.OK, report.Degraded, report.Shed,
+		report.Unavailable, report.DeadlineExceeded, report.Canceled)
+	fmt.Printf("parmemsoak: availability=%.4f transport_errors=%d internal=%d invalid=%d\n",
+		report.Availability(), report.TransportErrors, report.Internal, report.InvalidArgument)
+	if *faults {
+		fmt.Printf("parmemsoak: storm %d/%d responded, overload %d/%d responded (%d shed, %d ok), fault_conns=%d\n",
+			report.StormResponded, report.StormSent,
+			report.OverloadResponded, report.OverloadSent,
+			report.OverloadShed, report.OverloadOK, report.FaultConns)
+	}
+	fmt.Printf("parmemsoak: latency_us p50=%d p95=%d p99=%d max=%d\n",
+		report.LatencyP50US, report.LatencyP95US, report.LatencyP99US, report.LatencyMaxUS)
+
+	if *summary != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*summary, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parmemsoak: writing %s: %v\n", *summary, err)
+			os.Exit(3)
+		}
+	}
+
+	if err := report.Assert(*faults); err != nil {
+		fmt.Fprintf(os.Stderr, "parmemsoak: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("parmemsoak: PASS")
+}

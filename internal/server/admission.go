@@ -1,0 +1,76 @@
+package server
+
+import (
+	"context"
+	"errors"
+
+	"parmem/internal/telemetry"
+)
+
+// Admission control. The daemon bounds concurrent engine work twice over:
+// MaxInFlight requests may hold an execution slot at once, and at most
+// MaxQueue more may wait for one. Anything beyond that is shed
+// immediately with a typed RESOURCE_EXHAUSTED response — the Versaci &
+// Pingali observation that under contention limiting concurrent work
+// beats letting it pile up: an unbounded queue converts overload into
+// latency collapse and memory growth, while a bounded one converts it
+// into fast, explicit, retryable rejections.
+
+// errShed reports that the admission queue was full at arrival.
+var errShed = errors.New("server: admission queue full")
+
+// gate is the two-stage admission bound: a slot semaphore (running) and a
+// queue semaphore (waiting). Both are plain buffered channels, so the
+// whole gate is lock-free and cancellation-aware.
+type gate struct {
+	slots chan struct{}
+	queue chan struct{}
+
+	inflight *telemetry.Gauge // nil-safe instruments
+	depth    *telemetry.Gauge
+}
+
+func newGate(maxInFlight, maxQueue int, rec *telemetry.Recorder) *gate {
+	return &gate{
+		slots:    make(chan struct{}, maxInFlight),
+		queue:    make(chan struct{}, maxQueue),
+		inflight: rec.Gauge(telemetry.MServerInFlight),
+		depth:    rec.Gauge(telemetry.MServerQueueDepth),
+	}
+}
+
+// acquire claims an execution slot. The fast path takes a free slot
+// without queueing; otherwise the request joins the bounded queue and
+// waits for a slot or its deadline. A full queue returns errShed at once
+// — a request is never silently parked beyond the declared bounds.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		g.inflight.Add(1)
+		return nil
+	default:
+	}
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		return errShed
+	}
+	g.depth.Add(1)
+	defer func() {
+		g.depth.Add(-1)
+		<-g.queue
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		g.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot.
+func (g *gate) release() {
+	g.inflight.Add(-1)
+	<-g.slots
+}

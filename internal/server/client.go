@@ -1,0 +1,153 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Client is a multiplexing parmemd client: one TCP connection carrying
+// many concurrent requests, matched to responses by request id. It is
+// safe for concurrent use. Transport failures (the connection died before
+// a response arrived) come back as ordinary errors distinct from typed
+// protocol responses — the distinction the soak harness uses to prove the
+// daemon never drops an in-flight response.
+type Client struct {
+	nc     net.Conn
+	wmu    sync.Mutex
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan Response
+
+	dead    chan struct{} // closed when the read loop exits
+	readErr error         // set before dead closes
+	closed  atomic.Bool   // Close was called locally
+}
+
+// ErrConnClosed reports that the connection died (or was closed) before a
+// response arrived.
+var ErrConnClosed = errors.New("server: connection closed before response")
+
+// Dial connects to a parmemd at addr.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:      nc,
+		pending: map[uint64]chan Response{},
+		dead:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; pending requests fail with
+// ErrConnClosed.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	return c.nc.Close()
+}
+
+// LocalClosed reports whether Close was called on this client (as opposed
+// to the server ending the connection).
+func (c *Client) LocalClosed() bool { return c.closed.Load() }
+
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 4096)
+	for {
+		f, err := readFrame(br, DefaultMaxFrame)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			close(c.dead)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[f.ID]
+		delete(c.pending, f.ID)
+		c.mu.Unlock()
+		if ch == nil {
+			continue // response to an abandoned (ctx-expired) request
+		}
+		var resp Response
+		if err := json.Unmarshal(f.Payload, &resp); err != nil {
+			resp = Response{Code: CodeInternal, Error: "unparseable response payload: " + err.Error()}
+		}
+		ch <- resp
+	}
+}
+
+// Do sends one request frame and waits for its response, ctx expiry, or
+// connection death.
+func (c *Client) Do(ctx context.Context, op Op, req any) (Response, error) {
+	var payload []byte
+	if req != nil {
+		var err error
+		if payload, err = json.Marshal(req); err != nil {
+			return Response{}, err
+		}
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return Response{}, fmt.Errorf("%w: %v", ErrConnClosed, err)
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeFrame(c.nc, Frame{Op: op, ID: id, Payload: payload})
+	c.wmu.Unlock()
+	if err != nil {
+		c.drop(id)
+		return Response{}, fmt.Errorf("%w: %v", ErrConnClosed, err)
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-ctx.Done():
+		c.drop(id)
+		return Response{}, ctx.Err()
+	case <-c.dead:
+		c.drop(id)
+		return Response{}, fmt.Errorf("%w: %v", ErrConnClosed, c.readErr)
+	}
+}
+
+func (c *Client) drop(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Ping probes liveness and drain state.
+func (c *Client) Ping(ctx context.Context) (Response, error) {
+	return c.Do(ctx, OpPing, nil)
+}
+
+// Compile submits one MPL source.
+func (c *Client) Compile(ctx context.Context, req CompileRequest) (Response, error) {
+	return c.Do(ctx, OpCompile, req)
+}
+
+// Assign submits one instruction-stream assignment.
+func (c *Client) Assign(ctx context.Context, req AssignRequest) (Response, error) {
+	return c.Do(ctx, OpAssign, req)
+}
+
+// Batch submits many sources as one admission unit.
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (Response, error) {
+	return c.Do(ctx, OpBatch, req)
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := Frame{Op: OpCompile, ID: 0xDEADBEEF12345678, Payload: []byte(`{"src":"x"}`)}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf, DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != in.Op || out.ID != in.ID || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+	// Empty payload too.
+	buf.Reset()
+	if err := writeFrame(&buf, Frame{Op: OpPing, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out, err = readFrame(&buf, DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != OpPing || out.ID != 1 || len(out.Payload) != 0 {
+		t.Fatalf("empty-payload round trip mismatch: %+v", out)
+	}
+}
+
+func TestParseHeaderRejects(t *testing.T) {
+	valid := func() [HeaderLen]byte {
+		var h [HeaderLen]byte
+		binary.BigEndian.PutUint16(h[0:2], Magic)
+		h[2] = Version
+		h[3] = uint8(OpPing)
+		return h
+	}
+
+	h := valid()
+	h[0] = 0xFF
+	if _, _, _, err := parseHeader(&h, DefaultMaxFrame); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v", err)
+	}
+
+	h = valid()
+	h[2] = 99
+	if _, _, _, err := parseHeader(&h, DefaultMaxFrame); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: got %v", err)
+	}
+
+	h = valid()
+	binary.BigEndian.PutUint32(h[12:16], 1<<30)
+	op, id, n, err := parseHeader(&h, 1024)
+	if !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("oversize: got %v", err)
+	}
+	// Op and id survive the size rejection so the server can answer with
+	// the request's own id.
+	if op != OpPing || id != 0 || n != 1<<30 {
+		t.Fatalf("oversize header fields: op=%v id=%d n=%d", op, id, n)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	cases := map[Op]string{
+		OpPing:                "ping",
+		OpCompile:             "compile",
+		OpAssign:              "assign",
+		OpBatch:               "batch",
+		OpCompile.Response():  "compile+resp",
+		Op(77):                "op(77)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", uint8(op), got, want)
+		}
+	}
+	if !OpAssign.Response().IsResponse() || OpAssign.IsResponse() {
+		t.Fatal("response-bit accessors broken")
+	}
+	if OpAssign.Response().Request() != OpAssign {
+		t.Fatal("Request() does not invert Response()")
+	}
+}

@@ -1,0 +1,727 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parmem"
+	"parmem/internal/telemetry"
+)
+
+// Config sizes the daemon's robustness envelope. The zero value of every
+// field picks a production-sane default (see withDefaults); tests shrink
+// them to force the edges.
+type Config struct {
+	// Addr is the listen address ("host:port"; port 0 picks a free one).
+	Addr string
+	// MaxInFlight bounds requests executing concurrently; default 8.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot before new
+	// arrivals are shed with RESOURCE_EXHAUSTED; default 2*MaxInFlight.
+	MaxQueue int
+	// PerConnInFlight bounds concurrent requests per connection (a single
+	// client cannot monopolize the admission queue); default 4.
+	PerConnInFlight int
+	// MaxFrameBytes caps a frame payload; default DefaultMaxFrame.
+	MaxFrameBytes int
+	// MaxBatchItems caps the sources of one batch request; default 64.
+	MaxBatchItems int
+	// DefaultDeadline applies when a request carries no deadline_ms;
+	// default 10s.
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps client-requested deadlines; default 60s.
+	MaxDeadline time.Duration
+	// MaxBudgetNodes clamps client-requested search budgets; default
+	// parmem.DefaultMaxBacktrackNodes.
+	MaxBudgetNodes int64
+	// FrameTimeout is the slow-loris guard: once a frame's first byte
+	// arrives, the whole frame must follow within this window or the
+	// connection is closed (idle connections may wait indefinitely for a
+	// first byte); it also bounds response writes. Default 10s.
+	FrameTimeout time.Duration
+	// Workers is the engine pool size per request. The default 1 keeps
+	// each request sequential — concurrent requests are the parallelism,
+	// and nested fan-out would oversubscribe the pool.
+	Workers int
+	// CacheCapacity sizes the shared allocation cache (0 = engine
+	// default; negative disables caching). Sharing one cache across
+	// requests is the daemon's whole reason to exist: repeated graphs
+	// skip their coloring and duplication searches.
+	CacheCapacity int
+	// Telemetry records server metrics and engine spans; nil disables.
+	Telemetry *telemetry.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 8
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	} else if c.MaxQueue == 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.PerConnInFlight <= 0 {
+		c.PerConnInFlight = 4
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = DefaultMaxFrame
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 10 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	if c.MaxBudgetNodes <= 0 {
+		c.MaxBudgetNodes = parmem.DefaultMaxBacktrackNodes
+	}
+	if c.FrameTimeout <= 0 {
+		c.FrameTimeout = 10 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Server is a running parmemd instance.
+type Server struct {
+	cfg   Config
+	ln    net.Listener
+	cache *parmem.AllocCache
+	gate  *gate
+
+	// baseCtx parents every request context; cancelBase deadline-cancels
+	// all in-flight work when a drain overruns its grace period.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	// drainMu makes "check draining, then track the request" atomic
+	// against Drain setting the flag: once Drain holds the write lock, no
+	// further reqWG.Add can happen, so its Wait is race-free and every
+	// tracked request's response is written before connections close.
+	drainMu  sync.RWMutex
+	draining atomic.Bool
+	drained  chan struct{} // closed when Drain completes
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	connWG sync.WaitGroup // connection read loops
+	reqWG  sync.WaitGroup // in-flight requests, through response write
+
+	// Resolved nil-safe instruments (all no-ops without Telemetry).
+	mConnsOpen  *telemetry.Gauge
+	mConnsTotal *telemetry.Counter
+	mDrainUS    *telemetry.Gauge
+}
+
+// New validates cfg, binds the listener and starts the accept loop. The
+// returned server is serving; stop it with Drain (graceful) or Close
+// (hard).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	var cache *parmem.AllocCache
+	if cfg.CacheCapacity >= 0 {
+		cache = parmem.NewAllocCache(cfg.CacheCapacity)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:         cfg,
+		ln:          ln,
+		cache:       cache,
+		gate:        newGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.Telemetry),
+		baseCtx:     ctx,
+		cancelBase:  cancel,
+		drained:     make(chan struct{}),
+		conns:       map[net.Conn]struct{}{},
+		mConnsOpen:  cfg.Telemetry.Gauge(telemetry.MServerConnsOpen),
+		mConnsTotal: cfg.Telemetry.Counter(telemetry.MServerConnsTotal),
+		mDrainUS:    cfg.Telemetry.Gauge(telemetry.MServerDrainMicros),
+	}
+	s.connWG.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Draining reports whether a drain has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Healthy reports process liveness (the /healthz answer): true until the
+// drain has fully completed.
+func (s *Server) Healthy() bool {
+	select {
+	case <-s.drained:
+		return false
+	default:
+		return true
+	}
+}
+
+// Ready reports readiness for new work (the /readyz answer): serving and
+// not draining.
+func (s *Server) Ready() bool { return !s.draining.Load() && s.Healthy() }
+
+// MountHealth mounts /healthz (process liveness) and /readyz (accepting
+// new work) on a telemetry endpoint, so one scrape address answers
+// metrics, profiles and orchestration probes. During a drain /readyz
+// flips to 503 immediately — load balancers stop routing — while
+// /healthz stays 200 until the drain completes, so the process is not
+// killed mid-drain.
+func (s *Server) MountHealth(ts *telemetry.Server) {
+	probe := func(name string, ok func() bool) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			if ok() {
+				fmt.Fprintf(w, "%s ok\n", name)
+				return
+			}
+			http.Error(w, name+": draining", http.StatusServiceUnavailable)
+		})
+	}
+	ts.Handle("/healthz", probe("healthz", s.Healthy))
+	ts.Handle("/readyz", probe("readyz", s.Ready))
+}
+
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			// Listener closed (drain/close) or a transient accept error;
+			// either way one bad accept never stops the loop — only a
+			// closed listener does.
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.mu.Lock()
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.mConnsTotal.Inc()
+		s.mConnsOpen.Add(1)
+		s.connWG.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// conn is the per-connection state shared by its request goroutines.
+type conn struct {
+	nc  net.Conn
+	wmu sync.Mutex    // serializes response frames
+	sem chan struct{} // per-connection concurrency cap
+}
+
+// writeFrame writes one response frame under the connection's write lock
+// and deadline. A peer that stops reading (full socket buffer) trips the
+// deadline and the connection is abandoned — it cannot wedge the writer
+// goroutine forever.
+func (s *Server) writeFrame(c *conn, f Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.nc.SetWriteDeadline(time.Now().Add(s.cfg.FrameTimeout)) //nolint:errcheck
+	err := writeFrame(c.nc, f)
+	c.nc.SetWriteDeadline(time.Time{}) //nolint:errcheck
+	return err
+}
+
+// respond marshals and writes a response, counting it in the request
+// metrics.
+func (s *Server) respond(c *conn, op Op, id uint64, resp Response) {
+	payload, err := json.Marshal(resp)
+	if err != nil { // unreachable: Response marshals cleanly by shape
+		payload = []byte(`{"code":"INTERNAL","error":"response marshal failed"}`)
+	}
+	s.cfg.Telemetry.Counter(telemetry.MServerRequests, "op", op.String(), "code", string(resp.Code)).Inc()
+	s.writeFrame(c, Frame{Op: op.Response(), ID: id, Payload: payload}) //nolint:errcheck // peer gone; nothing to tell it
+}
+
+func (s *Server) badFrame(kind string) {
+	s.cfg.Telemetry.Counter(telemetry.MServerBadFrames, "kind", kind).Inc()
+}
+
+// serveConn reads frames and fans requests out to handler goroutines,
+// bounded by the per-connection cap. Framing failures end only this
+// connection; the listener and sibling connections keep serving.
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.connWG.Done()
+	c := &conn{nc: nc, sem: make(chan struct{}, s.cfg.PerConnInFlight)}
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		s.mConnsOpen.Add(-1)
+		nc.Close()
+	}()
+	br := bufio.NewReaderSize(nc, 4096)
+	for {
+		f, err := s.readFrame(nc, br)
+		if err != nil {
+			s.rejectFrame(c, f, err)
+			return
+		}
+		start := time.Now()
+		if !knownRequest(f.Op) {
+			// The frame parsed cleanly, so the stream is still in sync:
+			// answer and keep the connection.
+			s.badFrame("unknown_op")
+			s.respond(c, f.Op, f.ID, Response{Code: CodeInvalidArgument, Error: fmt.Sprintf("unknown op %d", uint8(f.Op))})
+			continue
+		}
+		select {
+		case c.sem <- struct{}{}:
+		default:
+			// Per-connection cap: shed immediately and typed, never a
+			// silent hang behind the connection's own backlog.
+			s.cfg.Telemetry.Counter(telemetry.MServerShed, "reason", "per_conn").Inc()
+			s.respond(c, f.Op, f.ID, Response{Code: CodeResourceExhausted,
+				Error: fmt.Sprintf("connection already has %d requests in flight", s.cfg.PerConnInFlight)})
+			continue
+		}
+		s.drainMu.RLock()
+		if s.draining.Load() {
+			s.drainMu.RUnlock()
+			<-c.sem
+			s.cfg.Telemetry.Counter(telemetry.MServerShed, "reason", "draining").Inc()
+			s.respond(c, f.Op, f.ID, Response{Code: CodeUnavailable, Error: "server is draining", Draining: true})
+			continue
+		}
+		s.reqWG.Add(1)
+		s.drainMu.RUnlock()
+		go func(f Frame) {
+			defer s.reqWG.Done()
+			defer func() { <-c.sem }()
+			resp := s.process(f)
+			s.respond(c, f.Op, f.ID, resp)
+			s.cfg.Telemetry.Histogram(telemetry.MServerReqMicros, "op", f.Op.String()).
+				Observe(time.Since(start).Microseconds())
+		}(f)
+	}
+}
+
+// readFrame reads one frame with the slow-loris guard: wait for the first
+// byte without a deadline (idle connections are fine), then require the
+// rest of the frame within FrameTimeout.
+func (s *Server) readFrame(nc net.Conn, br *bufio.Reader) (Frame, error) {
+	nc.SetReadDeadline(time.Time{}) //nolint:errcheck
+	b0, err := br.ReadByte()
+	if err != nil {
+		return Frame{}, err
+	}
+	nc.SetReadDeadline(time.Now().Add(s.cfg.FrameTimeout)) //nolint:errcheck
+	var hdr [HeaderLen]byte
+	hdr[0] = b0
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		return Frame{}, fmt.Errorf("truncated header: %w", err)
+	}
+	op, id, n, err := parseHeader(&hdr, s.cfg.MaxFrameBytes)
+	if err != nil {
+		return Frame{Op: op, ID: id}, err
+	}
+	f := Frame{Op: op, ID: id}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(br, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("truncated payload: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// rejectFrame classifies a framing failure, emits a best-effort typed
+// error frame where the peer can still use one, and lets the connection
+// close. EOF (peer hung up cleanly) is not a fault.
+func (s *Server) rejectFrame(c *conn, f Frame, err error) {
+	switch {
+	case errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed):
+		return
+	case errors.Is(err, ErrFrameSize):
+		// Header was sane, payload is just too big: tell the peer why
+		// before closing (we will not read the oversized payload).
+		s.badFrame("oversized")
+		s.respond(c, f.Op, f.ID, Response{Code: CodeInvalidArgument, Error: err.Error()})
+	case errors.Is(err, ErrBadMagic) || errors.Is(err, ErrBadVersion):
+		// Garbage stream: nothing after this point can be trusted, and a
+		// response frame would be garbage to whatever the peer is.
+		s.badFrame("bad_magic")
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		s.badFrame("truncated")
+	default:
+		// Read timeout (slow loris) or transport error mid-frame.
+		s.badFrame("timeout")
+	}
+}
+
+// process executes one admitted-or-shed request and builds its response.
+// It never panics: a poisoned request is isolated here and answered with
+// a typed INTERNAL response while sibling requests keep running.
+func (s *Server) process(f Frame) (resp Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = Response{Code: CodeInternal, Phase: "server/handler",
+				Error: fmt.Sprintf("panic: %v\n%s", r, debug.Stack())}
+		}
+	}()
+	switch f.Op {
+	case OpPing:
+		return Response{Code: CodeOK, Draining: s.draining.Load()}
+	case OpCompile:
+		var req CompileRequest
+		if err := json.Unmarshal(f.Payload, &req); err != nil {
+			return Response{Code: CodeInvalidArgument, Error: "bad compile payload: " + err.Error()}
+		}
+		return s.handleCompile(req)
+	case OpAssign:
+		var req AssignRequest
+		if err := json.Unmarshal(f.Payload, &req); err != nil {
+			return Response{Code: CodeInvalidArgument, Error: "bad assign payload: " + err.Error()}
+		}
+		return s.handleAssign(req)
+	case OpBatch:
+		var req BatchRequest
+		if err := json.Unmarshal(f.Payload, &req); err != nil {
+			return Response{Code: CodeInvalidArgument, Error: "bad batch payload: " + err.Error()}
+		}
+		return s.handleBatch(req)
+	}
+	return Response{Code: CodeInvalidArgument, Error: fmt.Sprintf("unknown op %d", uint8(f.Op))}
+}
+
+// requestCtx maps a request's deadline_ms onto a context under baseCtx,
+// clamped to MaxDeadline.
+func (s *Server) requestCtx(deadlineMS int64) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.DefaultDeadline
+	if deadlineMS < 0 {
+		return nil, nil, fmt.Errorf("deadline_ms %d: must be non-negative", deadlineMS)
+	}
+	if deadlineMS > 0 {
+		d = time.Duration(deadlineMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, d)
+	return ctx, cancel, nil
+}
+
+// requestBudget maps budget_nodes onto an engine Budget, clamped to
+// MaxBudgetNodes; negative (unlimited) is not accepted from the network.
+func (s *Server) requestBudget(nodes int64) (parmem.Budget, error) {
+	if nodes < 0 {
+		return parmem.Budget{}, fmt.Errorf("budget_nodes %d: unlimited budgets are not accepted over the network", nodes)
+	}
+	if nodes == 0 || nodes > s.cfg.MaxBudgetNodes {
+		nodes = s.cfg.MaxBudgetNodes
+	}
+	return parmem.Budget{MaxBacktrackNodes: nodes}, nil
+}
+
+func parseStrategy(s string) (parmem.Strategy, error) {
+	switch s {
+	case "", "STOR1":
+		return parmem.STOR1, nil
+	case "STOR2":
+		return parmem.STOR2, nil
+	case "STOR3":
+		return parmem.STOR3, nil
+	case "PerRegion":
+		return parmem.PerRegion, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}
+
+func parseMethod(s string) (parmem.Method, error) {
+	switch s {
+	case "", "hittingset":
+		return parmem.HittingSet, nil
+	case "backtrack":
+		return parmem.Backtrack, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
+// admit runs fn under the admission gate and the request context,
+// translating gate and context failures into typed responses.
+func (s *Server) admit(ctx context.Context, fn func(ctx context.Context) Response) Response {
+	if err := s.gate.acquire(ctx); err != nil {
+		if errors.Is(err, errShed) {
+			s.cfg.Telemetry.Counter(telemetry.MServerShed, "reason", "queue_full").Inc()
+			return Response{Code: CodeResourceExhausted,
+				Error: fmt.Sprintf("admission queue full (%d running, %d queued)", s.cfg.MaxInFlight, s.cfg.MaxQueue)}
+		}
+		return Response{Code: codeForCtx(ctx), Error: "expired while queued: " + err.Error()}
+	}
+	defer s.gate.release()
+	if testHookAdmitted != nil {
+		testHookAdmitted(ctx)
+	}
+	// A request that spent its whole deadline queued gets a typed expiry
+	// instead of burning an execution slot on doomed work.
+	if ctx.Err() != nil {
+		return Response{Code: codeForCtx(ctx), Error: "expired before execution: " + ctx.Err().Error()}
+	}
+	return fn(ctx)
+}
+
+// testHookAdmitted, when non-nil, runs after a request has acquired its
+// admission slot and before its handler executes. Tests use it to park
+// requests in their slots deterministically; production never sets it.
+var testHookAdmitted func(ctx context.Context)
+
+// codeForCtx distinguishes a request that ran out of its own deadline
+// from one canceled by hard shutdown.
+func codeForCtx(ctx context.Context) Code {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return CodeDeadlineExceeded
+	}
+	return CodeCanceled
+}
+
+// codeForError maps an engine error onto the wire taxonomy.
+func codeForError(ctx context.Context, err error) (Code, string) {
+	var ie *parmem.InternalError
+	switch {
+	case errors.As(err, &ie):
+		return CodeInternal, ie.Phase
+	case errors.Is(err, parmem.ErrCanceled):
+		return codeForCtx(ctx), ""
+	case errors.Is(err, parmem.ErrBudget):
+		return CodeDeadlineExceeded, ""
+	default:
+		// Everything else the engine rejects — parse errors, config
+		// errors (parmem.ErrConfig), bad instruction streams — is the
+		// client's input.
+		return CodeInvalidArgument, ""
+	}
+}
+
+func (s *Server) handleCompile(req CompileRequest) Response {
+	opt, resp := s.compileOptions(req.K, req.Strategy, req.Method, req.BudgetNodes)
+	if resp != nil {
+		return *resp
+	}
+	ctx, cancel, err := s.requestCtx(req.DeadlineMS)
+	if err != nil {
+		return Response{Code: CodeInvalidArgument, Error: err.Error()}
+	}
+	defer cancel()
+	return s.admit(ctx, func(ctx context.Context) Response {
+		p, err := parmem.CompileCtx(ctx, req.Src, opt)
+		if err != nil {
+			code, phase := codeForError(ctx, err)
+			return Response{Code: code, Phase: phase, Error: err.Error()}
+		}
+		sum := summarize(p.Alloc, false)
+		sum.Words = len(p.Sched.Words)
+		return Response{Code: CodeOK, Result: sum}
+	})
+}
+
+// compileOptions builds the engine Options shared by compile and batch
+// requests, or a typed error response.
+func (s *Server) compileOptions(k int, strategy, method string, nodes int64) (parmem.Options, *Response) {
+	bad := func(msg string) (parmem.Options, *Response) {
+		return parmem.Options{}, &Response{Code: CodeInvalidArgument, Error: msg}
+	}
+	st, err := parseStrategy(strategy)
+	if err != nil {
+		return bad(err.Error())
+	}
+	m, err := parseMethod(method)
+	if err != nil {
+		return bad(err.Error())
+	}
+	b, err := s.requestBudget(nodes)
+	if err != nil {
+		return bad(err.Error())
+	}
+	return parmem.Options{
+		Modules:   k,
+		Strategy:  st,
+		Method:    m,
+		Budget:    b,
+		Workers:   s.cfg.Workers,
+		Cache:     s.cache,
+		Telemetry: s.cfg.Telemetry,
+	}, nil
+}
+
+func (s *Server) handleAssign(req AssignRequest) Response {
+	st, err := parseStrategy(req.Strategy)
+	if err != nil {
+		return Response{Code: CodeInvalidArgument, Error: err.Error()}
+	}
+	m, err := parseMethod(req.Method)
+	if err != nil {
+		return Response{Code: CodeInvalidArgument, Error: err.Error()}
+	}
+	b, err := s.requestBudget(req.BudgetNodes)
+	if err != nil {
+		return Response{Code: CodeInvalidArgument, Error: err.Error()}
+	}
+	instrs := make([]parmem.Instruction, len(req.Instrs))
+	for i, ops := range req.Instrs {
+		for _, v := range ops {
+			if v < 0 {
+				return Response{Code: CodeInvalidArgument,
+					Error: fmt.Sprintf("instrs[%d]: negative value id %d", i, v)}
+			}
+		}
+		instrs[i] = parmem.Instruction(ops)
+	}
+	ctx, cancel, err := s.requestCtx(req.DeadlineMS)
+	if err != nil {
+		return Response{Code: CodeInvalidArgument, Error: err.Error()}
+	}
+	defer cancel()
+	return s.admit(ctx, func(ctx context.Context) Response {
+		al, err := parmem.AssignValues(ctx, instrs, parmem.AssignConfig{
+			K:         req.K,
+			Strategy:  st,
+			Method:    m,
+			Budget:    b,
+			Workers:   s.cfg.Workers,
+			Cache:     s.cache,
+			Telemetry: s.cfg.Telemetry,
+		})
+		if err != nil {
+			code, phase := codeForError(ctx, err)
+			return Response{Code: code, Phase: phase, Error: err.Error()}
+		}
+		return Response{Code: CodeOK, Result: summarize(al, true)}
+	})
+}
+
+func (s *Server) handleBatch(req BatchRequest) Response {
+	if len(req.Srcs) == 0 {
+		return Response{Code: CodeInvalidArgument, Error: "batch has no sources"}
+	}
+	if len(req.Srcs) > s.cfg.MaxBatchItems {
+		return Response{Code: CodeInvalidArgument,
+			Error: fmt.Sprintf("batch of %d sources exceeds the cap of %d", len(req.Srcs), s.cfg.MaxBatchItems)}
+	}
+	opt, badResp := s.compileOptions(req.K, req.Strategy, req.Method, req.BudgetNodes)
+	if badResp != nil {
+		return *badResp
+	}
+	ctx, cancel, err := s.requestCtx(req.DeadlineMS)
+	if err != nil {
+		return Response{Code: CodeInvalidArgument, Error: err.Error()}
+	}
+	defer cancel()
+	return s.admit(ctx, func(ctx context.Context) Response {
+		results := parmem.CompileBatch(ctx, req.Srcs, opt)
+		items := make([]ItemResult, len(results))
+		for i, r := range results {
+			if r.Err != nil {
+				code, _ := codeForError(ctx, r.Err)
+				items[i] = ItemResult{Code: code, Error: r.Err.Error()}
+				continue
+			}
+			sum := summarize(r.Program.Alloc, false)
+			sum.Words = len(r.Program.Sched.Words)
+			items[i] = ItemResult{Code: CodeOK, Result: sum}
+		}
+		return Response{Code: CodeOK, Items: items}
+	})
+}
+
+// summarize converts an Allocation to its wire form; withCopies includes
+// the full value->modules placement.
+func summarize(al parmem.Allocation, withCopies bool) *AllocSummary {
+	sum := &AllocSummary{
+		Values:      al.SingleCopy + al.MultiCopy,
+		SingleCopy:  al.SingleCopy,
+		MultiCopy:   al.MultiCopy,
+		TotalCopies: al.TotalCopies,
+		Atoms:       al.Atoms,
+		Degraded:    al.Degraded,
+	}
+	if withCopies {
+		sum.Copies = make(map[int][]int, len(al.Copies))
+		for id, set := range al.Copies {
+			sum.Copies[id] = set.Modules()
+		}
+	}
+	return sum
+}
+
+// Drain gracefully shuts the server down: stop accepting connections,
+// refuse new requests on existing ones with UNAVAILABLE, let in-flight
+// work finish, and — if ctx expires first — deadline-cancel the stragglers
+// so even they get a typed response. Every admitted request has its
+// response written before Drain returns: zero in-flight responses are
+// dropped. Safe to call once; subsequent calls wait for the first.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	first := s.draining.CompareAndSwap(false, true)
+	s.drainMu.Unlock()
+	if !first {
+		<-s.drained
+		return nil
+	}
+	start := time.Now()
+	s.ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Grace period over: cancel every in-flight request. The engine
+		// polls cancellation at phase boundaries and inside its search
+		// loops, so this converges quickly — and the handlers still
+		// write their (CANCELED) responses before reqWG releases.
+		err = fmt.Errorf("server: drain grace period expired; canceled in-flight work: %w", ctx.Err())
+		s.cancelBase()
+		<-done
+	}
+
+	// All responses are written; now the connections can go.
+	s.mu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	s.cancelBase()
+	s.mDrainUS.Set(time.Since(start).Microseconds())
+	close(s.drained)
+	return err
+}
+
+// Close hard-stops the server: cancel all work, close everything, wait.
+// Prefer Drain; Close is for tests and fatal teardown.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // a pre-expired drain deadline = cancel in-flight work now
+	if err := s.Drain(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	return nil
+}

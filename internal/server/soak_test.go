@@ -1,0 +1,51 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSoakWithFaults runs the chaos client against a live server — garbage
+// frames, slow loris, mid-request disconnects, oversized frames, deadline
+// storms and per-connection overload all at once — and holds the daemon to
+// the acceptance bar: ≥99% availability for well-formed traffic, typed
+// shedding under overload, and not one request left without a response.
+func TestSoakWithFaults(t *testing.T) {
+	dur := 4 * time.Second
+	if testing.Short() {
+		dur = 1500 * time.Millisecond
+	}
+	s := newTestServer(t, Config{
+		MaxInFlight:     4,
+		MaxQueue:        16,
+		PerConnInFlight: 4,
+		FrameTimeout:    300 * time.Millisecond,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), dur+30*time.Second)
+	defer cancel()
+	report, err := Soak(ctx, SoakOptions{
+		Addr:     s.Addr(),
+		Duration: dur,
+		Workers:  3,
+		Faults:   true,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: sent=%d ok=%d shed=%d unavailable=%d availability=%.4f p99=%dus",
+		report.Sent, report.OK, report.Shed, report.Unavailable,
+		report.Availability(), report.LatencyP99US)
+	if err := report.Assert(true); err != nil {
+		t.Fatalf("soak acceptance failed: %v\nreport: %+v", err, report)
+	}
+
+	// Drain after the storm: nothing may hang.
+	dctx, dcancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer dcancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain after soak: %v", err)
+	}
+}

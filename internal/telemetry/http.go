@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
@@ -9,6 +10,7 @@ import (
 	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -38,10 +40,18 @@ func publishExpvar() {
 	})
 }
 
+// ErrAddrInUse is wrapped by Serve's error when the listen address is
+// already bound by another process (or another Serve). Callers that run a
+// telemetry endpoint as a best-effort sidecar — the CLIs, parmemd — test
+// for it with errors.Is to distinguish "someone else owns that port"
+// (report and continue) from a genuinely unusable address (fail).
+var ErrAddrInUse = errors.New("telemetry: address already in use")
+
 // Server is a running introspection endpoint.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+	mux *http.ServeMux
 }
 
 // Addr returns the bound address (useful with ":0").
@@ -50,18 +60,27 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Close shuts the server down immediately.
 func (s *Server) Close() error { return s.srv.Close() }
 
+// Handle mounts an additional handler on the endpoint's mux — the hook
+// parmemd uses to serve /healthz and /readyz alongside /metrics.
+// http.ServeMux.Handle is safe to call after serving has started.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
 // Serve starts the introspection endpoint on addr ("host:port"; port 0
 // picks a free one) and returns once it is listening. The caller owns the
 // returned Server and closes it when done; serving errors after a clean
 // start are discarded (the endpoint is best-effort observability, not a
 // correctness surface). Returns an error only if the listener cannot bind
-// or the Recorder is nil.
+// or the Recorder is nil; an already-bound address comes back wrapping
+// ErrAddrInUse so callers can tell it apart from other bind failures.
 func (r *Recorder) Serve(addr string) (*Server, error) {
 	if r == nil {
 		return nil, fmt.Errorf("telemetry: cannot serve a nil recorder")
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if errors.Is(err, syscall.EADDRINUSE) {
+			return nil, fmt.Errorf("%w: %v", ErrAddrInUse, err)
+		}
 		return nil, err
 	}
 	expvarRecorder.Store(r)
@@ -96,5 +115,5 @@ func (r *Recorder) Serve(addr string) (*Server, error) {
 
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // closed via Server.Close
-	return &Server{ln: ln, srv: srv}, nil
+	return &Server{ln: ln, srv: srv, mux: mux}, nil
 }

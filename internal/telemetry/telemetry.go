@@ -61,6 +61,17 @@ const (
 	MPoolBusyNanos   = "parmem_pool_busy_nanos_total" // counter: summed busy wall time (utilization numerator)
 	MBatchInFlight   = "parmem_batch_inflight"        // gauge: batch items currently compiling
 	MBatchItems      = "parmem_batch_items_total"     // counter: batch items started
+
+	// Server (parmemd): connection, admission and drain health.
+	MServerConnsOpen   = "parmem_server_conns_open"        // gauge: connections currently open
+	MServerConnsTotal  = "parmem_server_conns_total"       // counter: connections accepted since start
+	MServerRequests    = "parmem_server_requests_total"    // counter{op,code}: requests answered, by op and response code
+	MServerInFlight    = "parmem_server_inflight"          // gauge: requests currently holding an admission slot
+	MServerQueueDepth  = "parmem_server_queue_depth"       // gauge: requests waiting in the admission queue
+	MServerShed        = "parmem_server_shed_total"        // counter{reason}: requests shed (queue_full, per_conn, draining)
+	MServerBadFrames   = "parmem_server_bad_frames_total"  // counter{kind}: malformed/oversized/truncated frames rejected
+	MServerReqMicros   = "parmem_server_request_us"        // histogram{op}: request wall time, accept-to-response-written
+	MServerDrainMicros = "parmem_server_drain_us"          // gauge: wall time of the last graceful drain
 )
 
 // metricHelp is the HELP text attached to each family on first registration.
@@ -88,6 +99,16 @@ var metricHelp = map[string]string{
 	MPoolBusyNanos:    "Summed wall time engine workers spent busy, nanoseconds.",
 	MBatchInFlight:    "Batch items currently being compiled.",
 	MBatchItems:       "Batch items started.",
+
+	MServerConnsOpen:   "parmemd connections currently open.",
+	MServerConnsTotal:  "parmemd connections accepted since process start.",
+	MServerRequests:    "parmemd requests answered, by op and response code.",
+	MServerInFlight:    "parmemd requests currently holding an admission slot.",
+	MServerQueueDepth:  "parmemd requests waiting in the admission queue.",
+	MServerShed:        "parmemd requests shed by admission control, by reason.",
+	MServerBadFrames:   "parmemd malformed, oversized or truncated frames rejected, by kind.",
+	MServerReqMicros:   "parmemd request wall time (frame read to response written), microseconds.",
+	MServerDrainMicros: "Wall time of the last parmemd graceful drain, microseconds.",
 }
 
 // Recorder bundles a Tracer and a metrics Registry — the single handle the

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -440,5 +441,57 @@ func TestServeNilRecorder(t *testing.T) {
 	var rec *Recorder
 	if _, err := rec.Serve("127.0.0.1:0"); err == nil {
 		t.Fatal("serving a nil recorder must fail")
+	}
+}
+
+// TestServeAddrInUse checks that binding a taken port comes back as a
+// distinguishable error, so callers can degrade gracefully instead of
+// pattern-matching error strings.
+func TestServeAddrInUse(t *testing.T) {
+	rec := New()
+	first, err := rec.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+
+	_, err = rec.Serve(first.Addr())
+	if err == nil {
+		t.Fatal("second Serve on the same address must fail")
+	}
+	if !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("want errors.Is(err, ErrAddrInUse), got %v", err)
+	}
+}
+
+// TestServerHandle checks that extra handlers (parmemd's /healthz and
+// /readyz) can be mounted on a live telemetry endpoint.
+func TestServerHandle(t *testing.T) {
+	rec := New()
+	srv, err := rec.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	srv.Handle("/custom", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	resp, err := http.Get("http://" + srv.Addr() + "/custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("/custom status = %d, want %d", resp.StatusCode, http.StatusTeapot)
+	}
+	// The stock endpoints still work alongside the custom one.
+	resp, err = http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d after Handle", resp.StatusCode)
 	}
 }

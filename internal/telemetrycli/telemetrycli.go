@@ -7,6 +7,7 @@
 package telemetrycli
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -60,13 +61,21 @@ func (c *Config) Start() (*parmem.Recorder, func(), error) {
 	var srv *parmem.TelemetryServer
 	if c.Addr != "" {
 		s, err := rec.Serve(c.Addr)
-		if err != nil {
+		switch {
+		case errors.Is(err, parmem.ErrTelemetryAddrInUse):
+			// The endpoint is best-effort observability: when someone else
+			// already owns the port (a second CLI run, a daemon), say so
+			// loudly and keep going rather than failing the whole run or —
+			// worse — silently losing the endpoint.
+			fmt.Fprintf(os.Stderr, "telemetry: -telemetry-addr %s: %v; live endpoint disabled for this run\n", c.Addr, err)
+		case err != nil:
 			return nil, func() {}, err
+		default:
+			srv = s
+			// The parseable "serving on" line lets scripts (and the smoke
+			// tests) discover the bound port when -telemetry-addr used :0.
+			fmt.Fprintf(os.Stderr, "telemetry: serving on %s\n", s.Addr())
 		}
-		srv = s
-		// The parseable "serving on" line lets scripts (and the smoke
-		// tests) discover the bound port when -telemetry-addr used :0.
-		fmt.Fprintf(os.Stderr, "telemetry: serving on %s\n", s.Addr())
 	}
 	var once sync.Once
 	stop := func() {

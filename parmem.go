@@ -18,6 +18,7 @@ package parmem
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 
@@ -90,7 +91,35 @@ var (
 	// no cheaper correct answer exists (the simulator's cycle cap);
 	// compilation phases degrade instead of returning it.
 	ErrBudget = budget.ErrBudget
+	// ErrConfig is wrapped by every *ConfigError: errors.Is(err, ErrConfig)
+	// identifies "the caller passed a nonsensical configuration" without
+	// matching on message text.
+	ErrConfig = errors.New("invalid configuration")
 )
+
+// ConfigError reports an invalid Options or AssignConfig value rejected at
+// the API boundary — before any pipeline phase runs — so nonsensical
+// configurations (negative Workers, K outside 1..64, a nil ctx passed to a
+// Ctx variant) fail fast with a named parameter instead of tripping an
+// invariant deep inside a phase. It wraps ErrConfig.
+type ConfigError struct {
+	// Param names the offending parameter, e.g. "Options.Workers".
+	Param string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("parmem: invalid %s: %s", e.Param, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrConfig) match every ConfigError.
+func (e *ConfigError) Unwrap() error { return ErrConfig }
+
+// configErrf builds a *ConfigError with a formatted reason.
+func configErrf(param, format string, args ...any) *ConfigError {
+	return &ConfigError{Param: param, Reason: fmt.Sprintf(format, args...)}
+}
 
 // DefaultMaxBacktrackNodes is the search-node budget used when
 // Budget.MaxBacktrackNodes is zero.
@@ -161,9 +190,10 @@ type Options struct {
 	// Workers bounds the worker pool of the parallel assignment engine:
 	// per-atom coloring and per-component duplication fan out across this
 	// many goroutines, sharing one budget meter. 0 (the default) means one
-	// worker per available CPU; 1 or any negative value forces the
-	// sequential paths. Parallel and sequential runs produce bit-identical
-	// allocations whenever the budget is not exhausted mid-run.
+	// worker per available CPU; 1 forces the sequential paths; negative
+	// values are rejected with a *ConfigError. Parallel and sequential
+	// runs produce bit-identical allocations whenever the budget is not
+	// exhausted mid-run.
 	Workers int
 	// Cache memoizes assignment subproblems across compilations; nil
 	// disables caching. Share one NewAllocCache across repeated compiles
@@ -199,30 +229,55 @@ func (o Options) withDefaults() Options {
 
 // validate rejects option values (after defaulting) that would otherwise
 // trip internal invariant panics deeper in the pipeline, making those
-// panics unreachable from user input.
+// panics unreachable from user input. Every rejection is a *ConfigError
+// (errors.Is(err, ErrConfig)) naming the offending field.
 func (o Options) validate() error {
 	if o.Modules < 1 {
-		return fmt.Errorf("parmem: Modules = %d, need at least one memory module", o.Modules)
+		return configErrf("Options.Modules", "%d: need at least one memory module", o.Modules)
 	}
 	if o.Modules > 64 {
-		return fmt.Errorf("parmem: Modules = %d, at most 64 memory modules are supported", o.Modules)
+		return configErrf("Options.Modules", "%d: at most 64 memory modules are supported", o.Modules)
 	}
 	if o.Units < 1 {
-		return fmt.Errorf("parmem: Units = %d, need at least one functional unit", o.Units)
+		return configErrf("Options.Units", "%d: need at least one functional unit", o.Units)
 	}
-	if o.Strategy < STOR1 || o.Strategy > PerRegion {
-		return fmt.Errorf("parmem: unknown strategy %d", int(o.Strategy))
-	}
-	if o.Method != HittingSet && o.Method != Backtrack {
-		return fmt.Errorf("parmem: unknown duplication method %d", int(o.Method))
+	if err := validateEngine("Options", int(o.Strategy), int(o.Method), o.Workers); err != nil {
+		return err
 	}
 	if o.Groups < 0 {
-		return fmt.Errorf("parmem: Groups = %d, must be non-negative", o.Groups)
+		return configErrf("Options.Groups", "%d: must be non-negative", o.Groups)
 	}
 	if o.Unroll < 0 {
-		return fmt.Errorf("parmem: Unroll = %d, must be non-negative", o.Unroll)
+		return configErrf("Options.Unroll", "%d: must be non-negative", o.Unroll)
 	}
 	return nil
+}
+
+// validateEngine checks the strategy/method/workers triple shared by
+// Options and AssignConfig; prefix names the struct in the error.
+func validateEngine(prefix string, strategy, method, workers int) error {
+	if strategy < int(STOR1) || strategy > int(PerRegion) {
+		return configErrf(prefix+".Strategy", "unknown strategy %d", strategy)
+	}
+	if method != int(HittingSet) && method != int(Backtrack) {
+		return configErrf(prefix+".Method", "unknown duplication method %d", method)
+	}
+	if workers < 0 {
+		return configErrf(prefix+".Workers", "%d: must be non-negative (0 = one per CPU, 1 = sequential)", workers)
+	}
+	return nil
+}
+
+// validate rejects AssignConfig values at the API boundary; see
+// Options.validate.
+func (cfg AssignConfig) validate() error {
+	if cfg.K < 1 {
+		return configErrf("AssignConfig.K", "%d: need at least one memory module", cfg.K)
+	}
+	if cfg.K > 64 {
+		return configErrf("AssignConfig.K", "%d: at most 64 memory modules are supported", cfg.K)
+	}
+	return validateEngine("AssignConfig", int(cfg.Strategy), int(cfg.Method), cfg.Workers)
 }
 
 // ctx returns the compilation context, defaulting to Background.
@@ -279,12 +334,13 @@ type Program struct {
 // typed *InternalError. A canceled ctx aborts between or within phases
 // with an error wrapping ErrCanceled; an exhausted opt.Budget degrades
 // the affected assignment phases (see Allocation.Degraded) instead of
-// failing. A nil ctx falls back to the deprecated opt.Ctx field, then to
-// context.Background().
+// failing. A nil ctx is rejected with a *ConfigError — pass
+// context.Background() explicitly, or use Compile.
 func CompileCtx(ctx context.Context, src string, opt Options) (*Program, error) {
-	if ctx != nil {
-		opt.Ctx = ctx
+	if ctx == nil {
+		return nil, configErrf("ctx", "nil context passed to CompileCtx; pass context.Background() or use Compile")
 	}
+	opt.Ctx = ctx
 	return Compile(src, opt)
 }
 
@@ -382,12 +438,13 @@ func Compile(src string, opt Options) (p *Program, err error) {
 
 // RunCtx simulates the program on the LIW machine model under ctx. It is
 // the primary simulation entry point; Run is the ctx-less convenience
-// form. A nil ctx falls back to opt.Ctx, then to the context the program
-// was compiled under.
+// form. A nil ctx is rejected with a *ConfigError — pass
+// context.Background() explicitly, or use Run.
 func (p *Program) RunCtx(ctx context.Context, opt RunOptions) (*Result, error) {
-	if ctx != nil {
-		opt.Ctx = ctx
+	if ctx == nil {
+		return nil, configErrf("ctx", "nil context passed to RunCtx; pass context.Background() or use Run")
 	}
+	opt.Ctx = ctx
 	return p.Run(opt)
 }
 
@@ -463,6 +520,9 @@ type AssignConfig struct {
 // Degraded allocations are still conflict-free.
 func AssignValues(ctx context.Context, instrs []Instruction, cfg AssignConfig) (al Allocation, err error) {
 	defer recoverPhase("assign", &err)
+	if verr := cfg.validate(); verr != nil {
+		return Allocation{}, verr
+	}
 	wireTelemetry(cfg.Telemetry, cfg.Cache)
 	cfg.Telemetry.Counter(telemetry.MInstructions).Add(int64(len(instrs)))
 	p := assign.Program{Instrs: instrs}
@@ -495,9 +555,13 @@ func AssignValuesLegacy(instrs []Instruction, k int, strategy Strategy, method M
 }
 
 // AssignValuesCtx is the positional, ctx-and-budget form of AssignValues.
+// A nil ctx is rejected with a *ConfigError.
 //
 // Deprecated: use AssignValues with an AssignConfig.
 func AssignValuesCtx(ctx context.Context, instrs []Instruction, k int, strategy Strategy, method Method, b Budget) (Allocation, error) {
+	if ctx == nil {
+		return Allocation{}, configErrf("ctx", "nil context passed to AssignValuesCtx; pass context.Background()")
+	}
 	return AssignValues(ctx, instrs, AssignConfig{K: k, Strategy: strategy, Method: method, Budget: b})
 }
 

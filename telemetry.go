@@ -36,6 +36,12 @@ type (
 	TelemetryServer = telemetry.Server
 )
 
+// ErrTelemetryAddrInUse is wrapped by Recorder.Serve's error when the
+// telemetry listen address is already bound by another process. Sidecar
+// callers (the CLIs, parmemd) test for it with errors.Is and downgrade to
+// a loud stderr note instead of failing the run.
+var ErrTelemetryAddrInUse = telemetry.ErrAddrInUse
+
 // NewRecorder returns a Recorder emitting spans to the given sinks, with
 // the engine's process-global collectors (scratch-arena counters) already
 // registered. Share one Recorder across every Compile/AssignValues call
