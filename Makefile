@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet staticcheck bench bench-run bench-json bench-diff tables trace-smoke soak-smoke
+.PHONY: build test check race vet staticcheck bench bench-run bench-json bench-diff tables trace-smoke soak-smoke gateway-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,8 @@ bench-run:
 		-benchmem ./internal/graph ./internal/coloring ./internal/duplication > bench.out
 	$(GO) test -run='^$$' -bench='BenchmarkAssignSteadyState|BenchmarkCompileBatch' \
 		-benchmem . >> bench.out
+	$(GO) test -run='^$$' -bench='BenchmarkFleet' \
+		-benchmem ./internal/gateway >> bench.out
 
 # bench-json archives the gated benchmark numbers — ns/op, B/op, allocs/op —
 # as BENCH_parmem.json, the committed baseline bench-diff compares against.
@@ -93,9 +95,53 @@ soak-smoke:
 	addr=$$(sed -n 's/^parmemd: listening on //p' soak-smoke.log | head -1); \
 	if [ -z "$$addr" ]; then echo "soak-smoke: parmemd never announced its address"; cat soak-smoke.log; kill $$pid 2>/dev/null; exit 1; fi; \
 	echo "soak-smoke: daemon at $$addr"; \
-	./bin/parmemsoak -addr "$$addr" -duration 10s -faults -summary SOAK_summary.json; soak=$$?; \
+	./bin/parmemsoak -addr "$$addr" -duration 10s -faults \
+		-steady-ops 256 -max-allocs-per-op 500 -summary SOAK_summary.json; soak=$$?; \
 	kill -TERM $$pid; wait $$pid; daemon=$$?; \
 	cat soak-smoke.log; rm -f soak-smoke.log; \
 	if [ $$soak -ne 0 ]; then echo "soak-smoke: soak FAILED ($$soak)"; exit $$soak; fi; \
 	if [ $$daemon -ne 0 ]; then echo "soak-smoke: parmemd did not drain cleanly ($$daemon)"; exit 1; fi; \
 	echo soak-smoke OK
+
+# gateway-smoke is the end-to-end fleet pass: boot two parmemd backends
+# (each with a persistent -cache-dir), front them with parmemgw, soak the
+# gateway with well-formed traffic, and SIGTERM one backend mid-run. The
+# hash ring must fail the dead shard's keys over to the survivor without
+# the client noticing: the soak enforces >=99% availability and zero
+# dropped in-flight responses, then the gateway and the surviving backend
+# must both drain cleanly. The accounting lands in GATEWAY_summary.json.
+gateway-smoke:
+	$(GO) build -o bin/parmemd ./cmd/parmemd
+	$(GO) build -o bin/parmemgw ./cmd/parmemgw
+	$(GO) build -o bin/parmemsoak ./cmd/parmemsoak
+	@rm -rf gw-smoke-cache1 gw-smoke-cache2 gw-smoke-b1.log gw-smoke-b2.log gw-smoke-gw.log
+	@./bin/parmemd -addr 127.0.0.1:0 -cache-dir gw-smoke-cache1 2>gw-smoke-b1.log & \
+	pid1=$$!; \
+	./bin/parmemd -addr 127.0.0.1:0 -cache-dir gw-smoke-cache2 2>gw-smoke-b2.log & \
+	pid2=$$!; \
+	for i in $$(seq 1 100); do \
+		grep -q 'listening on' gw-smoke-b1.log && grep -q 'listening on' gw-smoke-b2.log && break; sleep 0.1; \
+	done; \
+	a1=$$(sed -n 's/^parmemd: listening on //p' gw-smoke-b1.log | head -1); \
+	a2=$$(sed -n 's/^parmemd: listening on //p' gw-smoke-b2.log | head -1); \
+	if [ -z "$$a1" ] || [ -z "$$a2" ]; then echo "gateway-smoke: backends never announced"; cat gw-smoke-b1.log gw-smoke-b2.log; kill $$pid1 $$pid2 2>/dev/null; exit 1; fi; \
+	./bin/parmemgw -addr 127.0.0.1:0 -backends "$$a1,$$a2" 2>gw-smoke-gw.log & \
+	gwpid=$$!; \
+	for i in $$(seq 1 100); do \
+		grep -q 'listening on' gw-smoke-gw.log && break; sleep 0.1; \
+	done; \
+	gaddr=$$(sed -n 's/^parmemgw: listening on //p' gw-smoke-gw.log | head -1); \
+	if [ -z "$$gaddr" ]; then echo "gateway-smoke: gateway never announced"; cat gw-smoke-gw.log; kill $$pid1 $$pid2 $$gwpid 2>/dev/null; exit 1; fi; \
+	echo "gateway-smoke: gateway at $$gaddr over $$a1 + $$a2"; \
+	( sleep 4; echo "gateway-smoke: draining backend 2 mid-soak"; kill -TERM $$pid2 ) & \
+	./bin/parmemsoak -addr "$$gaddr" -duration 10s -summary GATEWAY_summary.json; soak=$$?; \
+	wait $$pid2; b2=$$?; \
+	kill -TERM $$gwpid; wait $$gwpid; gw=$$?; \
+	kill -TERM $$pid1; wait $$pid1; b1=$$?; \
+	cat gw-smoke-gw.log; \
+	rm -rf gw-smoke-cache1 gw-smoke-cache2 gw-smoke-b1.log gw-smoke-b2.log gw-smoke-gw.log; \
+	if [ $$soak -ne 0 ]; then echo "gateway-smoke: soak FAILED ($$soak)"; exit $$soak; fi; \
+	if [ $$b2 -ne 0 ]; then echo "gateway-smoke: drained backend exited dirty ($$b2)"; exit 1; fi; \
+	if [ $$gw -ne 0 ]; then echo "gateway-smoke: parmemgw did not drain cleanly ($$gw)"; exit 1; fi; \
+	if [ $$b1 -ne 0 ]; then echo "gateway-smoke: surviving parmemd did not drain cleanly ($$b1)"; exit 1; fi; \
+	echo gateway-smoke OK

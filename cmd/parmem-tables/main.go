@@ -14,7 +14,9 @@
 //
 // -batch compiles every MPL file matching the glob through the batch
 // compiler (shared worker pool, budget and cache) and prints one
-// allocation row per file instead of the built-in suite.
+// allocation row per file instead of the built-in suite. -cache-dir
+// persists the suite's allocation cache on disk, so regenerating the
+// tables a second time serves every assignment from the cache.
 //
 // -timeout bounds the whole regeneration with a context deadline.
 // -cpuprofile and -memprofile write runtime/pprof profiles of the sweep;
@@ -60,6 +62,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 disables)")
 		workers    = flag.Int("workers", 0, "assignment worker pool size (0 = one per CPU, 1 = sequential)")
 		useCache   = flag.Bool("cache", true, "share an allocation cache across the suite's recompilations")
+		cacheDir   = flag.String("cache-dir", "", "persist the allocation cache here; later invocations reuse earlier results")
 		cacheStats = flag.Bool("cache-stats", false, "print allocation-cache hit/miss counters at the end")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -94,13 +97,24 @@ func main() {
 	// allocation cache exists for.
 	opts := []parmem.ExperimentOption{parmem.WithWorkers(*workers), parmem.WithTelemetry(rec)}
 	var alcache *parmem.AllocCache
-	if *useCache {
+	var store parmem.CacheStore
+	switch {
+	case *cacheDir != "":
+		store, err = parmem.OpenCacheStore(parmem.CacheConfig{DiskPath: *cacheDir})
+		if err != nil {
+			fatal(err)
+		}
+		closeStore = func() { store.Close() }
+		defer closeStore()
+		alcache = store.Cache()
+		opts = append(opts, parmem.WithCacheStore(store))
+	case *useCache:
 		alcache = parmem.NewAllocCache(0)
 		opts = append(opts, parmem.WithAllocCache(alcache))
 	}
 
 	if *batchGlob != "" {
-		printBatch(ctx, *batchGlob, *k, *workers, alcache, rec)
+		printBatch(ctx, *batchGlob, *k, *workers, store, alcache, rec)
 		if *cacheStats && alcache != nil {
 			printCacheStats(alcache)
 		}
@@ -147,7 +161,7 @@ func printCacheStats(c *parmem.AllocCache) {
 
 // printBatch compiles every file matching the glob through the batch
 // compiler and prints a Table-1-style allocation row per file.
-func printBatch(ctx context.Context, pattern string, k, workers int, cache *parmem.AllocCache, rec *parmem.Recorder) {
+func printBatch(ctx context.Context, pattern string, k, workers int, store parmem.CacheStore, cache *parmem.AllocCache, rec *parmem.Recorder) {
 	files, err := filepath.Glob(pattern)
 	if err != nil {
 		fatal(err)
@@ -164,7 +178,7 @@ func printBatch(ctx context.Context, pattern string, k, workers int, cache *parm
 		}
 		srcs[i] = string(b)
 	}
-	results := parmem.CompileBatch(ctx, srcs, parmem.Options{Modules: k, Workers: workers, Cache: cache, Telemetry: rec})
+	results := parmem.CompileBatch(ctx, srcs, parmem.Options{Modules: k, Workers: workers, Store: store, Cache: cache, Telemetry: rec})
 	fmt.Printf("Batch allocation (k=%d, %d files)\n\n", k, len(files))
 	fmt.Printf("%-24s %8s %8s %8s %6s\n", "file", "single", "multi", "copies", "words")
 	failed := false
@@ -182,6 +196,7 @@ func printBatch(ctx context.Context, pattern string, k, workers int, cache *parm
 			al.SingleCopy, al.MultiCopy, al.TotalCopies, len(r.Program.Sched.Words))
 	}
 	if failed {
+		closeStore()
 		stopProfiles()
 		stopTelemetry()
 		os.Exit(exitFailure)
@@ -290,7 +305,12 @@ var stopProfiles = func() {}
 // endpoint; same every-exit-path discipline as stopProfiles.
 var stopTelemetry = func() {}
 
+// closeStore flushes and closes the persistent cache store opened by
+// -cache-dir; same every-exit-path discipline as stopProfiles.
+var closeStore = func() {}
+
 func fatal(err error) {
+	closeStore()
 	stopProfiles()
 	stopTelemetry()
 	fmt.Fprintln(os.Stderr, "parmem-tables:", err)

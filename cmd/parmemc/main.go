@@ -18,7 +18,9 @@
 // -metrics dumps the engine metrics to stderr on exit; -telemetry-addr
 // serves /metrics, /debug/vars and /debug/pprof live (-telemetry-linger
 // keeps it up after the run); -reference runs the map-graph reference
-// assignment phases instead of the dense core (ablation).
+// assignment phases instead of the dense core (ablation); -cache-dir
+// persists the allocation cache across runs, so recompiling the same
+// program skips its coloring and duplication searches entirely.
 //
 // -batch treats every positional argument as a file or glob pattern and
 // streams the expanded file list through the batch compiler (one bounded
@@ -80,6 +82,7 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		reference  = flag.Bool("reference", false, "use the map-graph reference assignment phases (ablation)")
+		cacheDir   = flag.String("cache-dir", "", "persist the allocation cache here; later runs reuse earlier results")
 	)
 	tcfg := telemetrycli.Flags(flag.CommandLine)
 	flag.Parse()
@@ -137,6 +140,16 @@ func main() {
 		opt.Method = parmem.Backtrack
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	if *cacheDir != "" {
+		store, err := parmem.OpenCacheStore(parmem.CacheConfig{DiskPath: *cacheDir})
+		if err != nil {
+			fatal(err)
+		}
+		closeStore = func() { store.Close() }
+		defer closeStore()
+		opt.Store = store
 	}
 
 	if *batch {
@@ -205,11 +218,17 @@ func main() {
 			times.TMin, times.TAve, times.TMax, times.RatioAve(), times.RatioMax())
 	}
 	if p.Alloc.Degraded {
+		closeStore()
 		stopProfiles()
 		stopTelemetry()
 		os.Exit(exitDegraded)
 	}
 }
+
+// closeStore flushes and closes the persistent cache store, if any;
+// every os.Exit path must call it or write-behind entries are lost.
+// Replaced in main when -cache-dir opens a store.
+var closeStore = func() {}
 
 // stopProfiles flushes any active profiles; every os.Exit path must call it
 // because deferred functions do not run past Exit. Replaced in main once
@@ -259,7 +278,7 @@ func runBatch(ctx context.Context, args []string, opt parmem.Options) {
 		}
 		srcs[i] = string(b)
 	}
-	if opt.Cache == nil {
+	if opt.Cache == nil && opt.Store == nil {
 		opt.Cache = parmem.NewAllocCache(0) // batch items share subproblems
 	}
 	results := parmem.CompileBatch(ctx, srcs, opt)
@@ -284,6 +303,7 @@ func runBatch(ctx context.Context, args []string, opt parmem.Options) {
 			al.MultiCopy, al.TotalCopies, len(r.Program.Sched.Words), al.Atoms, status)
 	}
 	fmt.Printf("batch: %d/%d compiled, %d degraded\n", len(files)-failed, len(files), degraded)
+	closeStore()
 	stopProfiles()
 	stopTelemetry()
 	switch {
@@ -342,6 +362,7 @@ func printAlloc(p *parmem.Program) {
 }
 
 func fatal(err error) {
+	closeStore()
 	stopProfiles()
 	stopTelemetry()
 	fmt.Fprintln(os.Stderr, "parmemc:", err)

@@ -26,6 +26,16 @@
 // daemon's /healthz and /readyz (readiness flips to 503 the moment a drain
 // starts, so load balancers stop routing before connections close).
 //
+// -cache-dir backs the shared allocation cache with a persistent disk
+// tier (an append-log cache directory, see DESIGN §13), so a restarted
+// daemon serves previously compiled programs as cache hits; -cache-max-bytes
+// bounds it and -cache-readonly opens it as a snapshot.
+//
+// Every flag is also settable through the environment as PARMEMD_<FLAG>
+// (dashes to underscores, upper-cased: PARMEMD_CACHE_DIR configures
+// -cache-dir). An explicit command-line flag always wins over its
+// variable.
+//
 // The listen address is announced on stderr as "parmemd: listening on
 // ADDR" once the socket is bound — with -addr :0 this is how scripts learn
 // the picked port.
@@ -42,6 +52,7 @@ import (
 	"time"
 
 	"parmem"
+	"parmem/internal/envflag"
 	"parmem/internal/server"
 	"parmem/internal/telemetry"
 )
@@ -60,12 +71,21 @@ func main() {
 		frameTimeout  = flag.Duration("frame-timeout", 10*time.Second, "slow-loris guard: max wall time per frame")
 		workers       = flag.Int("workers", 1, "engine pool size per request")
 		cacheCap      = flag.Int("cache-cap", 0, "shared allocation cache capacity (0: engine default, negative: disabled)")
+		cacheDir      = flag.String("cache-dir", "", "persistent cache directory: back the allocation cache with a disk tier surviving restarts")
+		cacheBytes    = flag.Int64("cache-max-bytes", 0, "disk cache size bound in bytes (0: tier default)")
+		cacheReadOnly = flag.Bool("cache-readonly", false, "open the disk cache as a snapshot; serve hits but persist nothing")
 		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics, /debug/*, /healthz and /readyz on this address")
 		drainGrace    = flag.Duration("drain-grace", 30*time.Second, "how long a graceful drain waits for in-flight requests")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "parmemd: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+	// Every flag is also settable as PARMEMD_<FLAG> (dashes to
+	// underscores, upper-cased); an explicit flag wins over its variable.
+	if err := envflag.Apply("PARMEMD", flag.CommandLine); err != nil {
+		fmt.Fprintf(os.Stderr, "parmemd: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -83,6 +103,9 @@ func main() {
 		FrameTimeout:    *frameTimeout,
 		Workers:         *workers,
 		CacheCapacity:   *cacheCap,
+		CacheDir:        *cacheDir,
+		MaxCacheBytes:   *cacheBytes,
+		CacheReadOnly:   *cacheReadOnly,
 		Telemetry:       rec,
 	})
 	if err != nil {

@@ -40,6 +40,8 @@ func main() {
 		faults     = flag.Bool("faults", false, "inject faults (garbage frames, slow loris, disconnects, deadline storms, overload bursts)")
 		seed       = flag.Int64("seed", 1, "workload mix seed")
 		deadlineMS = flag.Int64("deadline-ms", 5000, "deadline on well-formed requests")
+		steadyOps  = flag.Int("steady-ops", 0, "after the load drains, measure client allocs/op over this many identical requests (0: skip)")
+		maxAllocs  = flag.Float64("max-allocs-per-op", 0, "fail if the steady-state allocs/op exceed this (0: no bar)")
 		summary    = flag.String("summary", "", "write the JSON report to this file")
 	)
 	flag.Parse()
@@ -51,12 +53,14 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *duration+60*time.Second)
 	defer cancel()
 	report, err := server.Soak(ctx, server.SoakOptions{
-		Addr:       *addr,
-		Duration:   *duration,
-		Workers:    *clients,
-		Faults:     *faults,
-		Seed:       *seed,
-		DeadlineMS: *deadlineMS,
+		Addr:           *addr,
+		Duration:       *duration,
+		Workers:        *clients,
+		Faults:         *faults,
+		Seed:           *seed,
+		DeadlineMS:     *deadlineMS,
+		SteadyStateOps: *steadyOps,
+		MaxAllocsPerOp: *maxAllocs,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "parmemsoak: %v\n", err)
@@ -76,6 +80,10 @@ func main() {
 	}
 	fmt.Printf("parmemsoak: latency_us p50=%d p95=%d p99=%d max=%d\n",
 		report.LatencyP50US, report.LatencyP95US, report.LatencyP99US, report.LatencyMaxUS)
+	if report.SteadyStateOps > 0 {
+		fmt.Printf("parmemsoak: steady-state allocs/op=%.1f over %d ops (bar %.1f)\n",
+			report.AllocsPerOp, report.SteadyStateOps, report.MaxAllocsPerOp)
+	}
 
 	if *summary != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

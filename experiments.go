@@ -45,8 +45,18 @@ func WithWorkers(n int) ExperimentOption {
 // WithAllocCache shares one allocation cache across every compilation of
 // an experiment driver run (and, when the same cache is passed to several
 // runs, across runs).
+//
+// Deprecated: use WithCacheStore, which also composes the persistent
+// disk tier. WithAllocCache is still honored when no store is set.
 func WithAllocCache(c *AllocCache) ExperimentOption {
 	return func(o *Options) { o.Cache = c }
+}
+
+// WithCacheStore shares one CacheStore (see OpenCacheStore) across every
+// compilation of an experiment driver run, including its persistent disk
+// tier when the store has one.
+func WithCacheStore(s CacheStore) ExperimentOption {
+	return func(o *Options) { o.Store = s }
 }
 
 // WithTelemetry records every compilation of an experiment driver run into

@@ -49,13 +49,21 @@ type Entry interface {
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
 type Stats struct {
-	Hits    int64 // Get calls that found a usable entry
+	Hits    int64 // Get calls that found a usable entry (either tier)
 	Misses  int64 // Get calls that found nothing
-	Entries int   // entries currently resident
+	Entries int   // entries currently resident in memory
 	// Levels breaks hits and misses down by memo level — the leading kind
 	// string of each key ("assign", "dup", "atomcolor"). Keys without a
 	// decodable kind are counted under "".
 	Levels map[string]LevelStats
+	// BackingHits counts memory misses served by the second-level store
+	// (these are included in Hits: the caller got an entry either way).
+	BackingHits int64
+	// BackingMisses counts second-level lookups that found nothing.
+	BackingMisses int64
+	// CodecErrors counts entries dropped because their level codec failed
+	// to encode or decode; each such Get degrades to a miss.
+	CodecErrors int64
 }
 
 // LevelStats is the hit/miss pair of one memo level.
@@ -87,9 +95,17 @@ type Cache struct {
 	order []string
 	head  int
 
+	// backing is the optional second-level byte store (the disk tier);
+	// see backing.go for the read-through/write-behind composition.
+	backing Backing
+
 	hits   atomic.Int64
 	misses atomic.Int64
 	levels sync.Map // level string -> *levelCounters
+
+	backingHits   atomic.Int64
+	backingMisses atomic.Int64
+	codecErrors   atomic.Int64
 }
 
 // New returns an empty cache holding at most capacity entries; capacity
@@ -102,15 +118,26 @@ func New(capacity int) *Cache {
 }
 
 // Get returns a deep copy of the entry stored under key, if any, and
-// updates the hit/miss counters. A nil cache never hits.
+// updates the hit/miss counters. On a memory miss a configured backing
+// store is consulted (read-through): a decodable backing payload is
+// promoted into memory and counts as a hit. A nil cache never hits.
 func (c *Cache) Get(key string) (Entry, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.Lock()
 	e, ok := c.entries[key]
+	b := c.backing
 	c.mu.Unlock()
 	lc := c.level(key)
+	if !ok && b != nil {
+		e, ok = c.fromBacking(b, key)
+		if ok {
+			c.hits.Add(1)
+			lc.hits.Add(1)
+			return e.CloneEntry(), true
+		}
+	}
 	if !ok {
 		c.misses.Add(1)
 		lc.misses.Add(1)
@@ -150,15 +177,26 @@ func KeyLevel(key string) string {
 }
 
 // Put stores a deep copy of e under key, evicting the oldest entry when
-// the cache is full. Overwriting an existing key refreshes its value but
-// not its eviction position. A nil cache drops the entry.
+// the cache is full, and writes the encoded entry behind a configured
+// backing store. Overwriting an existing key refreshes its value but not
+// its eviction position. A nil cache drops the entry.
 func (c *Cache) Put(key string, e Entry) {
 	if c == nil || e == nil {
 		return
 	}
 	clone := e.CloneEntry()
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.storeLocked(key, clone)
+	b := c.backing
+	c.mu.Unlock()
+	if b != nil {
+		c.toBacking(b, key, e)
+	}
+}
+
+// storeLocked is the memory-tier store shared by Put and the backing
+// promotion path; the caller holds c.mu and passes a clone it gives up.
+func (c *Cache) storeLocked(key string, clone Entry) {
 	if _, exists := c.entries[key]; !exists {
 		for len(c.entries) >= c.cap && c.head < len(c.order) {
 			victim := c.order[c.head]
@@ -186,7 +224,12 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	n := len(c.entries)
 	c.mu.Unlock()
-	s := Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+	s := Stats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n,
+		BackingHits:   c.backingHits.Load(),
+		BackingMisses: c.backingMisses.Load(),
+		CodecErrors:   c.codecErrors.Load(),
+	}
 	c.levels.Range(func(k, v any) bool {
 		lc := v.(*levelCounters)
 		if s.Levels == nil {

@@ -1,0 +1,122 @@
+package alloccache
+
+import "sync"
+
+// This file composes a second-level byte store (the disk tier) under the
+// in-memory memo table. The memory tier stays the only thing the engine
+// talks to; on a memory miss the cache reads through to the backing and
+// promotes what it finds, and on Put it writes the encoded entry behind
+// the memory store. The backing deals in bytes, so live Entry values
+// cross the boundary through per-level codecs registered by the packages
+// that own the entry types (internal/assign registers all three engine
+// levels in its init).
+//
+// Correctness contract: the pure-memo guarantee extends to the second
+// level. Keys embed the exact subproblem, the disk tier embeds engine
+// and format versions in its records, and a codec that fails to decode
+// (or has no registration for a key's level) degrades to a miss — a
+// stale, foreign or corrupt backing can cost recomputation, never
+// correctness.
+
+// Backing is a second-level byte store consulted on memory misses and
+// written behind on Put. Implementations must be safe for concurrent
+// use; *diskcache.Store is the canonical one.
+type Backing interface {
+	// Get returns the payload stored under key, if any.
+	Get(key string) ([]byte, bool)
+	// Put stores the payload under key (best effort; a cache may drop).
+	Put(key string, val []byte)
+}
+
+// Codec converts one memo level's entries to and from backing bytes.
+type Codec struct {
+	// Encode serializes an entry. Returning an error skips the backing
+	// write (the memory tier is unaffected).
+	Encode func(Entry) ([]byte, error)
+	// Decode rebuilds an entry from backing bytes. It must return an
+	// error — never a half-built entry — on any malformed input.
+	Decode func([]byte) (Entry, error)
+}
+
+var (
+	codecMu sync.RWMutex
+	codecs  = map[string]Codec{}
+)
+
+// RegisterCodec installs the codec of one memo level (the leading kind
+// string of its keys, e.g. "assign"). Levels without a codec simply
+// never touch the backing. Later registrations replace earlier ones.
+func RegisterCodec(level string, c Codec) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	codecs[level] = c
+}
+
+// codecFor returns the codec of a key's level.
+func codecFor(key string) (Codec, bool) {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	c, ok := codecs[KeyLevel(key)]
+	return c, ok
+}
+
+// SetBacking attaches (or, with nil, detaches) the second-level store.
+// Safe on a nil cache. Attach before sharing the cache; the field is
+// read under the cache lock but swapping it mid-traffic changes which
+// tier serves which request.
+func (c *Cache) SetBacking(b Backing) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.backing = b
+	c.mu.Unlock()
+}
+
+// fromBacking consults the second level after a memory miss: decode,
+// promote into memory (without echoing back to the backing), and return
+// the entry. Any failure — no codec, backing miss, decode error — is a
+// miss.
+func (c *Cache) fromBacking(b Backing, key string) (Entry, bool) {
+	codec, ok := codecFor(key)
+	if !ok {
+		return nil, false
+	}
+	data, ok := b.Get(key)
+	if !ok {
+		c.backingMisses.Add(1)
+		return nil, false
+	}
+	e, err := codec.Decode(data)
+	if err != nil || e == nil {
+		c.codecErrors.Add(1)
+		c.backingMisses.Add(1)
+		return nil, false
+	}
+	c.backingHits.Add(1)
+	c.install(key, e)
+	return e, true
+}
+
+// toBacking writes a freshly stored entry behind the memory tier.
+func (c *Cache) toBacking(b Backing, key string, e Entry) {
+	codec, ok := codecFor(key)
+	if !ok {
+		return
+	}
+	data, err := codec.Encode(e)
+	if err != nil {
+		c.codecErrors.Add(1)
+		return
+	}
+	b.Put(key, data)
+}
+
+// install stores a clone of e in the memory tier only — the promotion
+// path of a backing hit, which must not write the entry back out.
+func (c *Cache) install(key string, e Entry) {
+	clone := e.CloneEntry()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.storeLocked(key, clone)
+}

@@ -1,0 +1,167 @@
+package alloccache
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// strEntry is a trivial Entry for tier tests.
+type strEntry struct{ s string }
+
+func (e *strEntry) CloneEntry() Entry { return &strEntry{s: e.s} }
+
+// mapBacking is an in-memory Backing with injectable payload corruption.
+type mapBacking struct {
+	mu      sync.Mutex
+	m       map[string][]byte
+	corrupt bool
+}
+
+func (b *mapBacking) Get(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.m[key]
+	if !ok {
+		return nil, false
+	}
+	if b.corrupt {
+		return []byte{0xFF}, true
+	}
+	return append([]byte(nil), v...), true
+}
+
+func (b *mapBacking) Put(key string, val []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.m == nil {
+		b.m = map[string][]byte{}
+	}
+	b.m[key] = append([]byte(nil), val...)
+}
+
+// testKey builds a key of the given level.
+func testKey(level, rest string) string {
+	k := NewKey(nil)
+	k.Str(level)
+	k.Str(rest)
+	return k.String()
+}
+
+func withTestCodec(t *testing.T, level string) {
+	t.Helper()
+	RegisterCodec(level, Codec{
+		Encode: func(e Entry) ([]byte, error) { return []byte(e.(*strEntry).s), nil },
+		Decode: func(b []byte) (Entry, error) {
+			if len(b) == 1 && b[0] == 0xFF {
+				return nil, errors.New("corrupt")
+			}
+			return &strEntry{s: string(b)}, nil
+		},
+	})
+	t.Cleanup(func() {
+		codecMu.Lock()
+		delete(codecs, level)
+		codecMu.Unlock()
+	})
+}
+
+func TestBackingReadThroughWriteBehind(t *testing.T) {
+	withTestCodec(t, "tlevel")
+	b := &mapBacking{}
+	c := New(8)
+	c.SetBacking(b)
+
+	key := testKey("tlevel", "k1")
+	c.Put(key, &strEntry{s: "v1"})
+	if got := string(b.m[key]); got != "v1" {
+		t.Fatalf("backing after Put = %q", got)
+	}
+
+	// A fresh cache over the same backing: memory miss, backing hit.
+	c2 := New(8)
+	c2.SetBacking(b)
+	e, ok := c2.Get(key)
+	if !ok || e.(*strEntry).s != "v1" {
+		t.Fatalf("read-through Get = %+v, %v", e, ok)
+	}
+	st := c2.Stats()
+	if st.Hits != 1 || st.BackingHits != 1 || st.Misses != 0 {
+		t.Fatalf("stats after read-through: %+v", st)
+	}
+	// The entry was promoted: a second Get must not consult the backing.
+	if _, ok := c2.Get(key); !ok {
+		t.Fatal("promoted entry gone")
+	}
+	if st := c2.Stats(); st.BackingHits != 1 {
+		t.Fatalf("second Get hit the backing again: %+v", st)
+	}
+}
+
+func TestBackingMissAndDecodeErrorDegradeToMiss(t *testing.T) {
+	withTestCodec(t, "tlevel")
+	b := &mapBacking{}
+	c := New(8)
+	c.SetBacking(b)
+
+	missKey := testKey("tlevel", "absent")
+	if _, ok := c.Get(missKey); ok {
+		t.Fatal("hit on an absent key")
+	}
+	if st := c.Stats(); st.BackingMisses != 1 || st.Misses != 1 {
+		t.Fatalf("stats after backing miss: %+v", st)
+	}
+
+	key := testKey("tlevel", "k")
+	c.Put(key, &strEntry{s: "v"})
+	b.corrupt = true
+	c2 := New(8)
+	c2.SetBacking(b)
+	if _, ok := c2.Get(key); ok {
+		t.Fatal("corrupt backing payload produced an entry")
+	}
+	if st := c2.Stats(); st.CodecErrors != 1 || st.Misses != 1 {
+		t.Fatalf("stats after decode error: %+v", st)
+	}
+}
+
+func TestBackingIgnoredWithoutCodec(t *testing.T) {
+	b := &mapBacking{}
+	c := New(8)
+	c.SetBacking(b)
+	key := testKey("nocodec", "k")
+	c.Put(key, &strEntry{s: "v"})
+	if len(b.m) != 0 {
+		t.Fatal("entry of a codec-less level reached the backing")
+	}
+	// The memory tier still works.
+	if e, ok := c.Get(key); !ok || e.(*strEntry).s != "v" {
+		t.Fatalf("memory Get = %+v, %v", e, ok)
+	}
+	if st := c.Stats(); st.BackingHits != 0 || st.BackingMisses != 0 {
+		t.Fatalf("backing consulted without a codec: %+v", st)
+	}
+}
+
+func TestBackingConcurrentAccess(t *testing.T) {
+	withTestCodec(t, "tlevel")
+	b := &mapBacking{}
+	c := New(32)
+	c.SetBacking(b)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := testKey("tlevel", string(rune('a'+i%7)))
+				c.Put(key, &strEntry{s: "x"})
+				if e, ok := c.Get(key); ok && e.(*strEntry).s != "x" {
+					t.Errorf("Get = %+v", e)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

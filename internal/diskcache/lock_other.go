@@ -1,0 +1,12 @@
+//go:build !unix
+
+package diskcache
+
+import "os"
+
+// tryLockExclusive has no advisory-lock support off unix; the store
+// behaves as if it always wins the race. Multi-process sharing safety is
+// only guaranteed on unix.
+func tryLockExclusive(*os.File) (bool, error) { return true, nil }
+
+func unlock(*os.File) {}

@@ -1,0 +1,29 @@
+//go:build unix
+
+package diskcache
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// tryLockExclusive takes a non-blocking exclusive advisory lock on f.
+// It returns (false, nil) when another open file description holds the
+// lock — the caller degrades to a read-only snapshot.
+func tryLockExclusive(f *os.File) (bool, error) {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return false, nil
+	}
+	return false, err
+}
+
+// unlock releases the advisory lock (best effort; closing the file
+// releases it anyway).
+func unlock(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN) //nolint:errcheck
+}

@@ -1,0 +1,57 @@
+// Package envflag fills a flag.FlagSet from environment variables, so a
+// daemon can be configured the twelve-factor way (PARMEMD_ADDR=...) while
+// command-line flags keep the last word.
+//
+// The mapping is mechanical: flag -cache-dir under prefix PARMEMD becomes
+// PARMEMD_CACHE_DIR (dashes and dots to underscores, upper-cased). A
+// variable only applies when its flag was not set explicitly on the
+// command line — flag wins over env, env wins over default — and a value
+// the flag rejects (e.g. "zebra" for an integer) is reported as an error
+// naming both the variable and the flag, not silently ignored.
+package envflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Apply sets every flag of fs whose environment variable (prefix + "_" +
+// mangled flag name) is present and whose flag was not explicitly set on
+// the command line. Call it after fs.Parse. The first rejected value
+// aborts with an error naming the variable; unset and empty variables are
+// skipped.
+func Apply(prefix string, fs *flag.FlagSet) error {
+	return apply(prefix, fs, os.LookupEnv)
+}
+
+// apply is Apply with the environment injected for tests.
+func apply(prefix string, fs *flag.FlagSet, lookup func(string) (string, bool)) error {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	var err error
+	fs.VisitAll(func(f *flag.Flag) {
+		if err != nil || set[f.Name] {
+			return
+		}
+		name := VarName(prefix, f.Name)
+		val, ok := lookup(name)
+		if !ok || val == "" {
+			return
+		}
+		if serr := fs.Set(f.Name, val); serr != nil {
+			err = fmt.Errorf("envflag: %s=%q: invalid value for -%s: %v", name, val, f.Name, serr)
+		}
+	})
+	return err
+}
+
+// VarName returns the environment variable that configures the named
+// flag under the given prefix: dashes and dots become underscores and the
+// result is upper-cased, e.g. VarName("PARMEMD", "cache-dir") =
+// "PARMEMD_CACHE_DIR".
+func VarName(prefix, flagName string) string {
+	mangled := strings.NewReplacer("-", "_", ".", "_").Replace(flagName)
+	return prefix + "_" + strings.ToUpper(mangled)
+}

@@ -1,0 +1,92 @@
+package envflag
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+func newSet() (*flag.FlagSet, *string, *int, *time.Duration, *bool) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	addr := fs.String("addr", ":9090", "")
+	n := fs.Int("max-inflight", 8, "")
+	d := fs.Duration("drain-grace", 15*time.Second, "")
+	b := fs.Bool("cache-readonly", false, "")
+	return fs, addr, n, d, b
+}
+
+func env(m map[string]string) func(string) (string, bool) {
+	return func(k string) (string, bool) { v, ok := m[k]; return v, ok }
+}
+
+func TestVarName(t *testing.T) {
+	if got := VarName("PARMEMD", "cache-dir"); got != "PARMEMD_CACHE_DIR" {
+		t.Fatalf("VarName = %q", got)
+	}
+	if got := VarName("X", "a.b-c"); got != "X_A_B_C" {
+		t.Fatalf("VarName = %q", got)
+	}
+}
+
+func TestEnvFillsUnsetFlags(t *testing.T) {
+	fs, addr, n, d, b := newSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	err := apply("PARMEMD", fs, env(map[string]string{
+		"PARMEMD_ADDR":           ":7070",
+		"PARMEMD_MAX_INFLIGHT":   "3",
+		"PARMEMD_DRAIN_GRACE":    "2s",
+		"PARMEMD_CACHE_READONLY": "true",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *addr != ":7070" || *n != 3 || *d != 2*time.Second || !*b {
+		t.Fatalf("env not applied: addr=%q n=%d d=%v b=%v", *addr, *n, *d, *b)
+	}
+}
+
+func TestFlagWinsOverEnv(t *testing.T) {
+	fs, addr, n, _, _ := newSet()
+	if err := fs.Parse([]string{"-addr", ":1111"}); err != nil {
+		t.Fatal(err)
+	}
+	err := apply("PARMEMD", fs, env(map[string]string{
+		"PARMEMD_ADDR":         ":7070",
+		"PARMEMD_MAX_INFLIGHT": "3",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *addr != ":1111" {
+		t.Fatalf("explicit flag overridden by env: %q", *addr)
+	}
+	if *n != 3 {
+		t.Fatalf("unset flag not filled from env: %d", *n)
+	}
+}
+
+func TestUnsetAndEmptyVarsSkipped(t *testing.T) {
+	fs, addr, n, _, _ := newSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply("PARMEMD", fs, env(map[string]string{"PARMEMD_ADDR": ""})); err != nil {
+		t.Fatal(err)
+	}
+	if *addr != ":9090" || *n != 8 {
+		t.Fatalf("defaults disturbed: addr=%q n=%d", *addr, *n)
+	}
+}
+
+func TestBadValueIsAnError(t *testing.T) {
+	fs, _, _, _, _ := newSet()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	err := apply("PARMEMD", fs, env(map[string]string{"PARMEMD_MAX_INFLIGHT": "zebra"}))
+	if err == nil {
+		t.Fatal("invalid env value accepted")
+	}
+}

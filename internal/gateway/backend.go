@@ -1,0 +1,115 @@
+package gateway
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parmem/internal/server"
+	"parmem/internal/telemetry"
+)
+
+// backend is one parmemd the gateway routes to: a lazily (re)dialed
+// multiplexing client plus the prober's last view of its health. A
+// backend is routable when it is healthy and not draining; a draining
+// backend finishes what it has but receives nothing new (the drain
+// passthrough — parmemd's own drain refuses new work with UNAVAILABLE,
+// the gateway just stops sending it first).
+type backend struct {
+	addr     string
+	readyURL string // optional /readyz endpoint, probed alongside Ping
+
+	mu     sync.Mutex
+	client *server.Client
+
+	healthy  atomic.Bool
+	draining atomic.Bool
+
+	mUp *telemetry.Gauge
+}
+
+// routable reports whether new requests may be sent to this backend.
+func (b *backend) routable() bool { return b.healthy.Load() && !b.draining.Load() }
+
+// getClient returns the live client, dialing if needed. A client whose
+// connection died is discarded and redialed; failure marks the backend
+// unhealthy until the prober sees it again.
+func (b *backend) getClient() (*server.Client, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.client != nil {
+		select {
+		case <-b.client.Dead():
+			b.client.Close()
+			b.client = nil
+		default:
+			return b.client, nil
+		}
+	}
+	c, err := server.Dial(b.addr)
+	if err != nil {
+		b.setHealthy(false)
+		return nil, err
+	}
+	b.client = c
+	return c, nil
+}
+
+func (b *backend) setHealthy(up bool) {
+	b.healthy.Store(up)
+	if up {
+		b.mUp.Set(1)
+	} else {
+		b.mUp.Set(0)
+	}
+}
+
+func (b *backend) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.client != nil {
+		b.client.Close()
+		b.client = nil
+	}
+}
+
+// probe refreshes the backend's health: a protocol Ping answers both
+// liveness and drain state; when a readyz URL is configured it is
+// consulted too, so an operator draining through the HTTP side is seen
+// even before the protocol reports it.
+func (b *backend) probe(ctx context.Context, timeout time.Duration) {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	c, err := b.getClient()
+	if err != nil {
+		b.setHealthy(false)
+		return
+	}
+	resp, err := c.Ping(pctx)
+	if err != nil {
+		b.setHealthy(false)
+		return
+	}
+	draining := resp.Draining
+	if b.readyURL != "" && !draining {
+		draining = !probeReady(pctx, b.readyURL)
+	}
+	b.draining.Store(draining)
+	b.setHealthy(true)
+}
+
+// probeReady returns whether a /readyz endpoint answers 200.
+func probeReady(ctx context.Context, url string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

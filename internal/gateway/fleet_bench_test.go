@@ -1,0 +1,85 @@
+package gateway
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"parmem/internal/benchprog"
+	"parmem/internal/server"
+)
+
+// Fleet throughput: boot a two-backend parmemd fleet behind the gateway,
+// push the whole benchmark corpus through it, tear it down. Cold runs on
+// fresh cache directories so every program does its full coloring and
+// duplication work; warm reuses directories a previous fleet populated,
+// so every backend restart serves the corpus from its persistent tier.
+// The gap between the two progs/sec numbers is what the disk cache buys
+// a restarted fleet — the acceptance criterion archived in
+// BENCH_parmem.json (warm must beat cold).
+
+// fleetServe boots two disk-backed backends on dirs, fronts them with a
+// gateway, compiles the corpus once through it, and drains everything —
+// one full fleet lifecycle, restart included.
+func fleetServe(b *testing.B, dirs [2]string) {
+	b.Helper()
+	var backends [2]*server.Server
+	for i, dir := range dirs {
+		s, err := server.New(server.Config{Addr: "127.0.0.1:0", CacheDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		backends[i] = s
+	}
+	g, err := New(Config{
+		Addr:          "127.0.0.1:0",
+		Backends:      []string{backends[0].Addr(), backends[1].Addr()},
+		ProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := server.Dial(g.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, spec := range benchprog.All() {
+		resp, err := c.Compile(ctx, server.CompileRequest{Src: spec.Source, K: 8})
+		if err != nil || resp.Code != server.CodeOK {
+			b.Fatalf("compile %s: %v / %+v", spec.Name, err, resp)
+		}
+	}
+	c.Close()
+	g.Close()
+	// Drain, not kill: the write-behind tier must flush so the next boot
+	// over these directories sees every entry.
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	for _, s := range backends {
+		if err := s.Drain(dctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFleetCold(b *testing.B) {
+	corpus := float64(len(benchprog.All()))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dirs := [2]string{b.TempDir(), b.TempDir()} // fresh: nothing cached
+		b.StartTimer()
+		fleetServe(b, dirs)
+	}
+	b.ReportMetric(corpus*float64(b.N)/b.Elapsed().Seconds(), "progs/sec")
+}
+
+func BenchmarkFleetWarm(b *testing.B) {
+	dirs := [2]string{b.TempDir(), b.TempDir()}
+	fleetServe(b, dirs) // populate the persistent tiers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fleetServe(b, dirs) // restarted fleet: the corpus is all disk hits
+	}
+	b.ReportMetric(float64(len(benchprog.All()))*float64(b.N)/b.Elapsed().Seconds(), "progs/sec")
+}

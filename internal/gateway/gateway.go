@@ -1,0 +1,399 @@
+// Package gateway is the fleet front of the assignment engine: a TCP
+// proxy (parmemgw) speaking the same framed protocol as parmemd, routing
+// each request to one of N backends by consistent hashing over the
+// request's cache identity. Identical work always lands on the same
+// backend, so the fleet's allocation caches — memory and disk tiers —
+// partition the keyspace into disjoint warm shards instead of N cold
+// copies of everything.
+//
+// Health is probed continuously (protocol Ping, which also reports drain
+// state, plus an optional /readyz URL per backend). A request whose
+// preferred backend is down or draining fails over along the ring's
+// clockwise order; only when every backend is unroutable does the client
+// see a typed UNAVAILABLE. Backend drains pass through: a draining
+// parmemd stops receiving new work from the gateway before it would have
+// refused it itself.
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parmem/internal/server"
+	"parmem/internal/telemetry"
+)
+
+// Config configures a gateway.
+type Config struct {
+	// Addr is the listen address (host:port; port 0 picks a free one).
+	Addr string
+	// Backends are the parmemd addresses to route across; at least one.
+	Backends []string
+	// ReadyURLs optionally maps (by index) each backend to a /readyz
+	// endpoint probed alongside the protocol ping; "" skips.
+	ReadyURLs []string
+	// Replicas is the virtual-node count per backend on the hash ring;
+	// 0 picks the default.
+	Replicas int
+	// MaxFrameBytes caps a frame payload; default server.DefaultMaxFrame.
+	MaxFrameBytes int
+	// FrameTimeout bounds one frame's read after its first byte and each
+	// response write; default 10s.
+	FrameTimeout time.Duration
+	// ProbeInterval is the health-probe period; default 500ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round-trip; default 2s.
+	ProbeTimeout time.Duration
+	// ForwardTimeout bounds one forwarded request when the client gave no
+	// deadline; default 60s.
+	ForwardTimeout time.Duration
+	// Telemetry records gateway metrics; nil disables.
+	Telemetry *telemetry.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = server.DefaultMaxFrame
+	}
+	if c.FrameTimeout <= 0 {
+		c.FrameTimeout = 10 * time.Second
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// Gateway is a running parmemgw instance.
+type Gateway struct {
+	cfg      Config
+	ln       net.Listener
+	ring     *ring
+	backends []*backend
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	drainMu  sync.RWMutex
+	draining atomic.Bool
+	drained  chan struct{}
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	connWG  sync.WaitGroup
+	reqWG   sync.WaitGroup
+	probeWG sync.WaitGroup
+
+	mConnsOpen *telemetry.Gauge
+	mReqUS     map[server.Op]*telemetry.Histogram
+}
+
+// New validates cfg, binds the listener, starts the health prober and the
+// accept loop.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("gateway: no backends configured")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	g := &Gateway{
+		cfg:        cfg,
+		ln:         ln,
+		ring:       newRing(cfg.Backends, cfg.Replicas),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		drained:    make(chan struct{}),
+		conns:      map[net.Conn]struct{}{},
+		mConnsOpen: cfg.Telemetry.Gauge(telemetry.MGatewayConnsOpen),
+		mReqUS:     map[server.Op]*telemetry.Histogram{},
+	}
+	for _, op := range []server.Op{server.OpPing, server.OpCompile, server.OpAssign, server.OpBatch} {
+		g.mReqUS[op] = cfg.Telemetry.Histogram(telemetry.MGatewayReqMicros, "op", op.String())
+	}
+	for i, addr := range cfg.Backends {
+		b := &backend{
+			addr: addr,
+			mUp:  cfg.Telemetry.Gauge(telemetry.MGatewayBackendUp, "backend", addr),
+		}
+		if i < len(cfg.ReadyURLs) {
+			b.readyURL = cfg.ReadyURLs[i]
+		}
+		g.backends = append(g.backends, b)
+	}
+	// One synchronous probe round so the first request after New sees
+	// real health instead of all-down.
+	for _, b := range g.backends {
+		b.probe(ctx, cfg.ProbeTimeout)
+	}
+	g.probeWG.Add(1)
+	go g.probeLoop()
+	go g.acceptLoop()
+	return g, nil
+}
+
+// Addr returns the bound listen address.
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// Draining reports whether a drain has begun.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// Healthy reports process liveness (the listener is up or draining
+// cleanly) — the /healthz answer.
+func (g *Gateway) Healthy() bool { return true }
+
+// Ready reports whether the gateway can accept new work: not draining
+// and at least one routable backend — the /readyz answer.
+func (g *Gateway) Ready() bool {
+	if g.draining.Load() {
+		return false
+	}
+	for _, b := range g.backends {
+		if b.routable() {
+			return true
+		}
+	}
+	return false
+}
+
+// MountHealth registers /healthz and /readyz on a telemetry server.
+func (g *Gateway) MountHealth(ts *telemetry.Server) {
+	probe := func(name string, ok func() bool) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			if ok() {
+				fmt.Fprintf(w, "%s ok\n", name)
+				return
+			}
+			http.Error(w, name+": unavailable", http.StatusServiceUnavailable)
+		})
+	}
+	ts.Handle("/healthz", probe("healthz", g.Healthy))
+	ts.Handle("/readyz", probe("readyz", g.Ready))
+}
+
+func (g *Gateway) probeLoop() {
+	defer g.probeWG.Done()
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		for _, b := range g.backends {
+			b.probe(g.baseCtx, g.cfg.ProbeTimeout)
+		}
+	}
+}
+
+func (g *Gateway) acceptLoop() {
+	for {
+		nc, err := g.ln.Accept()
+		if err != nil {
+			return // listener closed (drain)
+		}
+		g.mu.Lock()
+		if g.draining.Load() {
+			g.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		g.conns[nc] = struct{}{}
+		g.mu.Unlock()
+		g.connWG.Add(1)
+		g.mConnsOpen.Add(1)
+		go g.serveConn(nc)
+	}
+}
+
+func (g *Gateway) serveConn(nc net.Conn) {
+	defer func() {
+		g.mu.Lock()
+		delete(g.conns, nc)
+		g.mu.Unlock()
+		nc.Close()
+		g.mConnsOpen.Add(-1)
+		g.connWG.Done()
+	}()
+	br := bufio.NewReaderSize(nc, 8192)
+	var wmu sync.Mutex
+	for {
+		nc.SetReadDeadline(time.Time{})
+		f, err := server.ReadFrame(br, g.cfg.MaxFrameBytes)
+		if err != nil {
+			return // protocol or transport error: drop the connection
+		}
+
+		// Atomic against Drain: once draining is set under the write
+		// lock, no new request can register with reqWG.
+		g.drainMu.RLock()
+		if g.draining.Load() {
+			g.drainMu.RUnlock()
+			g.respond(nc, &wmu, f, server.Response{
+				Code: server.CodeUnavailable, Error: "gateway: draining",
+			})
+			continue
+		}
+		g.reqWG.Add(1)
+		g.drainMu.RUnlock()
+
+		go func(f server.Frame) {
+			defer g.reqWG.Done()
+			start := time.Now()
+			resp := g.process(f)
+			g.mReqUS[f.Op].Observe(time.Since(start).Microseconds())
+			g.respond(nc, &wmu, f, resp)
+		}(f)
+	}
+}
+
+// respond writes a response frame for f; write errors drop the
+// connection (the read side will notice on its next read).
+func (g *Gateway) respond(nc net.Conn, wmu *sync.Mutex, f server.Frame, resp server.Response) {
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		payload = []byte(`{"code":"INTERNAL","error":"gateway: unencodable response"}`)
+	}
+	wmu.Lock()
+	defer wmu.Unlock()
+	nc.SetWriteDeadline(time.Now().Add(g.cfg.FrameTimeout))
+	server.WriteFrame(nc, server.Frame{Op: f.Op.Response(), ID: f.ID, Payload: payload})
+}
+
+// process answers one request frame: pings locally, everything else by
+// routed forwarding.
+func (g *Gateway) process(f server.Frame) server.Response {
+	switch f.Op {
+	case server.OpPing:
+		return server.Response{Code: server.CodeOK, Draining: g.draining.Load()}
+	case server.OpCompile, server.OpAssign, server.OpBatch:
+		return g.forward(f)
+	default:
+		return server.Response{Code: server.CodeInvalidArgument,
+			Error: fmt.Sprintf("gateway: unknown op %d", uint8(f.Op))}
+	}
+}
+
+// forward routes f to its consistent-hash backend, failing over along
+// the ring when the preferred backend is unroutable or the send fails at
+// the transport layer. Typed protocol responses — including UNAVAILABLE
+// from a backend that started draining between probe rounds — are
+// relayed, except that UNAVAILABLE triggers one more failover attempt
+// since a sibling backend can still serve the request (a cache miss
+// there at worst).
+func (g *Gateway) forward(f server.Frame) server.Response {
+	key := routeKey(f.Op, f.Payload)
+	seq := g.ring.sequence(key, make([]int, 0, len(g.backends)))
+	var lastErr string
+	for attempt, idx := range seq {
+		b := g.backends[idx]
+		if !b.routable() && attempt < len(seq)-1 {
+			// Known-bad: skip without burning a transport attempt, unless
+			// it is the last candidate (then try anyway — probes lag).
+			continue
+		}
+		if attempt > 0 {
+			g.cfg.Telemetry.Counter(telemetry.MGatewayFailovers, "backend", g.backends[seq[0]].addr).Inc()
+		}
+		resp, err := g.forwardTo(b, f)
+		if err != nil {
+			b.setHealthy(false)
+			lastErr = err.Error()
+			continue
+		}
+		if resp.Code == server.CodeUnavailable {
+			// The backend is draining; let the ring's next choice take it.
+			b.draining.Store(true)
+			lastErr = resp.Error
+			continue
+		}
+		g.cfg.Telemetry.Counter(telemetry.MGatewayRequests, "backend", b.addr, "code", string(resp.Code)).Inc()
+		return resp
+	}
+	if lastErr == "" {
+		lastErr = "no routable backend"
+	}
+	return server.Response{Code: server.CodeUnavailable,
+		Error: "gateway: " + lastErr}
+}
+
+func (g *Gateway) forwardTo(b *backend, f server.Frame) (server.Response, error) {
+	c, err := b.getClient()
+	if err != nil {
+		return server.Response{}, err
+	}
+	ctx, cancel := context.WithTimeout(g.baseCtx, g.cfg.ForwardTimeout)
+	defer cancel()
+	return c.DoRaw(ctx, f.Op, f.Payload)
+}
+
+// Drain gracefully stops the gateway: stop accepting, refuse new
+// requests with UNAVAILABLE, wait for in-flight forwards (bounded by
+// ctx), then close connections and backend clients.
+func (g *Gateway) Drain(ctx context.Context) error {
+	g.drainMu.Lock()
+	first := g.draining.CompareAndSwap(false, true)
+	g.drainMu.Unlock()
+	if !first {
+		<-g.drained
+		return nil
+	}
+	g.ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		g.reqWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("gateway: drain grace period expired: %w", ctx.Err())
+		g.cancelBase()
+		<-done
+	}
+
+	g.mu.Lock()
+	for nc := range g.conns {
+		nc.Close()
+	}
+	g.mu.Unlock()
+	g.connWG.Wait()
+	g.cancelBase()
+	g.probeWG.Wait()
+	for _, b := range g.backends {
+		b.close()
+	}
+	close(g.drained)
+	return err
+}
+
+// Close hard-stops the gateway.
+func (g *Gateway) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.Drain(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	return nil
+}

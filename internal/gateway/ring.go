@@ -1,0 +1,86 @@
+package gateway
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend indices. Each backend
+// contributes `replicas` virtual points; a routing key walks clockwise
+// from its hash and yields backends in first-encounter order, which is
+// both the primary choice and the failover sequence. Consistency is the
+// property the warm caches need: adding or removing one backend remaps
+// only the keys whose nearest point belonged to it, so the other
+// backends' disk and memory caches stay hot.
+type ring struct {
+	points []rpoint // sorted by hash
+	n      int      // backend count
+}
+
+type rpoint struct {
+	hash    uint64
+	backend int
+}
+
+// defaultReplicas is the virtual-node count per backend; enough to keep
+// the largest/smallest load ratio small at single-digit backend counts.
+const defaultReplicas = 128
+
+func newRing(backends []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	r := &ring{n: len(backends), points: make([]rpoint, 0, len(backends)*replicas)}
+	for i, addr := range backends {
+		for v := 0; v < replicas; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", addr, v)
+			// FNV of short, similar strings clusters badly; a finalizer
+			// spreads the virtual points evenly around the ring.
+			r.points = append(r.points, rpoint{hash: mix64(h.Sum64()), backend: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// sequence appends to buf the distinct backend indices encountered
+// walking clockwise from key: the preferred backend first, then the
+// failover order. Every backend appears exactly once.
+func (r *ring) sequence(key uint64, buf []int) []int {
+	if r.n == 0 {
+		return buf
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	seen := make([]bool, r.n)
+	found := 0
+	for i := 0; i < len(r.points) && found < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			buf = append(buf, p.backend)
+			found++
+		}
+	}
+	return buf
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pick returns the preferred backend for key.
+func (r *ring) pick(key uint64) int {
+	if r.n == 0 {
+		return -1
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	return r.points[start%len(r.points)].backend
+}

@@ -1,0 +1,111 @@
+package gateway
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRingCoversAllBackends(t *testing.T) {
+	r := newRing([]string{"a:1", "b:2", "c:3"}, 0)
+	seq := r.sequence(12345, nil)
+	if len(seq) != 3 {
+		t.Fatalf("sequence covers %d backends, want 3", len(seq))
+	}
+	seen := map[int]bool{}
+	for _, b := range seq {
+		if seen[b] {
+			t.Fatalf("backend %d repeated in %v", b, seq)
+		}
+		seen[b] = true
+	}
+	if r.pick(12345) != seq[0] {
+		t.Fatalf("pick %d != sequence head %d", r.pick(12345), seq[0])
+	}
+}
+
+func TestRingIsDeterministic(t *testing.T) {
+	a := newRing([]string{"x:1", "y:2"}, 64)
+	b := newRing([]string{"x:1", "y:2"}, 64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		k := rng.Uint64()
+		if a.pick(k) != b.pick(k) {
+			t.Fatalf("rings disagree on key %d", k)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	backends := []string{"h0:1", "h1:1", "h2:1", "h3:1"}
+	r := newRing(backends, 0)
+	counts := make([]int, len(backends))
+	rng := rand.New(rand.NewSource(42))
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.pick(rng.Uint64())]++
+	}
+	want := n / len(backends)
+	for i, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("backend %d got %d of %d keys (counts %v): ring badly unbalanced", i, c, n, counts)
+		}
+	}
+}
+
+// TestRingConsistency is the property the warm caches depend on: removing
+// one backend only remaps the keys that pointed at it.
+func TestRingConsistency(t *testing.T) {
+	full := []string{"h0:1", "h1:1", "h2:1", "h3:1"}
+	without := []string{"h0:1", "h1:1", "h2:1"} // h3 removed
+	rf := newRing(full, 0)
+	rw := newRing(without, 0)
+	rng := rand.New(rand.NewSource(7))
+	moved := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		k := rng.Uint64()
+		pf := rf.pick(k)
+		pw := rw.pick(k)
+		if pf == 3 {
+			continue // its keys must move somewhere; that's fine
+		}
+		if pf != pw {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys whose backend survived were remapped anyway", moved)
+	}
+}
+
+// TestRingFailoverOrderMatchesRemoval: the failover target of a key (the
+// second backend in its sequence) is exactly where the key lands when its
+// primary is removed from the ring — so failover traffic warms the very
+// cache that will own the keys after the backend is gone for good.
+func TestRingFailoverOrderMatchesRemoval(t *testing.T) {
+	full := []string{"h0:1", "h1:1", "h2:1"}
+	rf := newRing(full, 0)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		k := rng.Uint64()
+		seq := rf.sequence(k, nil)
+		primary := seq[0]
+		rest := append([]string{}, full[:primary]...)
+		rest = append(rest, full[primary+1:]...)
+		rr := newRing(rest, 0)
+		got := rest[rr.pick(k)]
+		if want := full[seq[1]]; got != want {
+			t.Fatalf("key %d: failover %s, removal lands on %s", k, want, got)
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := newRing(nil, 0)
+	if r.pick(1) != -1 {
+		t.Fatal("empty ring picked a backend")
+	}
+	if seq := r.sequence(1, nil); len(seq) != 0 {
+		t.Fatalf("empty ring sequence = %v", seq)
+	}
+}

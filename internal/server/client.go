@@ -60,6 +60,10 @@ func (c *Client) Close() error {
 // to the server ending the connection).
 func (c *Client) LocalClosed() bool { return c.closed.Load() }
 
+// Dead returns a channel closed when the connection has died (read loop
+// exited); callers pooling clients use it to discard and redial.
+func (c *Client) Dead() <-chan struct{} { return c.dead }
+
 func (c *Client) readLoop() {
 	br := bufio.NewReaderSize(c.nc, 4096)
 	for {
@@ -96,6 +100,13 @@ func (c *Client) Do(ctx context.Context, op Op, req any) (Response, error) {
 			return Response{}, err
 		}
 	}
+	return c.DoRaw(ctx, op, payload)
+}
+
+// DoRaw sends one request frame with a pre-encoded payload — the
+// forwarding primitive a proxy needs, since it already holds the client's
+// JSON bytes and must not re-interpret them.
+func (c *Client) DoRaw(ctx context.Context, op Op, payload []byte) (Response, error) {
 	id := c.nextID.Add(1)
 	ch := make(chan Response, 1)
 	c.mu.Lock()

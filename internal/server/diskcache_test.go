@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"parmem/internal/benchprog"
+)
+
+// bootCached starts a server with a persistent cache tier over dir.
+func bootCached(t *testing.T, dir string) *Server {
+	t.Helper()
+	s, err := New(Config{Addr: "127.0.0.1:0", CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestServerDiskCacheRestart proves the daemon-level acceptance behavior:
+// compile through one daemon, drain it, boot a second daemon over the
+// same cache directory, and observe the same compile served as a
+// second-level (disk) hit.
+func TestServerDiskCacheRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	src := benchprog.All()[0].Source
+
+	s1 := bootCached(t, dir)
+	c1, err := Dial(s1.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c1.Compile(context.Background(), CompileRequest{Src: src, K: 8})
+	if err != nil || resp.Code != CodeOK {
+		t.Fatalf("first compile: %v / %+v", err, resp)
+	}
+	c1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	s2 := bootCached(t, dir)
+	defer s2.Close()
+	c2, err := Dial(s2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	resp, err = c2.Compile(context.Background(), CompileRequest{Src: src, K: 8})
+	if err != nil || resp.Code != CodeOK {
+		t.Fatalf("restarted compile: %v / %+v", err, resp)
+	}
+	cs, ok := s2.CacheStats()
+	if !ok || cs.BackingHits == 0 {
+		t.Fatalf("restarted daemon served no disk hits: %+v (ok=%v)", cs, ok)
+	}
+	ds, ok := s2.DiskCacheStats()
+	if !ok || ds.Hits == 0 {
+		t.Fatalf("disk tier reports no hits: %+v (ok=%v)", ds, ok)
+	}
+}
+
+func TestServerRejectsCacheDirWithCachingDisabled(t *testing.T) {
+	_, err := New(Config{Addr: "127.0.0.1:0", CacheDir: t.TempDir(), CacheCapacity: -1})
+	if err == nil {
+		t.Fatal("New accepted CacheDir with caching disabled")
+	}
+}
+
+func TestServerNoDiskTierByDefault(t *testing.T) {
+	s, err := New(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok := s.DiskCacheStats(); ok {
+		t.Fatal("disk tier present without CacheDir")
+	}
+	if _, ok := s.CacheStats(); !ok {
+		t.Fatal("memory cache absent by default")
+	}
+}

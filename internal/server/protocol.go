@@ -184,6 +184,14 @@ func writeFrame(w io.Writer, f Frame) error {
 	return err
 }
 
+// ReadFrame reads one frame from r, rejecting payloads over max bytes;
+// the exported form exists for other protocol speakers (the gateway).
+// The caller owns read deadlines on the underlying connection.
+func ReadFrame(r io.Reader, max int) (Frame, error) { return readFrame(r, max) }
+
+// WriteFrame writes f to w as a single Write call; see ReadFrame.
+func WriteFrame(w io.Writer, f Frame) error { return writeFrame(w, f) }
+
 // readFrame reads one frame from r, rejecting payloads over max bytes.
 // The caller owns read deadlines on the underlying connection.
 func readFrame(r io.Reader, max int) (Frame, error) {

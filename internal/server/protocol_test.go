@@ -70,12 +70,12 @@ func TestParseHeaderRejects(t *testing.T) {
 
 func TestOpStrings(t *testing.T) {
 	cases := map[Op]string{
-		OpPing:                "ping",
-		OpCompile:             "compile",
-		OpAssign:              "assign",
-		OpBatch:               "batch",
-		OpCompile.Response():  "compile+resp",
-		Op(77):                "op(77)",
+		OpPing:               "ping",
+		OpCompile:            "compile",
+		OpAssign:             "assign",
+		OpBatch:              "batch",
+		OpCompile.Response(): "compile+resp",
+		Op(77):               "op(77)",
 	}
 	for op, want := range cases {
 		if got := op.String(); got != want {

@@ -58,6 +58,16 @@ type Config struct {
 	// requests is the daemon's whole reason to exist: repeated graphs
 	// skip their coloring and duplication searches.
 	CacheCapacity int
+	// CacheDir, when non-empty, backs the allocation cache with a
+	// persistent disk tier at this directory, so a restarted daemon
+	// serves previously compiled programs as cache hits. Requires
+	// caching enabled (CacheCapacity >= 0).
+	CacheDir string
+	// MaxCacheBytes bounds the disk tier's log file (0 = tier default).
+	MaxCacheBytes int64
+	// CacheReadOnly opens the disk tier as a snapshot: hits are served
+	// but nothing is persisted.
+	CacheReadOnly bool
 	// Telemetry records server metrics and engine spans; nil disables.
 	Telemetry *telemetry.Recorder
 }
@@ -103,6 +113,7 @@ type Server struct {
 	cfg   Config
 	ln    net.Listener
 	cache *parmem.AllocCache
+	store parmem.CacheStore // non-nil only with Config.CacheDir
 	gate  *gate
 
 	// baseCtx parents every request context; cancelBase deadline-cancels
@@ -140,7 +151,24 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	var cache *parmem.AllocCache
-	if cfg.CacheCapacity >= 0 {
+	var store parmem.CacheStore
+	if cfg.CacheDir != "" {
+		if cfg.CacheCapacity < 0 {
+			ln.Close()
+			return nil, fmt.Errorf("server: CacheDir set but caching disabled (CacheCapacity < 0)")
+		}
+		store, err = parmem.OpenCacheStore(parmem.CacheConfig{
+			MemoryEntries: cfg.CacheCapacity,
+			DiskPath:      cfg.CacheDir,
+			MaxDiskBytes:  cfg.MaxCacheBytes,
+			ReadOnly:      cfg.CacheReadOnly,
+		})
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("server: opening cache dir: %w", err)
+		}
+		cache = store.Cache()
+	} else if cfg.CacheCapacity >= 0 {
 		cache = parmem.NewAllocCache(cfg.CacheCapacity)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -148,6 +176,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:         cfg,
 		ln:          ln,
 		cache:       cache,
+		store:       store,
 		gate:        newGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.Telemetry),
 		baseCtx:     ctx,
 		cancelBase:  cancel,
@@ -562,6 +591,7 @@ func (s *Server) compileOptions(k int, strategy, method string, nodes int64) (pa
 		Method:    m,
 		Budget:    b,
 		Workers:   s.cfg.Workers,
+		Store:     s.store,
 		Cache:     s.cache,
 		Telemetry: s.cfg.Telemetry,
 	}, nil
@@ -602,6 +632,7 @@ func (s *Server) handleAssign(req AssignRequest) Response {
 			Method:    m,
 			Budget:    b,
 			Workers:   s.cfg.Workers,
+			Store:     s.store,
 			Cache:     s.cache,
 			Telemetry: s.cfg.Telemetry,
 		})
@@ -710,9 +741,35 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Unlock()
 	s.connWG.Wait()
 	s.cancelBase()
+	// With no request able to start and none in flight, flush and release
+	// the persistent cache tier so the next daemon over this directory
+	// opens a complete, unlocked log.
+	if s.store != nil {
+		if cerr := s.store.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("server: closing cache store: %w", cerr)
+		}
+	}
 	s.mDrainUS.Set(time.Since(start).Microseconds())
 	close(s.drained)
 	return err
+}
+
+// CacheStats snapshots the shared allocation cache; ok is false when
+// caching is disabled.
+func (s *Server) CacheStats() (st parmem.CacheStats, ok bool) {
+	if s.cache == nil {
+		return parmem.CacheStats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
+// DiskCacheStats snapshots the persistent cache tier; ok is false without
+// Config.CacheDir.
+func (s *Server) DiskCacheStats() (st parmem.DiskCacheStats, ok bool) {
+	if s.store == nil {
+		return parmem.DiskCacheStats{}, false
+	}
+	return s.store.DiskStats()
 }
 
 // Close hard-stops the server: cancel all work, close everything, wait.

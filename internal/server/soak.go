@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,18 @@ type SoakOptions struct {
 	Seed int64
 	// DeadlineMS is the well-formed requests' deadline; default 5000.
 	DeadlineMS int64
+	// SteadyStateOps, when positive, appends a quiesced measurement phase
+	// after the load (and any chaos) has drained: one client repeats an
+	// identical well-formed assign request this many times and the
+	// client-path heap allocations per operation are recorded in
+	// AllocsPerOp. Identical requests are steady state by construction —
+	// the daemon serves them from its allocation cache — so what is being
+	// measured is the per-request protocol overhead that should never
+	// creep.
+	SteadyStateOps int
+	// MaxAllocsPerOp is the Assert bar on AllocsPerOp; 0 disables the
+	// check.
+	MaxAllocsPerOp float64
 }
 
 // SoakReport is the accounting of one soak run. Counters split by who
@@ -75,6 +88,11 @@ type SoakReport struct {
 	LatencyP95US int64 `json:"latency_p95_us"`
 	LatencyP99US int64 `json:"latency_p99_us"`
 	LatencyMaxUS int64 `json:"latency_max_us"`
+
+	// Steady-state measurement (only with SoakOptions.SteadyStateOps).
+	SteadyStateOps int64   `json:"steady_state_ops,omitempty"`
+	AllocsPerOp    float64 `json:"allocs_per_op,omitempty"`
+	MaxAllocsPerOp float64 `json:"max_allocs_per_op,omitempty"`
 }
 
 // Availability is the served fraction of well-formed in-budget requests:
@@ -121,6 +139,10 @@ func (r *SoakReport) Assert(faults bool) error {
 				return fmt.Errorf("soak: overload bursts (%d requests past the declared caps) were never shed — admission control is not binding", r.OverloadSent)
 			}
 		}
+	}
+	if r.MaxAllocsPerOp > 0 && r.SteadyStateOps > 0 && r.AllocsPerOp > r.MaxAllocsPerOp {
+		return fmt.Errorf("soak: steady-state allocations %.1f/op exceed the bar of %.1f/op over %d ops",
+			r.AllocsPerOp, r.MaxAllocsPerOp, r.SteadyStateOps)
 	}
 	return nil
 }
@@ -282,7 +304,69 @@ func Soak(ctx context.Context, opt SoakOptions) (*SoakReport, error) {
 		st.rep.LatencyMaxUS = st.lats[n-1]
 	}
 	st.latMu.Unlock()
+
+	if opt.SteadyStateOps > 0 {
+		if err := st.steadyState(ctx); err != nil {
+			return &st.rep, err
+		}
+	}
 	return &st.rep, nil
+}
+
+// steadyState measures client-path heap allocations per operation after
+// the load (and any chaos) has fully drained: a single goroutine on one
+// connection repeats an identical assign request. The daemon answers
+// every repeat from its allocation cache, so the delta in Mallocs across
+// the loop is the per-request protocol overhead — marshal, frame,
+// dispatch, unmarshal — which must not creep between releases. All other
+// soak goroutines have exited by the time this runs, so the process-wide
+// Mallocs counter is attributable to this loop.
+func (st *soakState) steadyState(ctx context.Context) error {
+	ops := st.opt.SteadyStateOps
+	c, err := Dial(st.opt.Addr)
+	if err != nil {
+		return fmt.Errorf("soak: steady-state dial %s: %w", st.opt.Addr, err)
+	}
+	defer c.Close()
+	req := AssignRequest{
+		Instrs:     soakInstrs(rand.New(rand.NewSource(st.opt.Seed)), 4),
+		K:          4,
+		DeadlineMS: st.opt.DeadlineMS,
+	}
+	one := func() error {
+		resp, err := c.Assign(ctx, req)
+		if err != nil {
+			return err
+		}
+		if resp.Code != CodeOK {
+			return fmt.Errorf("code %s (%s)", resp.Code, resp.Error)
+		}
+		return nil
+	}
+	// Warmup fills the daemon's cache and the client's internal buffers
+	// so the measured window sees only steady-state work.
+	warm := ops / 4
+	if warm < 8 {
+		warm = 8
+	}
+	for i := 0; i < warm; i++ {
+		if err := one(); err != nil {
+			return fmt.Errorf("soak: steady-state warmup: %w", err)
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < ops; i++ {
+		if err := one(); err != nil {
+			return fmt.Errorf("soak: steady-state op %d: %w", i, err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	st.rep.SteadyStateOps = int64(ops)
+	st.rep.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
+	st.rep.MaxAllocsPerOp = st.opt.MaxAllocsPerOp
+	return nil
 }
 
 // wellFormedWorker drives one connection with a mixed op workload. It
@@ -385,8 +469,8 @@ func (st *soakState) garbageInjector(ctx context.Context, rng *rand.Rand) {
 		if err == nil {
 			buf := make([]byte, 64+rng.Intn(512))
 			rng.Read(buf)
-			buf[0] = 0xFF // guarantee a bad magic
-			nc.Write(buf) //nolint:errcheck
+			buf[0] = 0xFF                                   // guarantee a bad magic
+			nc.Write(buf)                                   //nolint:errcheck
 			nc.SetReadDeadline(time.Now().Add(time.Second)) //nolint:errcheck
 			io := make([]byte, 16)
 			nc.Read(io) //nolint:errcheck // just confirm the server hangs up
@@ -454,7 +538,7 @@ func (st *soakState) oversizeInjector(ctx context.Context, _ *rand.Rand) {
 			hdr[3] = uint8(OpCompile)
 			binary.BigEndian.PutUint64(hdr[4:12], 9)
 			binary.BigEndian.PutUint32(hdr[12:16], 1<<31-1)
-			nc.Write(hdr[:]) //nolint:errcheck
+			nc.Write(hdr[:])                                    //nolint:errcheck
 			nc.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
 			readFrame(nc, DefaultMaxFrame)                      //nolint:errcheck // best-effort: the typed reject
 			nc.Close()

@@ -31,13 +31,23 @@ func TestSoakWithFaults(t *testing.T) {
 		Workers:  3,
 		Faults:   true,
 		Seed:     7,
+		// Post-chaos steady state: identical cached assigns must cost a
+		// bounded number of allocations each. The bar is loose — it exists
+		// to catch per-request leaks (thousands of allocs), not to tune
+		// the protocol — and covers both sides since server and client
+		// share this process.
+		SteadyStateOps: 64,
+		MaxAllocsPerOp: 5000,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("soak: sent=%d ok=%d shed=%d unavailable=%d availability=%.4f p99=%dus",
+	t.Logf("soak: sent=%d ok=%d shed=%d unavailable=%d availability=%.4f p99=%dus allocs/op=%.1f",
 		report.Sent, report.OK, report.Shed, report.Unavailable,
-		report.Availability(), report.LatencyP99US)
+		report.Availability(), report.LatencyP99US, report.AllocsPerOp)
+	if report.SteadyStateOps != 64 || report.AllocsPerOp <= 0 {
+		t.Fatalf("steady-state phase did not run: %+v", report)
+	}
 	if err := report.Assert(true); err != nil {
 		t.Fatalf("soak acceptance failed: %v\nreport: %+v", err, report)
 	}

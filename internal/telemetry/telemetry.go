@@ -63,15 +63,32 @@ const (
 	MBatchItems      = "parmem_batch_items_total"     // counter: batch items started
 
 	// Server (parmemd): connection, admission and drain health.
-	MServerConnsOpen   = "parmem_server_conns_open"        // gauge: connections currently open
-	MServerConnsTotal  = "parmem_server_conns_total"       // counter: connections accepted since start
-	MServerRequests    = "parmem_server_requests_total"    // counter{op,code}: requests answered, by op and response code
-	MServerInFlight    = "parmem_server_inflight"          // gauge: requests currently holding an admission slot
-	MServerQueueDepth  = "parmem_server_queue_depth"       // gauge: requests waiting in the admission queue
-	MServerShed        = "parmem_server_shed_total"        // counter{reason}: requests shed (queue_full, per_conn, draining)
-	MServerBadFrames   = "parmem_server_bad_frames_total"  // counter{kind}: malformed/oversized/truncated frames rejected
-	MServerReqMicros   = "parmem_server_request_us"        // histogram{op}: request wall time, accept-to-response-written
-	MServerDrainMicros = "parmem_server_drain_us"          // gauge: wall time of the last graceful drain
+	MServerConnsOpen   = "parmem_server_conns_open"       // gauge: connections currently open
+	MServerConnsTotal  = "parmem_server_conns_total"      // counter: connections accepted since start
+	MServerRequests    = "parmem_server_requests_total"   // counter{op,code}: requests answered, by op and response code
+	MServerInFlight    = "parmem_server_inflight"         // gauge: requests currently holding an admission slot
+	MServerQueueDepth  = "parmem_server_queue_depth"      // gauge: requests waiting in the admission queue
+	MServerShed        = "parmem_server_shed_total"       // counter{reason}: requests shed (queue_full, per_conn, draining)
+	MServerBadFrames   = "parmem_server_bad_frames_total" // counter{kind}: malformed/oversized/truncated frames rejected
+	MServerReqMicros   = "parmem_server_request_us"       // histogram{op}: request wall time, accept-to-response-written
+	MServerDrainMicros = "parmem_server_drain_us"         // gauge: wall time of the last graceful drain
+
+	// Persistent disk cache tier (scraped from diskcache.Stats by a collector).
+	MDiskHits        = "parmem_diskcache_hits_total"         // counter: records served from the log
+	MDiskMisses      = "parmem_diskcache_misses_total"       // counter: lookups the log could not serve
+	MDiskPuts        = "parmem_diskcache_puts_total"         // counter: records appended
+	MDiskDroppedPuts = "parmem_diskcache_dropped_puts_total" // counter: writes dropped (full queue / read-only)
+	MDiskCorruptGets = "parmem_diskcache_corrupt_gets_total" // counter: reads rejected by CRC re-verification
+	MDiskCompactions = "parmem_diskcache_compactions_total"  // counter: log compactions completed
+	MDiskRecords     = "parmem_diskcache_records"            // gauge: live records indexed
+	MDiskBytes       = "parmem_diskcache_bytes"              // gauge: log file size
+
+	// Gateway (parmemgw): routing, backend health and failover.
+	MGatewayConnsOpen = "parmem_gateway_conns_open"      // gauge: client connections currently open
+	MGatewayRequests  = "parmem_gateway_requests_total"  // counter{backend,code}: requests forwarded, by backend and response code
+	MGatewayFailovers = "parmem_gateway_failovers_total" // counter{backend}: requests re-routed off an unhealthy backend
+	MGatewayBackendUp = "parmem_gateway_backend_up"      // gauge{backend}: 1 when the prober last saw the backend healthy
+	MGatewayReqMicros = "parmem_gateway_request_us"      // histogram{op}: request wall time through the gateway
 )
 
 // metricHelp is the HELP text attached to each family on first registration.
@@ -109,6 +126,21 @@ var metricHelp = map[string]string{
 	MServerBadFrames:   "parmemd malformed, oversized or truncated frames rejected, by kind.",
 	MServerReqMicros:   "parmemd request wall time (frame read to response written), microseconds.",
 	MServerDrainMicros: "Wall time of the last parmemd graceful drain, microseconds.",
+
+	MDiskHits:        "Disk cache records served from the append log.",
+	MDiskMisses:      "Disk cache lookups the append log could not serve.",
+	MDiskPuts:        "Disk cache records appended to the log.",
+	MDiskDroppedPuts: "Disk cache writes dropped (full write-behind queue or read-only store).",
+	MDiskCorruptGets: "Disk cache reads rejected by CRC re-verification.",
+	MDiskCompactions: "Disk cache log compactions completed.",
+	MDiskRecords:     "Disk cache live records indexed.",
+	MDiskBytes:       "Disk cache log file size in bytes.",
+
+	MGatewayConnsOpen: "parmemgw client connections currently open.",
+	MGatewayRequests:  "parmemgw requests forwarded, by backend and response code.",
+	MGatewayFailovers: "parmemgw requests re-routed off an unhealthy backend.",
+	MGatewayBackendUp: "Whether the parmemgw prober last saw the backend healthy.",
+	MGatewayReqMicros: "parmemgw request wall time, microseconds.",
 }
 
 // Recorder bundles a Tracer and a metrics Registry — the single handle the

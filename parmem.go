@@ -195,9 +195,19 @@ type Options struct {
 	// runs produce bit-identical allocations whenever the budget is not
 	// exhausted mid-run.
 	Workers int
+	// Store is the cache the compilation reads and writes: the in-memory
+	// memo table of an OpenCacheStore, optionally backed by a persistent
+	// disk tier. Share one CacheStore across repeated compiles (and across
+	// processes, via CacheConfig.DiskPath) to skip the coloring and
+	// duplication searches. nil disables caching unless the deprecated
+	// Cache field is set; when both are set, Store wins.
+	Store CacheStore
 	// Cache memoizes assignment subproblems across compilations; nil
-	// disables caching. Share one NewAllocCache across repeated compiles
-	// of the same sources to skip the coloring and duplication searches.
+	// disables caching.
+	//
+	// Deprecated: use Store (OpenCacheStore with a CacheConfig), which
+	// also composes the persistent tier. Cache is still honored when
+	// Store is nil.
 	Cache *AllocCache
 	// Reference runs the map-graph reference implementations of the hot
 	// assignment phases (urgency coloring, clique-separator decomposition)
@@ -353,8 +363,10 @@ func Compile(src string, opt Options) (p *Program, err error) {
 		return nil, err
 	}
 	ctx := opt.ctx()
+	cache := storeCache(opt.Store, opt.Cache)
 	rec := opt.Telemetry
-	wireTelemetry(rec, opt.Cache)
+	wireTelemetry(rec, cache)
+	wireStoreTelemetry(rec, opt.Store)
 	root := rec.StartSpan("compile", nil)
 	defer root.End()
 	if err := checkpoint(ctx, "parse"); err != nil {
@@ -418,7 +430,7 @@ func Compile(src string, opt Options) (p *Program, err error) {
 		Ctx:          opt.Ctx,
 		Budget:       opt.Budget,
 		Workers:      opt.Workers,
-		Cache:        opt.Cache,
+		Cache:        cache,
 		Reference:    opt.Reference,
 		Meter:        opt.meter,
 		Telemetry:    rec,
@@ -493,8 +505,12 @@ type AssignConfig struct {
 	// Workers bounds the parallel assignment engine's worker pool; see
 	// Options.Workers for the semantics.
 	Workers int
-	// Cache memoizes subproblem results across calls; nil disables. See
-	// Options.Cache.
+	// Store is the cache this call reads and writes; see Options.Store.
+	// When both Store and the deprecated Cache are set, Store wins.
+	Store CacheStore
+	// Cache memoizes subproblem results across calls; nil disables.
+	//
+	// Deprecated: use Store; see Options.Cache.
 	Cache *AllocCache
 	// Reference selects the map-graph reference implementations of the hot
 	// assignment phases; see Options.Reference.
@@ -523,7 +539,9 @@ func AssignValues(ctx context.Context, instrs []Instruction, cfg AssignConfig) (
 	if verr := cfg.validate(); verr != nil {
 		return Allocation{}, verr
 	}
-	wireTelemetry(cfg.Telemetry, cfg.Cache)
+	cache := storeCache(cfg.Store, cfg.Cache)
+	wireTelemetry(cfg.Telemetry, cache)
+	wireStoreTelemetry(cfg.Telemetry, cfg.Store)
 	cfg.Telemetry.Counter(telemetry.MInstructions).Add(int64(len(instrs)))
 	p := assign.Program{Instrs: instrs}
 	al, err = assign.Assign(p, assign.Options{
@@ -533,7 +551,7 @@ func AssignValues(ctx context.Context, instrs []Instruction, cfg AssignConfig) (
 		Ctx:       ctx,
 		Budget:    cfg.Budget,
 		Workers:   cfg.Workers,
-		Cache:     cfg.Cache,
+		Cache:     cache,
 		Reference: cfg.Reference,
 		Meter:     cfg.meter,
 		Telemetry: cfg.Telemetry,

@@ -97,7 +97,44 @@ func registerCacheCollector(rec *Recorder, c *AllocCache) {
 			rec.Counter(telemetry.MCacheHits, "level", lvl).Sync(ls.Hits)
 			rec.Counter(telemetry.MCacheMisses, "level", lvl).Sync(ls.Misses)
 		}
+		// The second-level traffic, reported as its own pseudo-level so
+		// hit-rate dashboards see memory and disk side by side.
+		if st.BackingHits > 0 || st.BackingMisses > 0 {
+			rec.Counter(telemetry.MCacheHits, "level", "disk").Sync(st.BackingHits)
+			rec.Counter(telemetry.MCacheMisses, "level", "disk").Sync(st.BackingMisses)
+		}
 	})
+}
+
+// registerStoreCollector mirrors a CacheStore's disk-tier counters into
+// rec's registry on every export; memory-only stores register nothing.
+func registerStoreCollector(rec *Recorder, store CacheStore) {
+	if rec == nil || store == nil {
+		return
+	}
+	if _, ok := store.DiskStats(); !ok {
+		return
+	}
+	rec.AddCollector("diskcache", func(*telemetry.Registry) {
+		st, ok := store.DiskStats()
+		if !ok {
+			return
+		}
+		rec.Counter(telemetry.MDiskHits).Sync(st.Hits)
+		rec.Counter(telemetry.MDiskMisses).Sync(st.Misses)
+		rec.Counter(telemetry.MDiskPuts).Sync(st.Puts)
+		rec.Counter(telemetry.MDiskDroppedPuts).Sync(st.DroppedPuts)
+		rec.Counter(telemetry.MDiskCorruptGets).Sync(st.CorruptGets)
+		rec.Counter(telemetry.MDiskCompactions).Sync(st.Compactions)
+		rec.Gauge(telemetry.MDiskRecords).Set(int64(st.Records))
+		rec.Gauge(telemetry.MDiskBytes).Set(st.Bytes)
+	})
+}
+
+// wireStoreTelemetry attaches the disk-tier collector of a CacheStore;
+// safe with a nil recorder or store.
+func wireStoreTelemetry(rec *Recorder, store CacheStore) {
+	registerStoreCollector(rec, store)
 }
 
 // wireTelemetry attaches the engine collectors relevant to one call. Safe
