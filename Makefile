@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet staticcheck bench bench-run bench-json bench-diff tables trace-smoke soak-smoke gateway-smoke
+.PHONY: build test check race vet staticcheck bench bench-run bench-json bench-diff bench-scaling bench-scaling-smoke tables trace-smoke soak-smoke gateway-smoke
 
 build:
 	$(GO) build ./...
@@ -32,17 +32,22 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # bench-run collects the gated benchmark set into bench.out: the dense-core
-# kernels (graph, coloring, duplication) and the steady-state/batch
-# throughput benchmarks of the root package. Output goes to a file, not a
-# pipe, so a failing `go test` fails the target instead of feeding a
-# truncated stream to the converter.
+# kernels (graph, coloring, duplication — BenchmarkDense covers both the
+# flat/blocked probe benches and the 10k blocked-vs-CSR one), the
+# steady-state/batch throughput benchmarks of the root package, and the
+# multi-core scaling matrix (no -benchmem: its rows archive the
+# speedup/efficiency curve, they are not allocation-gated). Output goes to a
+# file, not a pipe, so a failing `go test` fails the target instead of
+# feeding a truncated stream to the converter.
 bench-run:
-	$(GO) test -run='^$$' -bench='BenchmarkDenseVsMap|BenchmarkColoring|BenchmarkDuplication' \
+	$(GO) test -run='^$$' -bench='BenchmarkDense|BenchmarkColoring|BenchmarkDuplication' \
 		-benchmem ./internal/graph ./internal/coloring ./internal/duplication > bench.out
 	$(GO) test -run='^$$' -bench='BenchmarkAssignSteadyState|BenchmarkCompileBatch' \
 		-benchmem . >> bench.out
 	$(GO) test -run='^$$' -bench='BenchmarkFleet' \
 		-benchmem ./internal/gateway >> bench.out
+	$(GO) test -run='^$$' -bench='BenchmarkAssignScaling' \
+		-timeout 30m . >> bench.out
 
 # bench-json archives the gated benchmark numbers — ns/op, B/op, allocs/op —
 # as BENCH_parmem.json, the committed baseline bench-diff compares against.
@@ -59,6 +64,27 @@ bench-json: bench-run
 bench-diff: bench-run
 	$(GO) run ./cmd/bench2json -baseline BENCH_parmem.json -o BENCH_new.json < bench.out
 	@rm -f bench.out
+
+# bench-scaling runs only the multi-core scaling matrix
+# (BenchmarkAssignScaling: workload × workers=1,2,4,8) and writes the
+# speedup/efficiency curve — bench2json derives speedup and efficiency for
+# every workers=N row from its workers=1 sibling; the rows carry the
+# machine's core count — to SCALING_parmem.json (per-run scratch, not
+# committed; the committed curve lives in BENCH_parmem.json via bench-json).
+bench-scaling:
+	$(GO) test -run='^$$' -bench='BenchmarkAssignScaling' -timeout 30m . > scaling.out
+	$(GO) run ./cmd/bench2json -o SCALING_parmem.json < scaling.out
+	@rm -f scaling.out
+	@echo wrote SCALING_parmem.json
+
+# bench-scaling-smoke is the CI variant: workers=1 and 2 only, enough to
+# prove the harness runs end to end and produce a curve artifact on the
+# runner's cores without paying for the full matrix.
+bench-scaling-smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkAssignScaling/.*/workers=[12]$$' -timeout 30m . > scaling.out
+	$(GO) run ./cmd/bench2json -o SCALING_parmem.json < scaling.out
+	@rm -f scaling.out
+	@echo wrote SCALING_parmem.json
 
 tables:
 	$(GO) run ./cmd/parmem-tables

@@ -86,6 +86,7 @@ func main() {
 	if skipped > 0 {
 		fmt.Fprintf(os.Stderr, "bench2json: warning: skipped %d unparseable benchmark line(s)\n", skipped)
 	}
+	annotateScaling(&doc)
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -119,6 +120,54 @@ func benchKey(name string) string {
 		}
 	}
 	return name
+}
+
+// splitWorkers recognizes scaling-benchmark names of the form
+// <prefix>/workers=<N> and returns the prefix and pool width.
+func splitWorkers(name string) (prefix string, workers int, ok bool) {
+	const tag = "/workers="
+	i := strings.LastIndex(name, tag)
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(name[i+len(tag):])
+	if err != nil || n < 1 {
+		return "", 0, false
+	}
+	return name[:i], n, true
+}
+
+// annotateScaling derives the speedup/efficiency curve for scaling
+// benchmarks: every record named <prefix>/workers=N with a workers=1
+// sibling in the same document gains speedup = ns/op(workers=1) / ns/op
+// and efficiency = speedup / N. The derived metrics are archival only —
+// the diff gate reads allocs/op exclusively — so curves measured on
+// different machines never fail a build, they just document what was
+// measured (the benchmarks report the core count alongside).
+func annotateScaling(doc *Output) {
+	base := make(map[string]float64)
+	for _, rec := range doc.Benchmarks {
+		if prefix, n, ok := splitWorkers(benchKey(rec.Name)); ok && n == 1 {
+			if ns, ok := rec.Metrics["ns/op"]; ok && ns > 0 {
+				base[prefix] = ns
+			}
+		}
+	}
+	for i := range doc.Benchmarks {
+		rec := &doc.Benchmarks[i]
+		prefix, n, ok := splitWorkers(benchKey(rec.Name))
+		if !ok {
+			continue
+		}
+		ns1, haveBase := base[prefix]
+		ns := rec.Metrics["ns/op"]
+		if !haveBase || ns <= 0 {
+			continue
+		}
+		speedup := ns1 / ns
+		rec.Metrics["speedup"] = speedup
+		rec.Metrics["efficiency"] = speedup / float64(n)
+	}
 }
 
 // diffBaseline compares the run's allocs/op against the archived baseline

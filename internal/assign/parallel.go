@@ -76,7 +76,11 @@ func atomColorKey(sub *graph.Graph, preA map[int]int, opt Options, sc *arena.Scr
 // state, consulting the cache when one is configured. The views must
 // already reflect every atom this one depends on. The span (parented under
 // the current phase) carries the atom's size, outcome and worker lane.
-func colorOneAtom(st *phaseState, a atoms.Atom, removed map[int]bool, assigned, pre map[int]int, opt Options, lane int64) *atomColorResult {
+//
+// sc supplies every borrowed buffer, including the colorer's own scratch
+// (via coloring.Options.Scratch); the caller owns it and Resets it between
+// atoms. A nil sc is the fresh-allocation path.
+func colorOneAtom(st *phaseState, a atoms.Atom, removed map[int]bool, assigned, pre map[int]int, opt Options, lane int64, sc *arena.Scratch) *atomColorResult {
 	sp := st.rec.StartSpan("atom", st.span)
 	if sp != nil {
 		sp.SetLane(lane)
@@ -84,8 +88,6 @@ func colorOneAtom(st *phaseState, a atoms.Atom, removed map[int]bool, assigned, 
 		defer sp.End()
 	}
 	st.rec.Counter(telemetry.MColorings).Inc()
-	sc := arena.Get()
-	defer sc.Release()
 	sub := a.Graph
 	// Vertices a previously processed atom failed to color are no longer
 	// coloring candidates anywhere: they will be replicated, and the SDR
@@ -120,7 +122,7 @@ func colorOneAtom(st *phaseState, a atoms.Atom, removed map[int]bool, assigned, 
 			return e.(*atomColorResult)
 		}
 	}
-	res := coloring.GuptaSoffa(sub, coloring.Options{K: opt.K, Precolored: preA, Pick: opt.Pick, Reference: opt.Reference})
+	res := coloring.GuptaSoffa(sub, coloring.Options{K: opt.K, Precolored: preA, Pick: opt.Pick, Reference: opt.Reference, Scratch: sc})
 	out := &atomColorResult{assign: res.Assign, unassigned: res.Unassigned}
 	sp.SetAttr("unassigned", int64(len(res.Unassigned)))
 	if opt.Cache != nil {
@@ -144,8 +146,11 @@ func colorAtomsSeq(st *phaseState, dec atoms.Decomposition, pre map[int]int, opt
 	assigned := map[int]int{}
 	removed := map[int]bool{}
 	var unassigned []int
+	sc := arena.Get()
+	defer sc.Release()
 	for i := len(dec.Atoms) - 1; i >= 0; i-- {
-		res := colorOneAtom(st, dec.Atoms[i], removed, assigned, pre, opt, 0)
+		res := colorOneAtom(st, dec.Atoms[i], removed, assigned, pre, opt, 0, sc)
+		sc.Reset()
 		for v, m := range res.assign {
 			assigned[v] = m
 		}
@@ -213,39 +218,54 @@ func colorAtomsParallel(st *phaseState, dec atoms.Decomposition, pre map[int]int
 	busyWorkers := st.rec.Gauge(telemetry.MPoolBusyWorkers)
 	busyNanos := st.rec.Counter(telemetry.MPoolBusyNanos)
 
+	// One arena shard per worker for the whole phase: a fixed pool of
+	// `workers` goroutines pulls atom slots off a channel, each coloring
+	// against its private Scratch (Reset between atoms), so the global
+	// sync.Pool is touched exactly once per phase instead of once per atom
+	// — the cross-core contention point the scaling curve exposed.
+	shards := arena.GetShards(workers)
+	defer shards.Release()
+
 	for _, idxs := range atomLevels(dec.Atoms) {
 		results := make([]*atomColorResult, len(idxs))
 		panics := make([]any, len(idxs))
-		sem := make(chan struct{}, workers)
+		slots := make(chan int)
 		var wg sync.WaitGroup
-		for slot, ai := range idxs {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			sem <- struct{}{}
-			go func(slot, ai int) {
+			go func(w int) {
 				defer wg.Done()
-				defer func() { <-sem }()
-				defer func() {
-					if r := recover(); r != nil {
-						panics[slot] = r
-					}
-				}()
-				if st.rec != nil {
-					busyWorkers.Add(1)
-					t0 := time.Now()
-					defer func() {
-						busyNanos.Add(time.Since(t0).Nanoseconds())
-						busyWorkers.Add(-1)
-					}()
+				sc := shards.Worker(w)
+				for slot := range slots {
+					func(slot int) {
+						defer func() {
+							if r := recover(); r != nil {
+								panics[slot] = r
+							}
+						}()
+						if st.rec != nil {
+							busyWorkers.Add(1)
+							t0 := time.Now()
+							defer func() {
+								busyNanos.Add(time.Since(t0).Nanoseconds())
+								busyWorkers.Add(-1)
+							}()
+						}
+						// The shared views are read-only for the whole
+						// level; every dependency of idxs[slot] finished in
+						// an earlier level. Lanes are 1-based worker
+						// numbers, stable for the whole phase, so the
+						// Chrome exporter renders one track per worker.
+						results[slot] = colorOneAtom(st, dec.Atoms[idxs[slot]], removed, assigned, pre, opt, int64(w)+1, sc)
+					}(slot)
+					sc.Reset()
 				}
-				// The shared views are read-only for the whole level; every
-				// dependency of ai finished in an earlier level.
-				// Lanes are 1-based slot numbers: at most `workers` slots run
-				// at once, and the slot is stable for the atom's whole run,
-				// so the Chrome exporter renders one track per concurrent
-				// worker.
-				results[slot] = colorOneAtom(st, dec.Atoms[ai], removed, assigned, pre, opt, int64(slot%workers)+1)
-			}(slot, ai)
+			}(w)
 		}
+		for slot := range idxs {
+			slots <- slot
+		}
+		close(slots)
 		wg.Wait()
 		for _, r := range panics {
 			if r != nil {

@@ -213,17 +213,26 @@ func DecomposeRef(g *graph.Graph) Decomposition {
 	return decomposeWith(g, decomposeConnectedRef)
 }
 
-func decomposeWith(g *graph.Graph, fn func(*graph.Graph, *Decomposition)) Decomposition {
+func decomposeWith(g *graph.Graph, fn decomposeFunc) Decomposition {
 	var d Decomposition
+	sc := arena.Get()
+	defer sc.Release()
 	for _, comp := range g.ConnectedComponents() {
-		fn(g.Induced(comp), &d)
+		fn(g.Induced(comp), &d, sc)
+		sc.Reset()
 	}
 	return d
 }
 
+// decomposeFunc decomposes one connected graph into d, borrowing scratch
+// from sc (which may be nil — the fresh-allocation Scratch). The caller
+// owns sc and Resets it between components.
+type decomposeFunc func(*graph.Graph, *Decomposition, *arena.Scratch)
+
 // decomposeConnectedRef appends the atoms of the connected graph g to d
-// using the map-backed graph throughout.
-func decomposeConnectedRef(g *graph.Graph, d *Decomposition) {
+// using the map-backed graph throughout. It ignores the scratch — the
+// reference implementation allocates freshly by design.
+func decomposeConnectedRef(g *graph.Graph, d *Decomposition, _ *arena.Scratch) {
 	tri := MCSMRef(g)
 	d.Fill += len(tri.Fill)
 

@@ -3,6 +3,7 @@ package atoms
 import (
 	"sync"
 
+	"parmem/internal/arena"
 	"parmem/internal/graph"
 )
 
@@ -22,7 +23,7 @@ func DecomposeParallelRef(g *graph.Graph, workers int) Decomposition {
 	return decomposeParallelWith(g, workers, decomposeConnectedRef)
 }
 
-func decomposeParallelWith(g *graph.Graph, workers int, fn func(*graph.Graph, *Decomposition)) Decomposition {
+func decomposeParallelWith(g *graph.Graph, workers int, fn decomposeFunc) Decomposition {
 	comps := g.ConnectedComponents()
 	if workers > len(comps) {
 		workers = len(comps)
@@ -34,11 +35,17 @@ func decomposeParallelWith(g *graph.Graph, workers int, fn func(*graph.Graph, *D
 	parts := make([]Decomposition, len(comps))
 	panics := make([]any, len(comps))
 	idx := make(chan int)
+	// One arena shard per worker for the whole fan-out: workers recycle
+	// their private Scratch between components and never touch the global
+	// pool mid-phase.
+	shards := arena.GetShards(workers)
+	defer shards.Release()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			sc := shards.Worker(w)
 			for i := range idx {
 				func() {
 					defer func() {
@@ -46,10 +53,11 @@ func decomposeParallelWith(g *graph.Graph, workers int, fn func(*graph.Graph, *D
 							panics[i] = r
 						}
 					}()
-					fn(g.Induced(comps[i]), &parts[i])
+					fn(g.Induced(comps[i]), &parts[i], sc)
 				}()
+				sc.Reset()
 			}
-		}()
+		}(w)
 	}
 	for i := range comps {
 		idx <- i

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"parmem/internal/arena"
 	"parmem/internal/faultinject"
 	"parmem/internal/graph"
 )
@@ -48,6 +49,13 @@ type Options struct {
 	// tests); the knob exists for those tests and for the ablation
 	// benchmarks that quantify the dense core's win.
 	Reference bool
+	// Scratch optionally supplies the arena the dense implementation
+	// borrows its selection-loop buffers from — worker pools pass their
+	// per-worker shard so repeated colorings reuse one working set. The
+	// caller owns its lifecycle (Reset between calls); nil draws a Scratch
+	// from the global pool for the duration of the call. The reference
+	// implementation ignores it.
+	Scratch *arena.Scratch
 }
 
 // Result is the outcome of a coloring run.

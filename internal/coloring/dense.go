@@ -22,15 +22,22 @@ func guptaSoffaDense(g *graph.Graph, opt Options) Result {
 		panic(fmt.Sprintf("coloring: K = %d, need at least one module", k))
 	}
 	// All selection-loop scratch (the dense snapshot, urgency and load
-	// arrays) is borrowed from the arena; only assign and Unassigned escape
-	// into the Result and stay freshly allocated.
-	sc := arena.Get()
-	defer sc.Release()
+	// arrays) is borrowed from the arena — the caller's shard when
+	// opt.Scratch is set, a pooled one otherwise; only assign and
+	// Unassigned escape into the Result and stay freshly allocated.
+	sc := opt.Scratch
+	if sc == nil {
+		sc = arena.Get()
+		defer sc.Release()
+	}
 	d := graph.FromGraphScratch(g, sc)
 	n := d.N()
 
 	assign := make(map[int]int, n)
 	asg := sc.Int32s(n) // module+1 per dense index; 0 = unassigned
+	// asgBits mirrors asg != 0 as a bitset, so the per-candidate
+	// assigned-neighbor scans run word-at-a-time through the adjacency rows.
+	asgBits := sc.Uint64s(graph.BitsetWords(n))
 	for v, m := range opt.Precolored {
 		if m < 0 || m >= k {
 			panic(fmt.Sprintf("coloring: precolored node %d has module %d outside [0,%d)", v, m, k))
@@ -38,6 +45,7 @@ func guptaSoffaDense(g *graph.Graph, opt Options) Result {
 		if i := d.Index(v); i >= 0 {
 			assign[v] = m
 			asg[i] = int32(m) + 1
+			graph.SetBit(asgBits, i)
 		}
 	}
 	res := Result{Assign: assign}
@@ -83,12 +91,14 @@ func guptaSoffaDense(g *graph.Graph, opt Options) Result {
 		}
 		assign[d.ID(int32(first))] = 0
 		asg[first] = 1
+		graph.SetBit(asgBits, int32(first))
 		moduleLoad[0]++
 		rest[first] = false
 		nrest--
 	}
 
-	used := sc.Bools(k) // scratch: modules taken by assigned neighbors
+	used := sc.Bools(k)      // scratch: modules taken by assigned neighbors
+	abuf := sc.Int32s(n)[:0] // assigned-neighbor scan buffer
 	for nrest > 0 {
 		// Choose n_next maximizing urgency U = (Σ incoming weight from
 		// assigned neighbors) / K_nj, comparing fractions by
@@ -103,14 +113,20 @@ func guptaSoffaDense(g *graph.Graph, opt Options) Result {
 			for m := range used {
 				used[m] = false
 			}
+			// Assigned neighbors of i, word-parallel through the bitset;
+			// the CSR cursor j recovers each one's weight (both walks are
+			// ascending, so the cursor only ever moves forward).
+			abuf = d.RowAndInto(i, asgBits, abuf[:0])
 			num := 0
 			row, wts := d.Row(i), d.WeightRow(i)
-			for j, u := range row {
-				if a := asg[u]; a != 0 {
-					used[a-1] = true
-					if d.Deg(u) >= k { // wt(u,i): 0 when deg(u) < k
-						num += int(wts[j])
-					}
+			j := 0
+			for _, u := range abuf {
+				for row[j] != u {
+					j++
+				}
+				used[asg[u]-1] = true
+				if d.Deg(u) >= k { // wt(u,i): 0 when deg(u) < k
+					num += int(wts[j])
 				}
 			}
 			den := 0
@@ -133,14 +149,14 @@ func guptaSoffaDense(g *graph.Graph, opt Options) Result {
 		for m := range used {
 			used[m] = false
 		}
-		for _, u := range d.Row(best) {
-			if a := asg[u]; a != 0 {
-				used[a-1] = true
-			}
+		abuf = d.RowAndInto(best, asgBits, abuf[:0])
+		for _, u := range abuf {
+			used[asg[u]-1] = true
 		}
 		m := pickModule(used, moduleLoad, opt.Pick)
 		assign[d.ID(best)] = m
 		asg[best] = int32(m) + 1
+		graph.SetBit(asgBits, best)
 		moduleLoad[m]++
 	}
 	return res

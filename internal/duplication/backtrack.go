@@ -28,6 +28,12 @@ type Input struct {
 	// degrades to a cheaper one (see Result.Fallback); on cancellation it
 	// returns an error wrapping budget.ErrCanceled.
 	Meter *budget.Meter
+	// Scratch optionally supplies the arena a strategy core borrows its
+	// working set from — the parallel engine passes each worker's shard so
+	// per-component runs reuse one set of buffers. The caller owns its
+	// lifecycle (Reset between components); nil draws a Scratch from the
+	// global pool for the duration of the call.
+	Scratch *arena.Scratch
 }
 
 // Result is the outcome of a duplication strategy.
@@ -156,8 +162,11 @@ func Backtrack(in Input) (Result, error) {
 // partial view and diverge from the sequential result.
 func backtrackCore(in Input) (Copies, string, error) {
 	faultinject.Check("duplication.backtrack")
-	sc := arena.Get()
-	defer sc.Release()
+	sc := in.Scratch
+	if sc == nil {
+		sc = arena.Get()
+		defer sc.Release()
+	}
 	tbl := conflict.NormalizeTable(in.Instrs, sc)
 	copies := baseCopies(in)
 	repl := sc.IntBoolMap(len(in.Unassigned))
@@ -184,9 +193,10 @@ func backtrackCore(in Input) (Copies, string, error) {
 	}
 	slices.Sort(keys)
 
+	var pb placeBufs
 	for _, key := range keys {
 		ops := tbl.Row(workIdx[uint32(key)])
-		if _, err := placeInstruction(ops, copies, repl, in.K, in.Meter); err != nil {
+		if _, err := placeInstruction(ops, copies, repl, in.K, in.Meter, &pb); err != nil {
 			if errors.Is(err, budget.ErrCanceled) {
 				return nil, "", err
 			}
@@ -200,6 +210,7 @@ func backtrackCore(in Input) (Copies, string, error) {
 				Initial:    copies,
 				K:          in.K,
 				Meter:      in.Meter.CancelOnly(),
+				Scratch:    sc,
 			}
 			c, _, err := hittingCore(fb)
 			if err != nil {
@@ -211,16 +222,32 @@ func backtrackCore(in Input) (Copies, string, error) {
 	return copies, "", nil
 }
 
+// placeBufs is the reusable working set of placeInstruction, hoisted into
+// backtrackCore so the per-instruction search costs no pool round-trip and
+// no allocation at all in steady state (the previous version drew a whole
+// Scratch per instruction — the hottest Get/Release pair of the engine).
+type placeBufs struct {
+	fixedVals, freeVals []int
+	bestChoice, choice  []int
+}
+
+// grow returns buf with length exactly n, reusing its capacity. Contents
+// are unspecified; placeInstruction overwrites every entry before reading.
+func (pb *placeBufs) grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
 // placeInstruction finds the cheapest conflict-free module choice for the
 // replicable operands of one instruction and records any new copies.
 // It returns false when no conflict-free placement exists (the fixed
 // operands already clash). A non-nil error means the meter cut the search
 // short (budget exhausted or canceled); no copies are recorded then.
-func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int, meter *budget.Meter) (bool, error) {
-	sc := arena.Get()
-	defer sc.Release()
-	fixedVals := sc.Ints(len(ops))[:0]
-	freeVals := sc.Ints(len(ops))[:0]
+func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int, meter *budget.Meter, pb *placeBufs) (bool, error) {
+	fixedVals := pb.grow(pb.fixedVals, len(ops))[:0]
+	freeVals := pb.grow(pb.freeVals, len(ops))[:0]
 	for _, v := range ops {
 		if repl[v] {
 			freeVals = append(freeVals, v)
@@ -249,8 +276,11 @@ func placeInstruction(ops []int, copies Copies, repl map[int]bool, k int, meter 
 
 	bestCost := k + 1
 	found := false
-	bestChoice := sc.Ints(len(freeVals))
-	choice := sc.Ints(len(freeVals))
+	bestChoice := pb.grow(pb.bestChoice, len(freeVals))
+	choice := pb.grow(pb.choice, len(freeVals))
+	// Retain the (possibly re-grown) capacity for the next instruction.
+	pb.fixedVals, pb.freeVals = fixedVals, freeVals
+	pb.bestChoice, pb.choice = bestChoice, choice
 
 	var searchErr error
 	var rec func(i int, used ModSet, cost int)

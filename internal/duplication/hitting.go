@@ -298,8 +298,12 @@ func hittingCore(in Input) (Copies, string, error) {
 	// One arena scope covers the whole strategy: the normalized operand
 	// table, the replicable set and every Place/Combinations buffer. The
 	// copy table escapes into the Result and stays freshly allocated.
-	sc := arena.Get()
-	defer sc.Release()
+	// Workers of the parallel engine pass their shard via in.Scratch.
+	sc := in.Scratch
+	if sc == nil {
+		sc = arena.Get()
+		defer sc.Release()
+	}
 	tbl := conflict.NormalizeTable(in.Instrs, sc)
 	copies := baseCopies(in)
 	repl := sc.IntBoolMap(len(in.Unassigned))

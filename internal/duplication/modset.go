@@ -122,7 +122,8 @@ func HasSDR(values []int, copies Copies) bool {
 // heap allocation per call).
 type sdrState struct {
 	sets      [64]ModSet
-	matchedBy [64]int8 // module -> set index, -1 = free
+	matchedBy [64]int8 // module -> set index; valid only while taken.Has(m)
+	taken     ModSet   // modules currently matched
 }
 
 // matchAll reports whether every set can be matched to a distinct module.
@@ -130,13 +131,24 @@ type sdrState struct {
 // ModSet representation) and candidate modules are iterated by peeling the
 // lowest set bit — ascending module order, exactly like the Modules() slice
 // the map-based implementation walked, so the match outcome is unchanged.
+//
+// Two word-level shortcuts keep the common cases out of the augmenting-path
+// search without changing any outcome: the union of all sets must have at
+// least one module per set (Hall's condition for the full family — popcount
+// of one word), and the matched-module word `taken` replaces the 64-entry
+// matchedBy wipe each run needed before.
 func (st *sdrState) matchAll(sets []ModSet) bool {
 	if len(sets) > 64 {
 		return false // pigeonhole
 	}
-	for i := range st.matchedBy {
-		st.matchedBy[i] = -1
+	union := ModSet(0)
+	for _, s := range sets {
+		union |= s
 	}
+	if union.Count() < len(sets) {
+		return false // Hall: fewer modules than sets to match
+	}
+	st.taken = 0
 	for i := range sets {
 		visited := ModSet(0)
 		if !st.try(sets, i, &visited) {
@@ -154,7 +166,8 @@ func (st *sdrState) try(sets []ModSet, i int, visited *ModSet) bool {
 		}
 		m := bits.TrailingZeros64(uint64(rem))
 		*visited = visited.Add(m)
-		if h := st.matchedBy[m]; h < 0 || st.try(sets, int(h), visited) {
+		if !st.taken.Has(m) || st.try(sets, int(st.matchedBy[m]), visited) {
+			st.taken = st.taken.Add(m)
 			st.matchedBy[m] = int8(i)
 			return true
 		}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"parmem/internal/arena"
 	"parmem/internal/conflict"
 )
 
@@ -186,10 +187,16 @@ func runParallel(in Input, core coreFunc, workers int) (Result, error) {
 		if workers > len(comps) {
 			workers = len(comps)
 		}
+		// One arena shard per worker for the whole fan-out: each worker
+		// solves its components against a private Scratch, Reset between
+		// components, never touching the global pool mid-phase.
+		shards := arena.GetShards(workers)
+		defer shards.Release()
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				sc := shards.Worker(w)
 				for i := range next {
 					if stop.Load() {
 						continue
@@ -201,14 +208,17 @@ func runParallel(in Input, core coreFunc, workers int) (Result, error) {
 								stop.Store(true)
 							}
 						}()
-						c, fb, err := core(comps[i].in)
+						cin := comps[i].in
+						cin.Scratch = sc
+						c, fb, err := core(cin)
 						results[i] = outcome{copies: c, fallback: fb, err: err}
 						if err != nil {
 							stop.Store(true)
 						}
 					}()
+					sc.Reset()
 				}
-			}()
+			}(w)
 		}
 		for i := range comps {
 			next <- i

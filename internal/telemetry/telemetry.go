@@ -55,6 +55,9 @@ const (
 	MArenaGets        = "parmem_arena_gets_total"         // counter: buffers borrowed
 	MArenaPuts        = "parmem_arena_puts_total"         // counter: buffers recycled
 	MArenaZeroedBytes = "parmem_arena_zeroed_bytes_total" // counter: bytes zeroed for reuse
+	MArenaPoolGets    = "parmem_arena_pool_gets_total"    // counter: Scratches drawn from the global pool
+	MArenaShardGets   = "parmem_arena_shard_gets_total"   // counter: Scratches handed out as worker shards
+	MArenaShardResets = "parmem_arena_shard_resets_total" // counter: per-item reuses of a worker shard
 
 	// Worker pools and batching.
 	MPoolBusyWorkers = "parmem_pool_busy_workers"     // gauge: goroutines currently running engine work
@@ -112,6 +115,9 @@ var metricHelp = map[string]string{
 	MArenaGets:        "Scratch-arena buffers borrowed.",
 	MArenaPuts:        "Scratch-arena buffers recycled back to free lists.",
 	MArenaZeroedBytes: "Bytes zeroed when handing out scratch buffers.",
+	MArenaPoolGets:    "Scratches drawn from the global arena pool.",
+	MArenaShardGets:   "Scratches handed out as per-worker arena shards.",
+	MArenaShardResets: "Per-item reuses of a worker's arena shard.",
 	MPoolBusyWorkers:  "Engine worker goroutines currently busy.",
 	MPoolBusyNanos:    "Summed wall time engine workers spent busy, nanoseconds.",
 	MBatchInFlight:    "Batch items currently being compiled.",
