@@ -34,9 +34,11 @@ bench:
 # bench-run collects the gated benchmark set into bench.out: the dense-core
 # kernels (graph, coloring, duplication — BenchmarkDense covers both the
 # flat/blocked probe benches and the 10k blocked-vs-CSR one), the
-# steady-state/batch throughput benchmarks of the root package, and the
-# multi-core scaling matrix (no -benchmem: its rows archive the
-# speedup/efficiency curve, they are not allocation-gated). Output goes to a
+# steady-state/batch throughput benchmarks of the root package, the
+# multi-core scaling matrix, and the incremental-recompilation sweep (both
+# without -benchmem: their rows archive the speedup curves — bench2json
+# derives speedup/efficiency from the workers=1 sibling and incr_speedup
+# from the /full sibling — they are not allocation-gated). Output goes to a
 # file, not a pipe, so a failing `go test` fails the target instead of
 # feeding a truncated stream to the converter.
 bench-run:
@@ -47,6 +49,8 @@ bench-run:
 	$(GO) test -run='^$$' -bench='BenchmarkFleet' \
 		-benchmem ./internal/gateway >> bench.out
 	$(GO) test -run='^$$' -bench='BenchmarkAssignScaling' \
+		-timeout 30m . >> bench.out
+	$(GO) test -run='^$$' -bench='BenchmarkAssignIncremental' \
 		-timeout 30m . >> bench.out
 
 # bench-json archives the gated benchmark numbers — ns/op, B/op, allocs/op —

@@ -87,6 +87,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bench2json: warning: skipped %d unparseable benchmark line(s)\n", skipped)
 	}
 	annotateScaling(&doc)
+	annotateIncremental(&doc)
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -159,14 +160,69 @@ func annotateScaling(doc *Output) {
 		if !ok {
 			continue
 		}
-		ns1, haveBase := base[prefix]
 		ns := rec.Metrics["ns/op"]
-		if !haveBase || ns <= 0 {
+		ns1, haveBase := base[prefix]
+		if !haveBase {
+			// Emit the row as measured, but say why its curve is missing:
+			// a silently absent derivation reads as "never measured" when
+			// the real cause is a workers=1 sibling lost from the run.
+			if n != 1 {
+				fmt.Fprintf(os.Stderr, "bench2json: warning: %s has no workers=1 sibling; speedup/efficiency not derived\n", benchKey(rec.Name))
+			}
+			continue
+		}
+		if ns <= 0 {
 			continue
 		}
 		speedup := ns1 / ns
 		rec.Metrics["speedup"] = speedup
 		rec.Metrics["efficiency"] = speedup / float64(n)
+	}
+}
+
+// splitDelta recognizes incremental-benchmark names of the form
+// <prefix>/delta=<N> and returns the prefix and delta size.
+func splitDelta(name string) (prefix string, delta int, ok bool) {
+	const tag = "/delta="
+	i := strings.LastIndex(name, tag)
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(name[i+len(tag):])
+	if err != nil || n < 1 {
+		return "", 0, false
+	}
+	return name[:i], n, true
+}
+
+// annotateIncremental derives the incremental-recompilation speedup: every
+// record named <prefix>/delta=N with a <prefix>/full sibling (the cold
+// full-recompile of the same workload) gains incr_speedup =
+// ns/op(full) / ns/op. Like the scaling curve, the derived metric is
+// archival only — the diff gate never reads it.
+func annotateIncremental(doc *Output) {
+	full := make(map[string]float64)
+	for _, rec := range doc.Benchmarks {
+		if key := benchKey(rec.Name); strings.HasSuffix(key, "/full") {
+			if ns, ok := rec.Metrics["ns/op"]; ok && ns > 0 {
+				full[strings.TrimSuffix(key, "/full")] = ns
+			}
+		}
+	}
+	for i := range doc.Benchmarks {
+		rec := &doc.Benchmarks[i]
+		prefix, _, ok := splitDelta(benchKey(rec.Name))
+		if !ok {
+			continue
+		}
+		nsFull, haveFull := full[prefix]
+		if !haveFull {
+			fmt.Fprintf(os.Stderr, "bench2json: warning: %s has no /full sibling; incr_speedup not derived\n", benchKey(rec.Name))
+			continue
+		}
+		if ns := rec.Metrics["ns/op"]; ns > 0 {
+			rec.Metrics["incr_speedup"] = nsFull / ns
+		}
 	}
 }
 

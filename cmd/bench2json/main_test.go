@@ -63,3 +63,30 @@ func TestAnnotateScaling(t *testing.T) {
 		}
 	}
 }
+
+func TestAnnotateIncremental(t *testing.T) {
+	rec := func(name string, ns float64) Record {
+		return Record{Name: name, Runs: 1, Metrics: map[string]float64{"ns/op": ns}}
+	}
+	doc := Output{Benchmarks: []Record{
+		rec("BenchmarkAssignIncremental/chains/full-8", 1000),
+		rec("BenchmarkAssignIncremental/chains/delta=1-8", 100),
+		rec("BenchmarkAssignIncremental/chains/delta=25-8", 500),
+		rec("BenchmarkAssignIncremental/orphan/delta=1-8", 50), // no /full sibling
+		rec("BenchmarkAssignSteadyState/steady-8", 10),
+	}}
+	annotateIncremental(&doc)
+
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	if s := doc.Benchmarks[1].Metrics["incr_speedup"]; !approx(s, 10.0) {
+		t.Errorf("delta=1 incr_speedup = %v, want 10", s)
+	}
+	if s := doc.Benchmarks[2].Metrics["incr_speedup"]; !approx(s, 2.0) {
+		t.Errorf("delta=25 incr_speedup = %v, want 2", s)
+	}
+	for _, i := range []int{0, 3, 4} {
+		if _, ok := doc.Benchmarks[i].Metrics["incr_speedup"]; ok {
+			t.Errorf("%s: unexpectedly annotated", doc.Benchmarks[i].Name)
+		}
+	}
+}

@@ -745,6 +745,12 @@ func Verify(p Program, al Allocation) []int {
 	return bad
 }
 
+// VerifyState is Verify over an incremental state's instruction stream,
+// sparing the caller a defensive copy of the instructions.
+func VerifyState(s *IncrState, al Allocation) []int {
+	return Verify(Program{Instrs: s.instrs}, al)
+}
+
 func sortedKeys(m map[int]bool) []int {
 	out := make([]int, 0, len(m))
 	for v := range m {

@@ -163,6 +163,23 @@ type workerPanic struct{ value any }
 // degraded result is still Verify-clean either way).
 func runParallel(in Input, core coreFunc, workers int) (Result, error) {
 	start := in.Meter.Spent()
+	copies, fallback, err := runCores(in, core, workers)
+	if err != nil {
+		return Result{}, err
+	}
+	res := finishResult(in, copies)
+	res.Fallback = fallback
+	res.NodesSpent = in.Meter.Spent() - start
+	return res, nil
+}
+
+// runCores is runParallel without the global finish: it returns the merged
+// per-component core output (every value that gained storage mapped to its
+// modules, values no component touched riding through from Initial) and the
+// merged fallback label. The incremental engine calls it through
+// BacktrackCores/HittingSetCores so it can stitch freshly solved components
+// together with reused ones before finishing once, globally, with Finish.
+func runCores(in Input, core coreFunc, workers int) (Copies, string, error) {
 	var copies Copies
 	var fallbacks []string
 
@@ -170,7 +187,7 @@ func runParallel(in Input, core coreFunc, workers int) (Result, error) {
 	if workers <= 1 || len(comps) < 2 {
 		c, fb, err := core(in)
 		if err != nil {
-			return Result{}, err
+			return nil, "", err
 		}
 		copies, fallbacks = c, []string{fb}
 	} else {
@@ -233,7 +250,7 @@ func runParallel(in Input, core coreFunc, workers int) (Result, error) {
 		}
 		for _, r := range results {
 			if r.err != nil {
-				return Result{}, r.err
+				return nil, "", r.err
 			}
 		}
 		// Merge in component order. Components hold disjoint value sets, so
@@ -252,10 +269,7 @@ func runParallel(in Input, core coreFunc, workers int) (Result, error) {
 		}
 	}
 
-	res := finishResult(in, copies)
-	res.Fallback = mergeFallbacks(fallbacks)
-	res.NodesSpent = in.Meter.Spent() - start
-	return res, nil
+	return copies, mergeFallbacks(fallbacks), nil
 }
 
 // mergeFallbacks reduces per-component fallbacks to one label, keeping the
@@ -285,4 +299,25 @@ func BacktrackParallel(in Input, workers int) (Result, error) {
 // determinism contract.
 func HittingSetParallel(in Input, workers int) (Result, error) {
 	return runParallel(in, hittingCore, workers)
+}
+
+// BacktrackCores runs the backtracking cores of in's components without the
+// global finish, returning the merged copy table and fallback label. Pair
+// with Finish after stitching in copies from components solved elsewhere
+// (the incremental engine's reused components).
+func BacktrackCores(in Input, workers int) (Copies, string, error) {
+	return runCores(in, backtrackCore, workers)
+}
+
+// HittingSetCores is BacktrackCores for the hitting-set strategy.
+func HittingSetCores(in Input, workers int) (Copies, string, error) {
+	return runCores(in, hittingCore, workers)
+}
+
+// Finish runs the global epilogue over a stitched copy table: load-balanced
+// placement of copyless values, the residual conflict scan, and the copy
+// accounting. It must see the FULL input (all instructions and unassigned
+// values), not a component slice — per-module load is a global quantity.
+func Finish(in Input, copies Copies) Result {
+	return finishResult(in, copies)
 }

@@ -158,6 +158,11 @@ func (c *Client) Assign(ctx context.Context, req AssignRequest) (Response, error
 	return c.Do(ctx, OpAssign, req)
 }
 
+// Delta patches a held incremental session (see AssignRequest.Hold).
+func (c *Client) Delta(ctx context.Context, req DeltaRequest) (Response, error) {
+	return c.Do(ctx, OpDelta, req)
+}
+
 // Batch submits many sources as one admission unit.
 func (c *Client) Batch(ctx context.Context, req BatchRequest) (Response, error) {
 	return c.Do(ctx, OpBatch, req)

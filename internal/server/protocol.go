@@ -58,6 +58,7 @@ const (
 	OpCompile Op = 2 // CompileRequest -> Response with an AllocSummary
 	OpAssign  Op = 3 // AssignRequest -> Response with an AllocSummary
 	OpBatch   Op = 4 // BatchRequest  -> Response with per-item results
+	OpDelta   Op = 5 // DeltaRequest  -> Response patched from a held base
 
 	respFlag Op = 0x80
 )
@@ -88,6 +89,8 @@ func (o Op) String() string {
 		return "assign" + suffix
 	case OpBatch:
 		return "batch" + suffix
+	case OpDelta:
+		return "delta" + suffix
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -95,7 +98,7 @@ func (o Op) String() string {
 // knownRequest reports whether o is an op the server handles.
 func knownRequest(o Op) bool {
 	switch o {
-	case OpPing, OpCompile, OpAssign, OpBatch:
+	case OpPing, OpCompile, OpAssign, OpBatch, OpDelta:
 		return true
 	}
 	return false
@@ -245,6 +248,50 @@ type AssignRequest struct {
 	Method      string `json:"method,omitempty"`
 	BudgetNodes int64  `json:"budget_nodes,omitempty"`
 	DeadlineMS  int64  `json:"deadline_ms,omitempty"`
+	// Hold, when non-empty, retains the result server-side under this
+	// session name (scoped to the connection) so later OpDelta requests can
+	// patch against it instead of recompiling. Requires Strategy STOR1 (the
+	// default). Each connection holds a bounded number of sessions; holding
+	// a new one past the cap evicts the oldest.
+	Hold string `json:"hold,omitempty"`
+}
+
+// ChangedOp is one in-place instruction replacement in a DeltaRequest.
+type ChangedOp struct {
+	// Index into the base result's instruction stream.
+	Index int `json:"index"`
+	// Ops is the replacement operand set.
+	Ops []int `json:"ops"`
+}
+
+// DeltaRequest is the payload of an OpDelta frame: edit a held result's
+// instruction stream and recompile incrementally — only the conflict
+// components touched by the edit re-run the pipeline, the rest are
+// stitched from the base. The configuration (K, method) is the one the
+// base was compiled under; only the budget and deadline are per-request.
+type DeltaRequest struct {
+	// Base names the held session to patch (see AssignRequest.Hold).
+	Base string `json:"base"`
+	// Hold, when non-empty, retains the patched result under this name
+	// (which may equal Base, replacing it).
+	Hold string `json:"hold,omitempty"`
+	// Changed replaces instructions in place; Removed deletes by index;
+	// Added appends new operand sets. Indices refer to the base's stream.
+	Changed []ChangedOp `json:"changed,omitempty"`
+	Removed []int       `json:"removed,omitempty"`
+	Added   [][]int     `json:"added,omitempty"`
+	// BudgetNodes, DeadlineMS: as in CompileRequest.
+	BudgetNodes int64 `json:"budget_nodes,omitempty"`
+	DeadlineMS  int64 `json:"deadline_ms,omitempty"`
+}
+
+// IncrSummary is the wire form of the incremental reuse accounting.
+type IncrSummary struct {
+	Components int  `json:"components"`
+	Dirty      int  `json:"dirty"`
+	Reused     int  `json:"reused"`
+	CacheHits  int  `json:"cache_hits,omitempty"`
+	Full       bool `json:"full,omitempty"`
 }
 
 // BatchRequest is the payload of an OpBatch frame: compile many sources
@@ -298,4 +345,10 @@ type Response struct {
 	Result *AllocSummary `json:"result,omitempty"`
 	// Items are the per-item outcomes of a batch, in input order.
 	Items []ItemResult `json:"items,omitempty"`
+	// Held echoes the session name the result was retained under (assign
+	// and delta requests that asked to Hold).
+	Held string `json:"held,omitempty"`
+	// Incremental reports the reuse accounting of an incremental run
+	// (assign-with-Hold and delta responses).
+	Incremental *IncrSummary `json:"incremental,omitempty"`
 }

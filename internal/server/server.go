@@ -255,11 +255,56 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// maxHeldSessions bounds the incremental results one connection may hold;
+// holding another past the cap evicts the oldest (FIFO). Sessions die with
+// the connection — they are working state, not a cache.
+const maxHeldSessions = 8
+
 // conn is the per-connection state shared by its request goroutines.
 type conn struct {
 	nc  net.Conn
 	wmu sync.Mutex    // serializes response frames
 	sem chan struct{} // per-connection concurrency cap
+
+	// Held incremental sessions, by client-chosen name. AssignResult is
+	// immutable (a delta forks a new one), so concurrent deltas against one
+	// base are safe; the mutex only guards the map itself.
+	smu      sync.Mutex
+	sessions map[string]*heldSession
+	order    []string // FIFO eviction order
+}
+
+// heldSession is one retained incremental result plus the configuration
+// it was compiled under — deltas must replay the same K and method.
+type heldSession struct {
+	res *parmem.AssignResult
+	cfg parmem.AssignConfig
+}
+
+// holdSession retains res under name, evicting the oldest session past the
+// cap. Re-holding an existing name replaces it in place.
+func (c *conn) holdSession(name string, s *heldSession) {
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	if c.sessions == nil {
+		c.sessions = map[string]*heldSession{}
+	}
+	if _, ok := c.sessions[name]; !ok {
+		c.order = append(c.order, name)
+		if len(c.order) > maxHeldSessions {
+			delete(c.sessions, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.sessions[name] = s
+}
+
+// session looks up a held session by name.
+func (c *conn) session(name string) (*heldSession, bool) {
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	s, ok := c.sessions[name]
+	return s, ok
 }
 
 // writeFrame writes one response frame under the connection's write lock
@@ -341,7 +386,7 @@ func (s *Server) serveConn(nc net.Conn) {
 		go func(f Frame) {
 			defer s.reqWG.Done()
 			defer func() { <-c.sem }()
-			resp := s.process(f)
+			resp := s.process(c, f)
 			s.respond(c, f.Op, f.ID, resp)
 			s.cfg.Telemetry.Histogram(telemetry.MServerReqMicros, "op", f.Op.String()).
 				Observe(time.Since(start).Microseconds())
@@ -405,7 +450,7 @@ func (s *Server) rejectFrame(c *conn, f Frame, err error) {
 // process executes one admitted-or-shed request and builds its response.
 // It never panics: a poisoned request is isolated here and answered with
 // a typed INTERNAL response while sibling requests keep running.
-func (s *Server) process(f Frame) (resp Response) {
+func (s *Server) process(c *conn, f Frame) (resp Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp = Response{Code: CodeInternal, Phase: "server/handler",
@@ -426,7 +471,13 @@ func (s *Server) process(f Frame) (resp Response) {
 		if err := json.Unmarshal(f.Payload, &req); err != nil {
 			return Response{Code: CodeInvalidArgument, Error: "bad assign payload: " + err.Error()}
 		}
-		return s.handleAssign(req)
+		return s.handleAssign(c, req)
+	case OpDelta:
+		var req DeltaRequest
+		if err := json.Unmarshal(f.Payload, &req); err != nil {
+			return Response{Code: CodeInvalidArgument, Error: "bad delta payload: " + err.Error()}
+		}
+		return s.handleDelta(c, req)
 	case OpBatch:
 		var req BatchRequest
 		if err := json.Unmarshal(f.Payload, &req); err != nil {
@@ -597,7 +648,7 @@ func (s *Server) compileOptions(k int, strategy, method string, nodes int64) (pa
 	}, nil
 }
 
-func (s *Server) handleAssign(req AssignRequest) Response {
+func (s *Server) handleAssign(c *conn, req AssignRequest) Response {
 	st, err := parseStrategy(req.Strategy)
 	if err != nil {
 		return Response{Code: CodeInvalidArgument, Error: err.Error()}
@@ -610,38 +661,112 @@ func (s *Server) handleAssign(req AssignRequest) Response {
 	if err != nil {
 		return Response{Code: CodeInvalidArgument, Error: err.Error()}
 	}
-	instrs := make([]parmem.Instruction, len(req.Instrs))
-	for i, ops := range req.Instrs {
-		for _, v := range ops {
-			if v < 0 {
-				return Response{Code: CodeInvalidArgument,
-					Error: fmt.Sprintf("instrs[%d]: negative value id %d", i, v)}
-			}
-		}
-		instrs[i] = parmem.Instruction(ops)
+	instrs, badResp := wireInstrs(req.Instrs)
+	if badResp != nil {
+		return *badResp
 	}
 	ctx, cancel, err := s.requestCtx(req.DeadlineMS)
 	if err != nil {
 		return Response{Code: CodeInvalidArgument, Error: err.Error()}
 	}
 	defer cancel()
+	cfg := parmem.AssignConfig{
+		K:         req.K,
+		Strategy:  st,
+		Method:    m,
+		Budget:    b,
+		Workers:   s.cfg.Workers,
+		Store:     s.store,
+		Cache:     s.cache,
+		Telemetry: s.cfg.Telemetry,
+	}
 	return s.admit(ctx, func(ctx context.Context) Response {
-		al, err := parmem.AssignValues(ctx, instrs, parmem.AssignConfig{
-			K:         req.K,
-			Strategy:  st,
-			Method:    m,
-			Budget:    b,
-			Workers:   s.cfg.Workers,
-			Store:     s.store,
-			Cache:     s.cache,
-			Telemetry: s.cfg.Telemetry,
-		})
+		if req.Hold == "" {
+			al, err := parmem.AssignValues(ctx, instrs, cfg)
+			if err != nil {
+				code, phase := codeForError(ctx, err)
+				return Response{Code: code, Phase: phase, Error: err.Error()}
+			}
+			return Response{Code: CodeOK, Result: summarize(al, true)}
+		}
+		res, err := parmem.AssignValuesIncremental(ctx, instrs, cfg)
 		if err != nil {
 			code, phase := codeForError(ctx, err)
 			return Response{Code: code, Phase: phase, Error: err.Error()}
 		}
-		return Response{Code: CodeOK, Result: summarize(al, true)}
+		c.holdSession(req.Hold, &heldSession{res: res, cfg: cfg})
+		return Response{Code: CodeOK, Result: summarize(res.Alloc, true),
+			Held: req.Hold, Incremental: incrWire(res.Incremental)}
 	})
+}
+
+// handleDelta patches a held incremental session. The configuration is the
+// base's; only the budget and deadline come from the request.
+func (s *Server) handleDelta(c *conn, req DeltaRequest) Response {
+	if req.Base == "" {
+		return Response{Code: CodeInvalidArgument, Error: "delta has no base session"}
+	}
+	sess, ok := c.session(req.Base)
+	if !ok {
+		return Response{Code: CodeInvalidArgument,
+			Error: fmt.Sprintf("unknown base session %q (hold one with an assign request first)", req.Base)}
+	}
+	b, err := s.requestBudget(req.BudgetNodes)
+	if err != nil {
+		return Response{Code: CodeInvalidArgument, Error: err.Error()}
+	}
+	var d parmem.Delta
+	for _, ch := range req.Changed {
+		d.Changed = append(d.Changed, parmem.ChangedInstruction{Index: ch.Index, Instr: parmem.Instruction(ch.Ops)})
+	}
+	d.Removed = req.Removed
+	added, badResp := wireInstrs(req.Added)
+	if badResp != nil {
+		return *badResp
+	}
+	d.Added = added
+	ctx, cancel, err := s.requestCtx(req.DeadlineMS)
+	if err != nil {
+		return Response{Code: CodeInvalidArgument, Error: err.Error()}
+	}
+	defer cancel()
+	cfg := sess.cfg
+	cfg.Budget = b
+	return s.admit(ctx, func(ctx context.Context) Response {
+		res, err := parmem.AssignValuesDelta(ctx, sess.res, d, cfg)
+		if err != nil {
+			code, phase := codeForError(ctx, err)
+			return Response{Code: code, Phase: phase, Error: err.Error()}
+		}
+		resp := Response{Code: CodeOK, Result: summarize(res.Alloc, true),
+			Incremental: incrWire(res.Incremental)}
+		if req.Hold != "" {
+			c.holdSession(req.Hold, &heldSession{res: res, cfg: cfg})
+			resp.Held = req.Hold
+		}
+		return resp
+	})
+}
+
+// wireInstrs validates and converts wire operand sets to instructions.
+func wireInstrs(ops [][]int) ([]parmem.Instruction, *Response) {
+	instrs := make([]parmem.Instruction, len(ops))
+	for i, set := range ops {
+		for _, v := range set {
+			if v < 0 {
+				return nil, &Response{Code: CodeInvalidArgument,
+					Error: fmt.Sprintf("instrs[%d]: negative value id %d", i, v)}
+			}
+		}
+		instrs[i] = parmem.Instruction(set)
+	}
+	return instrs, nil
+}
+
+// incrWire converts incremental stats to their wire form.
+func incrWire(st parmem.IncrementalStats) *IncrSummary {
+	return &IncrSummary{Components: st.Components, Dirty: st.Dirty,
+		Reused: st.Reused, CacheHits: st.CacheHits, Full: st.Full}
 }
 
 func (s *Server) handleBatch(req BatchRequest) Response {

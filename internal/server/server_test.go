@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -574,5 +575,129 @@ func TestHealthEndpoints(t *testing.T) {
 	}
 	if got := get("/healthz"); got != http.StatusServiceUnavailable {
 		t.Fatalf("/healthz after completed drain = %d, want 503", got)
+	}
+}
+
+// TestDeltaSessionRoundTrip drives the incremental wire path: hold a base
+// with an assign request, patch it with deltas, verify the patched
+// placement is conflict-free and matches a cold assign of the edited
+// stream, and check the session-scoping error paths.
+func TestDeltaSessionRoundTrip(t *testing.T) {
+	s := newTestServer(t, Config{})
+	c := dialTest(t, s)
+	ctx := context.Background()
+
+	instrs := [][]int{{0, 1, 2}, {1, 2, 3}, {4, 5}, {5, 6}}
+	resp, err := c.Assign(ctx, AssignRequest{Instrs: instrs, K: 4, Hold: "base"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != CodeOK || resp.Held != "base" || resp.Incremental == nil {
+		t.Fatalf("assign+hold: %+v", resp)
+	}
+	if !resp.Incremental.Full || resp.Incremental.Components != 2 {
+		t.Fatalf("cold hold stats: %+v", resp.Incremental)
+	}
+
+	// Patch: rewrite one instruction in the first component, append a word.
+	edited := [][]int{{0, 1, 3}, {1, 2, 3}, {4, 5}, {5, 6}, {7, 8}}
+	resp, err = c.Delta(ctx, DeltaRequest{
+		Base:    "base",
+		Hold:    "base2",
+		Changed: []ChangedOp{{Index: 0, Ops: []int{0, 1, 3}}},
+		Added:   [][]int{{7, 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != CodeOK || resp.Held != "base2" || resp.Incremental == nil {
+		t.Fatalf("delta: %+v", resp)
+	}
+	if resp.Incremental.Full || resp.Incremental.Reused == 0 {
+		t.Fatalf("delta stats show no reuse: %+v", resp.Incremental)
+	}
+	copies := parmem.Copies{}
+	for id, mods := range resp.Result.Copies {
+		for _, m := range mods {
+			copies[id] = copies[id].Add(m)
+		}
+	}
+	for _, word := range edited {
+		if !parmem.ConflictFree(word, copies) {
+			t.Fatalf("patched allocation leaves %v conflicting", word)
+		}
+	}
+	cold, err := c.Assign(ctx, AssignRequest{Instrs: edited, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Code != CodeOK {
+		t.Fatalf("cold assign: %+v", cold)
+	}
+	// The patched placement must be bit-identical to the cold recompile.
+	if !reflect.DeepEqual(resp.Result.Copies, cold.Result.Copies) ||
+		resp.Result.TotalCopies != cold.Result.TotalCopies ||
+		resp.Result.Atoms != cold.Result.Atoms {
+		t.Fatalf("delta result differs from cold recompile:\n got %+v\nwant %+v", resp.Result, cold.Result)
+	}
+
+	// Chained delta against the patched session.
+	resp, err = c.Delta(ctx, DeltaRequest{Base: "base2", Removed: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != CodeOK || resp.Held != "" {
+		t.Fatalf("chained delta without hold: %+v", resp)
+	}
+
+	// Error paths: unknown base, missing base, out-of-range edit.
+	resp, err = c.Delta(ctx, DeltaRequest{Base: "nope"})
+	if err != nil || resp.Code != CodeInvalidArgument {
+		t.Fatalf("unknown base: %+v, %v", resp, err)
+	}
+	resp, err = c.Delta(ctx, DeltaRequest{})
+	if err != nil || resp.Code != CodeInvalidArgument {
+		t.Fatalf("missing base: %+v, %v", resp, err)
+	}
+	resp, err = c.Delta(ctx, DeltaRequest{Base: "base", Removed: []int{99}})
+	if err != nil || resp.Code != CodeInvalidArgument {
+		t.Fatalf("out-of-range removal: %+v, %v", resp, err)
+	}
+	// Hold with a non-STOR1 strategy is rejected up front.
+	resp, err = c.Assign(ctx, AssignRequest{Instrs: instrs, K: 4, Strategy: "STOR2", Hold: "s2"})
+	if err != nil || resp.Code != CodeInvalidArgument {
+		t.Fatalf("non-STOR1 hold: %+v, %v", resp, err)
+	}
+
+	// Sessions are per-connection: a second client cannot see "base".
+	c2 := dialTest(t, s)
+	resp, err = c2.Delta(ctx, DeltaRequest{Base: "base"})
+	if err != nil || resp.Code != CodeInvalidArgument {
+		t.Fatalf("cross-connection base: %+v, %v", resp, err)
+	}
+}
+
+// TestDeltaSessionEviction pins the FIFO cap on held sessions.
+func TestDeltaSessionEviction(t *testing.T) {
+	s := newTestServer(t, Config{})
+	c := dialTest(t, s)
+	ctx := context.Background()
+	instrs := [][]int{{0, 1}, {1, 2}}
+	for i := 0; i <= maxHeldSessions; i++ {
+		resp, err := c.Assign(ctx, AssignRequest{
+			Instrs: instrs, K: 4, Hold: fmt.Sprintf("s%d", i),
+		})
+		if err != nil || resp.Code != CodeOK {
+			t.Fatalf("hold s%d: %+v, %v", i, resp, err)
+		}
+	}
+	// s0 was evicted by the (cap+1)-th hold; s1 survives.
+	resp, err := c.Delta(ctx, DeltaRequest{Base: "s0"})
+	if err != nil || resp.Code != CodeInvalidArgument {
+		t.Fatalf("evicted base should be unknown: %+v, %v", resp, err)
+	}
+	resp, err = c.Delta(ctx, DeltaRequest{Base: "s1"})
+	if err != nil || resp.Code != CodeOK {
+		t.Fatalf("s1 should survive: %+v, %v", resp, err)
 	}
 }

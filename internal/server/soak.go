@@ -380,6 +380,7 @@ func (st *soakState) wellFormedWorker(ctx context.Context, rng *rand.Rand) {
 			c.Close()
 		}
 	}()
+	held := false // a "soak" incremental session exists on this connection
 	for ctx.Err() == nil {
 		if c == nil {
 			var err error
@@ -391,9 +392,10 @@ func (st *soakState) wellFormedWorker(ctx context.Context, rng *rand.Rand) {
 				}
 				continue
 			}
+			held = false // sessions die with the connection
 		}
 		start := time.Now()
-		resp, err := st.sendOne(ctx, c, rng)
+		resp, err := st.sendOne(ctx, c, rng, &held)
 		if err != nil {
 			if ctx.Err() != nil {
 				// Our own run window closed mid-request; not a drop.
@@ -417,19 +419,51 @@ func (st *soakState) wellFormedWorker(ctx context.Context, rng *rand.Rand) {
 	}
 }
 
-// sendOne picks and sends one well-formed request, counting it Sent.
-func (st *soakState) sendOne(ctx context.Context, c *Client, rng *rand.Rand) (Response, error) {
+// sendOne picks and sends one well-formed request, counting it Sent. held
+// tracks whether this connection holds the "soak" incremental session;
+// delta requests are only sent against a base that was confirmed held.
+func (st *soakState) sendOne(ctx context.Context, c *Client, rng *rand.Rand, held *bool) (Response, error) {
 	atomic.AddInt64(&st.rep.Sent, 1)
 	dl := st.opt.DeadlineMS
 	switch p := rng.Intn(100); {
 	case p < 10:
 		return c.Ping(ctx)
-	case p < 65:
+	case p < 55:
 		return c.Assign(ctx, AssignRequest{
 			Instrs:     soakInstrs(rng, 4),
 			K:          4,
 			DeadlineMS: dl,
 		})
+	case p < 65:
+		// Incremental round-trip: hold a base, then patch it with a small
+		// well-formed delta. The first leg (or a reconnect) establishes the
+		// session; later visits exercise the delta path against it.
+		if !*held {
+			resp, err := c.Assign(ctx, AssignRequest{
+				Instrs:     soakInstrs(rng, 4),
+				K:          4,
+				DeadlineMS: dl,
+				Hold:       "soak",
+			})
+			if err == nil && resp.Code == CodeOK && resp.Held == "soak" {
+				*held = true
+			}
+			return resp, err
+		}
+		// Change instruction 0 and append one word: always in range (the
+		// held stream is never emptied — deltas here only change and add).
+		resp, err := c.Delta(ctx, DeltaRequest{
+			Base:       "soak",
+			Hold:       "soak",
+			Changed:    []ChangedOp{{Index: 0, Ops: soakInstrs(rng, 4)[0]}},
+			Added:      [][]int{soakInstrs(rng, 4)[0]},
+			DeadlineMS: dl,
+		})
+		if err == nil && resp.Code == CodeOK && resp.Incremental == nil {
+			// A delta success must carry its reuse accounting.
+			resp = Response{Code: CodeInternal, Error: "delta response missing incremental stats"}
+		}
+		return resp, err
 	case p < 90:
 		return c.Compile(ctx, CompileRequest{
 			Src:        soakSources[rng.Intn(len(soakSources))],

@@ -43,6 +43,11 @@ const (
 	// Budget.
 	MBudgetNodes = "parmem_budget_nodes_spent_total" // counter: search nodes charged to meters
 
+	// Incremental recompilation.
+	MIncrDirty  = "parmem_incremental_dirty_components_total"  // counter: components recomputed by delta runs
+	MIncrReused = "parmem_incremental_reused_components_total" // counter: components stitched from prior results
+	MIncrFull   = "parmem_incremental_full_recompiles_total"   // counter: delta runs that fell back to a full recompile
+
 	// Phase timing.
 	MPhaseMicros = "parmem_phase_duration_us" // histogram{phase}: wall time per assignment phase
 
@@ -108,6 +113,9 @@ var metricHelp = map[string]string{
 	MCopiesPlaced:     "Extra value copies placed by the duplication strategy.",
 	MDegradations:     "Budget-exhaustion degradations, by fallback strategy taken.",
 	MBudgetNodes:      "Search-budget nodes charged across all assignment phases.",
+	MIncrDirty:        "Conflict components recomputed by incremental delta runs.",
+	MIncrReused:       "Conflict components reused from a prior result by incremental delta runs.",
+	MIncrFull:         "Incremental delta runs that fell back to a full recompile.",
 	MPhaseMicros:      "Wall time per assignment phase, microseconds.",
 	MCacheHits:        "Allocation-cache hits, by memo level.",
 	MCacheMisses:      "Allocation-cache misses, by memo level.",
