@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race vet staticcheck bench bench-run bench-json bench-diff bench-scaling bench-scaling-smoke tables trace-smoke soak-smoke gateway-smoke
+.PHONY: build test check race vet staticcheck bench bench-run bench-json bench-diff bench-scaling bench-scaling-smoke tables trace-smoke soak-smoke gateway-smoke fleet-trace-smoke
 
 build:
 	$(GO) build ./...
@@ -132,6 +132,68 @@ soak-smoke:
 	if [ $$soak -ne 0 ]; then echo "soak-smoke: soak FAILED ($$soak)"; exit $$soak; fi; \
 	if [ $$daemon -ne 0 ]; then echo "soak-smoke: parmemd did not drain cleanly ($$daemon)"; exit 1; fi; \
 	echo soak-smoke OK
+
+# fleet-trace-smoke is the end-to-end distributed-tracing pass: boot two
+# parmemd backends (span export + flight recorder on, 1ms latency trigger)
+# behind parmemgw (span export on), soak the gateway with traced traffic —
+# the chaos client checks every response echoes its request's trace id and,
+# via -flight-url, that the daemons spooled at least one flight capture —
+# then drain everything and merge the four per-process JSONL exports with
+# parmemtrace. The merge must find at least one trace spanning 3 processes
+# (client -> gateway -> daemon); the merged Chrome trace lands in
+# FLEET_trace.json and one flight capture in FLEET_flight_capture.json for
+# CI to archive.
+fleet-trace-smoke:
+	$(GO) build -o bin/parmemd ./cmd/parmemd
+	$(GO) build -o bin/parmemgw ./cmd/parmemgw
+	$(GO) build -o bin/parmemsoak ./cmd/parmemsoak
+	$(GO) build -o bin/parmemtrace ./cmd/parmemtrace
+	@rm -rf fts-flight1 fts-flight2 fts-d1.log fts-d2.log fts-gw.log \
+		fts-d1.jsonl fts-d2.jsonl fts-gw.jsonl fts-client.jsonl
+	@./bin/parmemd -addr 127.0.0.1:0 -telemetry-addr 127.0.0.1:0 \
+		-trace fts-d1.jsonl -flight-dir fts-flight1 -flight-latency 1ms 2>fts-d1.log & \
+	pid1=$$!; \
+	./bin/parmemd -addr 127.0.0.1:0 -telemetry-addr 127.0.0.1:0 \
+		-trace fts-d2.jsonl -flight-dir fts-flight2 -flight-latency 1ms 2>fts-d2.log & \
+	pid2=$$!; \
+	for i in $$(seq 1 100); do \
+		grep -q 'telemetry on' fts-d1.log && grep -q 'telemetry on' fts-d2.log && break; sleep 0.1; \
+	done; \
+	a1=$$(sed -n 's/^parmemd: listening on //p' fts-d1.log | head -1); \
+	a2=$$(sed -n 's/^parmemd: listening on //p' fts-d2.log | head -1); \
+	t1=$$(sed -n 's|^parmemd: telemetry on http://\([^/]*\)/metrics.*|\1|p' fts-d1.log | head -1); \
+	t2=$$(sed -n 's|^parmemd: telemetry on http://\([^/]*\)/metrics.*|\1|p' fts-d2.log | head -1); \
+	if [ -z "$$a1" ] || [ -z "$$a2" ] || [ -z "$$t1" ] || [ -z "$$t2" ]; then \
+		echo "fleet-trace-smoke: backends never announced"; cat fts-d1.log fts-d2.log; \
+		kill $$pid1 $$pid2 2>/dev/null; exit 1; fi; \
+	./bin/parmemgw -addr 127.0.0.1:0 -backends "$$a1,$$a2" -trace fts-gw.jsonl 2>fts-gw.log & \
+	gwpid=$$!; \
+	for i in $$(seq 1 100); do \
+		grep -q 'listening on' fts-gw.log && break; sleep 0.1; \
+	done; \
+	gaddr=$$(sed -n 's/^parmemgw: listening on //p' fts-gw.log | head -1); \
+	if [ -z "$$gaddr" ]; then echo "fleet-trace-smoke: gateway never announced"; cat fts-gw.log; \
+		kill $$pid1 $$pid2 $$gwpid 2>/dev/null; exit 1; fi; \
+	echo "fleet-trace-smoke: gateway at $$gaddr over $$a1 + $$a2 (flight at $$t1, $$t2)"; \
+	./bin/parmemsoak -addr "$$gaddr" -duration 5s -clients 2 \
+		-trace fts-client.jsonl -flight-url "http://$$t1,http://$$t2" \
+		-summary FLEET_summary.json; soak=$$?; \
+	kill -TERM $$gwpid; wait $$gwpid; gw=$$?; \
+	kill -TERM $$pid1; wait $$pid1; b1=$$?; \
+	kill -TERM $$pid2; wait $$pid2; b2=$$?; \
+	cat fts-gw.log; \
+	if [ $$soak -ne 0 ]; then echo "fleet-trace-smoke: soak FAILED ($$soak)"; exit $$soak; fi; \
+	if [ $$gw -ne 0 ] || [ $$b1 -ne 0 ] || [ $$b2 -ne 0 ]; then \
+		echo "fleet-trace-smoke: dirty drain (gw=$$gw b1=$$b1 b2=$$b2)"; exit 1; fi; \
+	./bin/parmemtrace -min-processes 3 -o FLEET_trace.json \
+		fts-client.jsonl fts-gw.jsonl fts-d1.jsonl fts-d2.jsonl || \
+		{ echo "fleet-trace-smoke: no trace spans 3 processes"; exit 1; }; \
+	capture=$$(ls fts-flight1 fts-flight2 2>/dev/null | grep '^flight-' | head -1); \
+	if [ -z "$$capture" ]; then echo "fleet-trace-smoke: no flight capture spooled"; exit 1; fi; \
+	cp "$$(ls fts-flight1/flight-*.json fts-flight2/flight-*.json 2>/dev/null | head -1)" FLEET_flight_capture.json; \
+	rm -rf fts-flight1 fts-flight2 fts-d1.log fts-d2.log fts-gw.log \
+		fts-d1.jsonl fts-d2.jsonl fts-gw.jsonl fts-client.jsonl; \
+	echo fleet-trace-smoke OK
 
 # gateway-smoke is the end-to-end fleet pass: boot two parmemd backends
 # (each with a persistent -cache-dir), front them with parmemgw, soak the

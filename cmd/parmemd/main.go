@@ -23,8 +23,17 @@
 // written), then exits 0. A second signal exits immediately.
 //
 // -telemetry-addr serves /metrics, /debug/vars and /debug/pprof plus the
-// daemon's /healthz and /readyz (readiness flips to 503 the moment a drain
-// starts, so load balancers stop routing before connections close).
+// daemon's /healthz, /readyz and /debug/flight (readiness flips to 503 the
+// moment a drain starts, so load balancers stop routing before connections
+// close).
+//
+// -trace FILE exports every span as one JSON line, stamped with the
+// distributed trace context requests carry over the wire; parmemtrace
+// merges such files from a whole fleet into one Chrome trace. The flight
+// recorder is always on: an in-memory ring of recent request records whose
+// anomalies (slow per -flight-latency, shed, degraded, internal) snapshot
+// the ring plus the request's span tree — -flight-dir spools captures to
+// disk, bounded by -flight-max-captures with oldest-first eviction.
 //
 // -cache-dir backs the shared allocation cache with a persistent disk
 // tier (an append-log cache directory, see DESIGN §13), so a restarted
@@ -76,6 +85,10 @@ func main() {
 		cacheReadOnly = flag.Bool("cache-readonly", false, "open the disk cache as a snapshot; serve hits but persist nothing")
 		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics, /debug/*, /healthz and /readyz on this address")
 		drainGrace    = flag.Duration("drain-grace", 30*time.Second, "how long a graceful drain waits for in-flight requests")
+		traceFile     = flag.String("trace", "", "export spans as JSON lines to this file (merge fleet-wide with parmemtrace)")
+		flightDir     = flag.String("flight-dir", "", "spool triggered flight captures to this directory")
+		flightLatency = flag.Duration("flight-latency", time.Second, "latency threshold that triggers a flight capture (negative: disabled)")
+		flightMax     = flag.Int("flight-max-captures", 32, "flight captures retained in memory and on disk")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -90,23 +103,37 @@ func main() {
 	}
 
 	rec := telemetry.New()
+	var traceSink *telemetry.JSONLSink
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parmemd: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		traceSink = telemetry.NewJSONLSink(f)
+		traceSink.WriteProcess("parmemd", rec.Tracer())
+		rec.AddSink(traceSink)
+	}
 	s, err := server.New(server.Config{
-		Addr:            *addr,
-		MaxInFlight:     *maxInFlight,
-		MaxQueue:        *maxQueue,
-		PerConnInFlight: *perConn,
-		MaxFrameBytes:   *maxFrame,
-		MaxBatchItems:   *maxBatch,
-		DefaultDeadline: *defDeadline,
-		MaxDeadline:     *maxDeadline,
-		MaxBudgetNodes:  *budgetNodes,
-		FrameTimeout:    *frameTimeout,
-		Workers:         *workers,
-		CacheCapacity:   *cacheCap,
-		CacheDir:        *cacheDir,
-		MaxCacheBytes:   *cacheBytes,
-		CacheReadOnly:   *cacheReadOnly,
-		Telemetry:       rec,
+		Addr:              *addr,
+		MaxInFlight:       *maxInFlight,
+		MaxQueue:          *maxQueue,
+		PerConnInFlight:   *perConn,
+		MaxFrameBytes:     *maxFrame,
+		MaxBatchItems:     *maxBatch,
+		DefaultDeadline:   *defDeadline,
+		MaxDeadline:       *maxDeadline,
+		MaxBudgetNodes:    *budgetNodes,
+		FrameTimeout:      *frameTimeout,
+		Workers:           *workers,
+		CacheCapacity:     *cacheCap,
+		CacheDir:          *cacheDir,
+		MaxCacheBytes:     *cacheBytes,
+		CacheReadOnly:     *cacheReadOnly,
+		Telemetry:         rec,
+		FlightDir:         *flightDir,
+		FlightLatency:     *flightLatency,
+		FlightMaxCaptures: *flightMax,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "parmemd: %v\n", err)
@@ -146,6 +173,11 @@ func main() {
 	if err := s.Drain(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "parmemd: drain: %v\n", err)
 		os.Exit(1)
+	}
+	if traceSink != nil {
+		if err := traceSink.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "parmemd: -trace: %v\n", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "parmemd: drained cleanly")
 }

@@ -55,6 +55,7 @@ func main() {
 		fwdTimeout    = flag.Duration("forward-timeout", 60*time.Second, "bound on one forwarded request")
 		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics, /debug/*, /healthz and /readyz on this address")
 		drainGrace    = flag.Duration("drain-grace", 30*time.Second, "how long a graceful drain waits for in-flight forwards")
+		traceFile     = flag.String("trace", "", "export spans as JSON lines to this file (merge fleet-wide with parmemtrace)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -71,6 +72,17 @@ func main() {
 	}
 
 	rec := telemetry.New()
+	var traceSink *telemetry.JSONLSink
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parmemgw: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		traceSink = telemetry.NewJSONLSink(f)
+		traceSink.WriteProcess("parmemgw", rec.Tracer())
+		rec.AddSink(traceSink)
+	}
 	g, err := gateway.New(gateway.Config{
 		Addr:           *addr,
 		Backends:       splitList(*backends),
@@ -119,6 +131,11 @@ func main() {
 	if err := g.Drain(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "parmemgw: drain: %v\n", err)
 		os.Exit(1)
+	}
+	if traceSink != nil {
+		if err := traceSink.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "parmemgw: -trace: %v\n", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "parmemgw: drained cleanly")
 }

@@ -16,9 +16,22 @@
 //   - overload bursts were shed with typed RESOURCE_EXHAUSTED, and
 //   - every deadline-storm request got a typed answer.
 //
-// -summary FILE writes the full report as JSON (latency percentiles
-// included) for CI artifacts. Exit codes: 0 pass, 1 acceptance failure,
-// 2 flag errors, 3 setup failure (daemon unreachable).
+// Every well-formed request carries a distributed trace, and its response
+// must echo the trace id — one more acceptance criterion. -trace FILE
+// exports the client-side spans as JSON lines for parmemtrace, and
+// -flight-url URL1,URL2 enables the flight-recorder check: after the load
+// drains, one deliberately heavy traced assign is sent and at least one
+// /debug/flight endpoint must show a capture.
+//
+// Every flag is also settable through the environment as PARMEMSOAK_<FLAG>
+// (dashes to underscores, upper-cased: PARMEMSOAK_FLIGHT_URL configures
+// -flight-url). An explicit command-line flag always wins over its
+// variable.
+//
+// -summary FILE writes the full report as JSON (latency percentiles,
+// trace accounting and the three slowest trace ids included) for CI
+// artifacts. Exit codes: 0 pass, 1 acceptance failure, 2 flag errors,
+// 3 setup failure (daemon unreachable).
 package main
 
 import (
@@ -27,9 +40,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"parmem/internal/envflag"
 	"parmem/internal/server"
+	"parmem/internal/telemetry"
 )
 
 func main() {
@@ -43,11 +59,33 @@ func main() {
 		steadyOps  = flag.Int("steady-ops", 0, "after the load drains, measure client allocs/op over this many identical requests (0: skip)")
 		maxAllocs  = flag.Float64("max-allocs-per-op", 0, "fail if the steady-state allocs/op exceed this (0: no bar)")
 		summary    = flag.String("summary", "", "write the JSON report to this file")
+		traceFile  = flag.String("trace", "", "export client-side spans as JSON lines to this file (merge fleet-wide with parmemtrace)")
+		flightURLs = flag.String("flight-url", "", "comma-separated telemetry base URLs; after the load, force a slow request and require a /debug/flight capture")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "parmemsoak: unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
+	}
+	// Every flag is also settable as PARMEMSOAK_<FLAG> (dashes to
+	// underscores, upper-cased); an explicit flag wins over its variable.
+	if err := envflag.Apply("PARMEMSOAK", flag.CommandLine); err != nil {
+		fmt.Fprintf(os.Stderr, "parmemsoak: %v\n", err)
+		os.Exit(2)
+	}
+
+	var rec *telemetry.Recorder
+	var traceSink *telemetry.JSONLSink
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parmemsoak: -trace: %v\n", err)
+			os.Exit(3)
+		}
+		rec = telemetry.New()
+		traceSink = telemetry.NewJSONLSink(f)
+		traceSink.WriteProcess("parmemsoak", rec.Tracer())
+		rec.AddSink(traceSink)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration+60*time.Second)
@@ -61,7 +99,14 @@ func main() {
 		DeadlineMS:     *deadlineMS,
 		SteadyStateOps: *steadyOps,
 		MaxAllocsPerOp: *maxAllocs,
+		Telemetry:      rec,
+		FlightURLs:     splitList(*flightURLs),
 	})
+	if traceSink != nil {
+		if ferr := traceSink.Flush(); ferr != nil {
+			fmt.Fprintf(os.Stderr, "parmemsoak: -trace: %v\n", ferr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "parmemsoak: %v\n", err)
 		os.Exit(3)
@@ -78,8 +123,16 @@ func main() {
 			report.OverloadResponded, report.OverloadSent,
 			report.OverloadShed, report.OverloadOK, report.FaultConns)
 	}
-	fmt.Printf("parmemsoak: latency_us p50=%d p95=%d p99=%d max=%d\n",
-		report.LatencyP50US, report.LatencyP95US, report.LatencyP99US, report.LatencyMaxUS)
+	fmt.Printf("parmemsoak: latency_us p50=%d p95=%d p99=%d max=%d trace_echo_mismatches=%d\n",
+		report.LatencyP50US, report.LatencyP95US, report.LatencyP99US, report.LatencyMaxUS,
+		report.TraceEchoMismatches)
+	for _, s := range report.Slowest {
+		fmt.Printf("parmemsoak: slowest %s %s %dus\n", s.TraceID, s.Op, s.LatencyUS)
+	}
+	if report.FlightChecked {
+		fmt.Printf("parmemsoak: flight captures across %d endpoint(s): %d\n",
+			len(splitList(*flightURLs)), report.FlightCaptures)
+	}
 	if report.SteadyStateOps > 0 {
 		fmt.Printf("parmemsoak: steady-state allocs/op=%.1f over %d ops (bar %.1f)\n",
 			report.AllocsPerOp, report.SteadyStateOps, report.MaxAllocsPerOp)
@@ -101,4 +154,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("parmemsoak: PASS")
+}
+
+// splitList splits a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

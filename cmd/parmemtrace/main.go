@@ -1,0 +1,89 @@
+// Command parmemtrace merges per-process JSONL span exports (the -trace
+// output of parmemd, parmemgw and parmemsoak) into one Chrome trace_event
+// file viewable in chrome://tracing or Perfetto, with one pid lane per
+// process and flow arrows for every cross-process rpc link.
+//
+// Usage:
+//
+//	parmemtrace [-o merged.json] [-min-processes N] daemon1.jsonl daemon2.jsonl gw.jsonl
+//
+// Per-process clocks are monotonic and private; the merger aligns them
+// coarsely by the wall-clock epoch in each file's process header, then
+// refines by causality — a span with a remote parent cannot start before
+// that parent — which absorbs wall-clock skew between hosts.
+//
+// A per-trace summary (span count, process fan) is printed to stderr for
+// the -top largest traces, plus one totals line. -min-processes N exits
+// nonzero unless at least one trace id spans N or more processes — the
+// smoke-test gate proving fleet-wide propagation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parmem/internal/tracemerge"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "write the merged Chrome trace here (default stdout)")
+		minProc = flag.Int("min-processes", 0, "fail unless one trace id spans at least this many processes")
+		top     = flag.Int("top", 10, "per-trace summary lines to print (largest first; 0 silences them)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "parmemtrace: no input files (expected JSONL span exports)")
+		os.Exit(2)
+	}
+
+	var procs []tracemerge.ProcessTrace
+	for _, path := range flag.Args() {
+		pt, err := tracemerge.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parmemtrace: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		procs = append(procs, pt)
+	}
+
+	m := tracemerge.Merge(procs)
+	multi, spans := 0, 0
+	for _, t := range m.Traces {
+		spans += t.Spans
+		if t.Processes > 1 {
+			multi++
+		}
+	}
+	for i, t := range m.Traces {
+		if i >= *top {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "parmemtrace: trace %s: %d spans across %d process(es)\n",
+			t.Trace, t.Spans, t.Processes)
+	}
+	fmt.Fprintf(os.Stderr, "parmemtrace: %d spans in %d traces from %d processes (%d traces cross-process)\n",
+		spans, len(m.Traces), len(procs), multi)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parmemtrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := m.WriteChrome(w); err != nil {
+		fmt.Fprintf(os.Stderr, "parmemtrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *minProc > 0 && m.MaxTraceProcesses() < *minProc {
+		fmt.Fprintf(os.Stderr, "parmemtrace: no trace spans %d processes (max %d)\n",
+			*minProc, m.MaxTraceProcesses())
+		os.Exit(1)
+	}
+}

@@ -268,7 +268,13 @@ func Assign(p Program, opt Options) (al Allocation, err error) {
 		return Allocation{}, fmt.Errorf("assign: %w", err)
 	}
 	st.rec = opt.Telemetry
-	st.root = st.rec.StartSpan("assign", opt.Parent)
+	if opt.Parent != nil {
+		st.root = st.rec.StartSpan("assign", opt.Parent)
+	} else {
+		// A root with no in-process parent may still continue a distributed
+		// trace carried on the request context.
+		st.root = st.rec.StartSpanContext(opt.Ctx, "assign", nil)
+	}
 	if st.root != nil {
 		st.root.SetAttrStr("strategy", opt.Strategy.String())
 		st.root.SetAttrStr("method", opt.Method.String())

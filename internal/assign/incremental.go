@@ -400,7 +400,11 @@ func incrPhaseState(opt Options, spanName string) *phaseState {
 		st.meter = budget.NewMeter(opt.Ctx, opt.Budget.BacktrackNodes(), opt.Budget.MaxDuplicationTime)
 	}
 	st.rec = opt.Telemetry
-	st.root = st.rec.StartSpan(spanName, opt.Parent)
+	if opt.Parent != nil {
+		st.root = st.rec.StartSpan(spanName, opt.Parent)
+	} else {
+		st.root = st.rec.StartSpanContext(opt.Ctx, spanName, nil)
+	}
 	if st.root != nil {
 		st.root.SetAttrStr("method", opt.Method.String())
 		st.root.SetAttr("k", int64(opt.K))

@@ -250,6 +250,7 @@ func (g *Gateway) serveConn(nc net.Conn) {
 			g.drainMu.RUnlock()
 			g.respond(nc, &wmu, f, server.Response{
 				Code: server.CodeUnavailable, Error: "gateway: draining",
+				Trace: echoTrace(f.Payload),
 			})
 			continue
 		}
@@ -260,7 +261,7 @@ func (g *Gateway) serveConn(nc net.Conn) {
 			defer g.reqWG.Done()
 			start := time.Now()
 			resp := g.process(f)
-			g.mReqUS[f.Op].Observe(time.Since(start).Microseconds())
+			g.mReqUS[f.Op].ObserveExemplar(time.Since(start).Microseconds(), resp.Trace)
 			g.respond(nc, &wmu, f, resp)
 		}(f)
 	}
@@ -284,13 +285,61 @@ func (g *Gateway) respond(nc net.Conn, wmu *sync.Mutex, f server.Frame, resp ser
 func (g *Gateway) process(f server.Frame) server.Response {
 	switch f.Op {
 	case server.OpPing:
-		return server.Response{Code: server.CodeOK, Draining: g.draining.Load()}
-	case server.OpCompile, server.OpAssign, server.OpBatch:
+		return server.Response{Code: server.CodeOK, Draining: g.draining.Load(),
+			Trace: echoTrace(f.Payload)}
+	case server.OpCompile, server.OpAssign, server.OpBatch, server.OpDelta:
 		return g.forward(f)
 	default:
 		return server.Response{Code: server.CodeInvalidArgument,
-			Error: fmt.Sprintf("gateway: unknown op %d", uint8(f.Op))}
+			Error: fmt.Sprintf("gateway: unknown op %d", uint8(f.Op)),
+			Trace: echoTrace(f.Payload)}
 	}
+}
+
+// payloadTrace extracts the optional wire trace context from a request
+// payload without interpreting the rest of it.
+func payloadTrace(payload []byte) string {
+	if len(payload) == 0 {
+		return ""
+	}
+	var t struct {
+		Trace string `json:"trace"`
+	}
+	if json.Unmarshal(payload, &t) != nil {
+		return ""
+	}
+	return t.Trace
+}
+
+// echoTrace renders the 32-hex trace id a locally answered request should
+// echo, or "" when the request is untraced.
+func echoTrace(payload []byte) string {
+	if tc, ok := telemetry.ParseTraceContext(payloadTrace(payload)); ok {
+		return tc.TraceID()
+	}
+	return ""
+}
+
+// injectTrace rewrites the payload's trace field to tc's wire form and
+// leaves every other field untouched. On any marshaling trouble the
+// original payload comes back — propagation is best-effort, routing is not.
+func injectTrace(payload []byte, tc telemetry.TraceContext) []byte {
+	m := map[string]json.RawMessage{}
+	if len(payload) > 0 {
+		if err := json.Unmarshal(payload, &m); err != nil {
+			return payload
+		}
+	}
+	enc, err := json.Marshal(tc.String())
+	if err != nil {
+		return payload
+	}
+	m["trace"] = enc
+	out, err := json.Marshal(m)
+	if err != nil {
+		return payload
+	}
+	return out
 }
 
 // forward routes f to its consistent-hash backend, failing over along
@@ -301,7 +350,19 @@ func (g *Gateway) process(f server.Frame) server.Response {
 // since a sibling backend can still serve the request (a cache miss
 // there at worst).
 func (g *Gateway) forward(f server.Frame) server.Response {
+	// Route on the payload as the client sent it: trace injection must not
+	// move a request to a different cache shard.
 	key := routeKey(f.Op, f.Payload)
+
+	// Adopt the client's trace or start one at the fleet edge, so every
+	// response carries a trace id and the daemon's spans link back here.
+	tc, ok := telemetry.ParseTraceContext(payloadTrace(f.Payload))
+	if !ok {
+		tc = telemetry.NewTrace()
+	}
+	sp := g.cfg.Telemetry.StartSpanTrace("gw_"+f.Op.String(), tc)
+	defer sp.End()
+
 	seq := g.ring.sequence(key, make([]int, 0, len(g.backends)))
 	var lastErr string
 	for attempt, idx := range seq {
@@ -314,7 +375,17 @@ func (g *Gateway) forward(f server.Frame) server.Response {
 		if attempt > 0 {
 			g.cfg.Telemetry.Counter(telemetry.MGatewayFailovers, "backend", g.backends[seq[0]].addr).Inc()
 		}
-		resp, err := g.forwardTo(b, f)
+		fwd := f
+		fsp := g.cfg.Telemetry.StartSpan("forward", sp)
+		if fsp != nil {
+			// A tracing gateway rewrites the trace field so the backend's
+			// rpc span links under this forward attempt; an untraced one
+			// passes the payload through byte-identical.
+			fsp.SetAttrStr("backend", b.addr)
+			fwd.Payload = injectTrace(f.Payload, fsp.Context())
+		}
+		resp, err := g.forwardTo(b, fwd)
+		fsp.End()
 		if err != nil {
 			b.setHealthy(false)
 			lastErr = err.Error()
@@ -327,13 +398,16 @@ func (g *Gateway) forward(f server.Frame) server.Response {
 			continue
 		}
 		g.cfg.Telemetry.Counter(telemetry.MGatewayRequests, "backend", b.addr, "code", string(resp.Code)).Inc()
+		if resp.Trace == "" {
+			resp.Trace = tc.TraceID()
+		}
 		return resp
 	}
 	if lastErr == "" {
 		lastErr = "no routable backend"
 	}
 	return server.Response{Code: server.CodeUnavailable,
-		Error: "gateway: " + lastErr}
+		Error: "gateway: " + lastErr, Trace: tc.TraceID()}
 }
 
 func (g *Gateway) forwardTo(b *backend, f server.Frame) (server.Response, error) {

@@ -22,6 +22,17 @@ import (
 // half the pipeline in the gateway), so the key hashes the source text
 // and the options that shape compilation; identical submissions — the
 // warm-fleet case — still collide.
+//
+// Session-flavored requests trade cache affinity for session affinity:
+// an assign that holds a session, and every delta against one, route by
+// the session's name. Daemon-side sessions live on the connection that
+// created them, and the gateway keeps exactly one multiplexed upstream
+// connection per backend — so pinning a session name to one ring position
+// keeps the hold and all its deltas on the connection that knows the
+// session. A failover (the session's home backend dying) loses the
+// session; the daemon answers the next delta with its typed unknown-base
+// INVALID_ARGUMENT and the client re-holds, exactly as it would after its
+// own connection dropped.
 
 // routeKey computes the routing key of one request frame. Unparseable
 // payloads return key 0 (a deterministic backend will reject them with
@@ -33,7 +44,16 @@ func routeKey(op server.Op, payload []byte) uint64 {
 		if err := json.Unmarshal(payload, &req); err != nil {
 			return 0
 		}
+		if req.Hold != "" {
+			return sessionKey(req.Hold)
+		}
 		return assignKey(req)
+	case server.OpDelta:
+		var req server.DeltaRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return 0
+		}
+		return sessionKey(req.Base)
 	case server.OpCompile:
 		var req server.CompileRequest
 		if err := json.Unmarshal(payload, &req); err != nil {
@@ -70,6 +90,14 @@ func assignKey(req server.AssignRequest) uint64 {
 	g := conflict.Build(instrs)
 	h := alloccache.CanonicalHash(g)
 	return mixOpts(h, req.K, req.Strategy, req.Method)
+}
+
+// sessionKey pins a session name to one ring position. The "sess\x00"
+// prefix keeps the namespace disjoint from text keys.
+func sessionKey(name string) uint64 {
+	h := fnv.New64a()
+	writeLenPrefixed(h, "sess\x00"+name)
+	return h.Sum64()
 }
 
 func textKey(src string, k int, strategy, method string) uint64 {

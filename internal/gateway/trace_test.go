@@ -1,0 +1,207 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"parmem/internal/server"
+	"parmem/internal/telemetry"
+	"parmem/internal/tracemerge"
+)
+
+// tracedProc bundles one process's recorder with its JSONL export buffer.
+type tracedProc struct {
+	rec  *telemetry.Recorder
+	sink *telemetry.JSONLSink
+	buf  *bytes.Buffer
+}
+
+func newTracedProc(name string) *tracedProc {
+	buf := &bytes.Buffer{}
+	sink := telemetry.NewJSONLSink(buf)
+	rec := telemetry.New(sink)
+	sink.WriteProcess(name, rec.Tracer())
+	return &tracedProc{rec: rec, sink: sink, buf: buf}
+}
+
+func (p *tracedProc) read(t *testing.T, name string) tracemerge.ProcessTrace {
+	t.Helper()
+	if err := p.sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := tracemerge.Read(bytes.NewReader(p.buf.Bytes()), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+// TestEndToEndTrace is the acceptance test for fleet-wide tracing: one
+// traced assign from a client through a gateway to a daemon must produce
+// JSONL exports that merge into a single trace id spanning all three
+// processes, with the daemon's rpc span remotely parented to the gateway's
+// forward span and the gateway's root remotely parented to the client span.
+func TestEndToEndTrace(t *testing.T) {
+	daemon := newTracedProc("parmemd")
+	s, err := server.New(server.Config{Addr: "127.0.0.1:0", Telemetry: daemon.rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	gw := newTracedProc("parmemgw")
+	g, err := New(Config{
+		Addr:          "127.0.0.1:0",
+		Backends:      []string{s.Addr()},
+		ProbeInterval: 50 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		Telemetry:     gw.rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+
+	client := newTracedProc("client")
+	c, err := server.Dial(g.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tc := telemetry.NewTrace()
+	sp := client.rec.StartSpanTrace("request", tc)
+	ctx := telemetry.ContextWithTrace(context.Background(), sp.Context())
+	resp, err := c.Assign(ctx, server.AssignRequest{
+		Instrs: [][]int{{0, 1, 2}, {1, 2, 3}, {0, 3}},
+		K:      4,
+	})
+	sp.End()
+	if err != nil || resp.Code != server.CodeOK {
+		t.Fatalf("assign through gateway: %+v, %v", resp, err)
+	}
+	if resp.Trace != tc.TraceID() {
+		t.Fatalf("response echoed trace %q, want %q", resp.Trace, tc.TraceID())
+	}
+
+	procs := []tracemerge.ProcessTrace{
+		client.read(t, "client"),
+		gw.read(t, "parmemgw"),
+		daemon.read(t, "parmemd"),
+	}
+	for i, p := range procs {
+		if len(p.Spans) == 0 {
+			t.Fatalf("process %d (%s) exported no spans", i, p.Name)
+		}
+		for _, srec := range p.Spans {
+			if srec.Trace != tc.TraceID() {
+				t.Fatalf("%s span %q carries trace %q, want %q", p.Name, srec.Name, srec.Trace, tc.TraceID())
+			}
+		}
+	}
+
+	m := tracemerge.Merge(procs)
+	if got := m.MaxTraceProcesses(); got != 3 {
+		t.Fatalf("merged trace spans %d processes, want 3 (traces: %+v)", got, m.Traces)
+	}
+	if len(m.Traces) != 1 || m.Traces[0].Trace != tc.TraceID() {
+		t.Fatalf("merged traces = %+v, want exactly %s", m.Traces, tc.TraceID())
+	}
+
+	// The remote-parent chain must link daemon -> gateway -> client.
+	findRemote := func(p tracemerge.ProcessTrace, name string) (string, bool) {
+		for _, srec := range p.Spans {
+			if srec.Name == name && srec.RemoteParent != "" {
+				return srec.RemoteProc, true
+			}
+		}
+		return "", false
+	}
+	if proc, ok := findRemote(procs[2], "rpc_assign"); !ok || proc != procs[1].Proc {
+		t.Fatalf("daemon rpc span not remotely parented to the gateway (got proc %q, ok=%v, want %q)",
+			proc, ok, procs[1].Proc)
+	}
+	if proc, ok := findRemote(procs[1], "gw_assign"); !ok || proc != procs[0].Proc {
+		t.Fatalf("gateway root span not remotely parented to the client (got proc %q, ok=%v, want %q)",
+			proc, ok, procs[0].Proc)
+	}
+
+	// The merged Chrome trace must carry lanes for all three processes and
+	// at least two cross-process flow links.
+	var out bytes.Buffer
+	if err := m.WriteChrome(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"client", "parmemgw", "parmemd"} {
+		if !strings.Contains(out.String(), `"name": "`+name+`"`) {
+			t.Fatalf("merged Chrome trace missing process lane %q", name)
+		}
+	}
+	if strings.Count(out.String(), `"ph": "s"`) < 2 {
+		t.Fatalf("merged Chrome trace has fewer than 2 flow links:\n%s", out.String())
+	}
+}
+
+// TestDeltaSessionAffinity holds an incremental session through a
+// two-backend gateway and patches it with deltas: the session-name routing
+// must keep the hold and every delta on the same upstream connection, so
+// the daemon still knows the base.
+func TestDeltaSessionAffinity(t *testing.T) {
+	b1 := bootBackend(t)
+	b2 := bootBackend(t)
+	g := bootGateway(t, b1.Addr(), b2.Addr())
+	c, err := server.Dial(g.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	resp, err := c.Assign(ctx, server.AssignRequest{
+		Instrs: [][]int{{0, 1, 2}, {1, 2, 3}, {0, 3}},
+		K:      4,
+		Hold:   "affinity",
+	})
+	if err != nil || resp.Code != server.CodeOK || resp.Held != "affinity" {
+		t.Fatalf("hold through gateway: %+v, %v", resp, err)
+	}
+	for i := 0; i < 3; i++ {
+		resp, err = c.Delta(ctx, server.DeltaRequest{
+			Base:  "affinity",
+			Hold:  "affinity",
+			Added: [][]int{{1, 3}},
+		})
+		if err != nil || resp.Code != server.CodeOK {
+			t.Fatalf("delta %d through gateway: %+v, %v", i, resp, err)
+		}
+		if resp.Incremental == nil {
+			t.Fatalf("delta %d response carries no incremental stats", i)
+		}
+	}
+}
+
+// TestUntracedPassThrough checks the no-trace paths: a gateway without
+// telemetry must forward payloads byte-identically (no trace injection),
+// and the daemon must still mint a trace id so every response carries one.
+func TestUntracedPassThrough(t *testing.T) {
+	b := bootBackend(t)
+	g := bootGateway(t, b.Addr())
+	c, err := server.Dial(g.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Assign(context.Background(), server.AssignRequest{
+		Instrs: [][]int{{0, 1}}, K: 4,
+	})
+	if err != nil || resp.Code != server.CodeOK {
+		t.Fatalf("assign: %+v, %v", resp, err)
+	}
+	if len(resp.Trace) != 32 {
+		t.Fatalf("untraced request got trace %q, want a daemon-minted 32-hex id", resp.Trace)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"parmem/internal/telemetry"
 )
 
 // Client is a multiplexing parmemd client: one TCP connection carrying
@@ -143,27 +145,52 @@ func (c *Client) drop(id uint64) {
 	c.mu.Unlock()
 }
 
+// ctxTrace renders a trace context carried on ctx in wire form, or "" when
+// the ctx is untraced. The typed client methods use it to stamp outbound
+// requests so a caller only has to put the trace on the context once.
+func ctxTrace(ctx context.Context) string {
+	if tc, ok := telemetry.TraceFromContext(ctx); ok && tc.Valid() {
+		return tc.String()
+	}
+	return ""
+}
+
 // Ping probes liveness and drain state.
 func (c *Client) Ping(ctx context.Context) (Response, error) {
+	if t := ctxTrace(ctx); t != "" {
+		return c.Do(ctx, OpPing, PingRequest{Trace: t})
+	}
 	return c.Do(ctx, OpPing, nil)
 }
 
 // Compile submits one MPL source.
 func (c *Client) Compile(ctx context.Context, req CompileRequest) (Response, error) {
+	if req.Trace == "" {
+		req.Trace = ctxTrace(ctx)
+	}
 	return c.Do(ctx, OpCompile, req)
 }
 
 // Assign submits one instruction-stream assignment.
 func (c *Client) Assign(ctx context.Context, req AssignRequest) (Response, error) {
+	if req.Trace == "" {
+		req.Trace = ctxTrace(ctx)
+	}
 	return c.Do(ctx, OpAssign, req)
 }
 
 // Delta patches a held incremental session (see AssignRequest.Hold).
 func (c *Client) Delta(ctx context.Context, req DeltaRequest) (Response, error) {
+	if req.Trace == "" {
+		req.Trace = ctxTrace(ctx)
+	}
 	return c.Do(ctx, OpDelta, req)
 }
 
 // Batch submits many sources as one admission unit.
 func (c *Client) Batch(ctx context.Context, req BatchRequest) (Response, error) {
+	if req.Trace == "" {
+		req.Trace = ctxTrace(ctx)
+	}
 	return c.Do(ctx, OpBatch, req)
 }

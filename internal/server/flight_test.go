@@ -1,0 +1,256 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"parmem/internal/telemetry"
+)
+
+// TestFlightRingAlwaysOn checks the base contract: every completed request
+// lands in the ring with its op, code, latency and echoed trace, telemetry
+// or not.
+func TestFlightRingAlwaysOn(t *testing.T) {
+	s := newTestServer(t, Config{})
+	c := dialTest(t, s)
+	ctx := context.Background()
+
+	if _, err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tc := telemetry.NewTrace()
+	resp, err := c.Assign(telemetry.ContextWithTrace(ctx, tc), AssignRequest{
+		Instrs: [][]int{{0, 1}, {1, 2}}, K: 4,
+	})
+	if err != nil || resp.Code != CodeOK {
+		t.Fatalf("assign: %+v, %v", resp, err)
+	}
+	if resp.Trace != tc.TraceID() {
+		t.Fatalf("assign response echoed trace %q, want %q", resp.Trace, tc.TraceID())
+	}
+
+	recs := s.FlightRecords()
+	if len(recs) != 2 {
+		t.Fatalf("flight ring has %d records, want 2", len(recs))
+	}
+	last := recs[len(recs)-1]
+	if last.Op != "assign" || last.Code != string(CodeOK) || last.Trace != tc.TraceID() {
+		t.Fatalf("flight record = %+v", last)
+	}
+	if last.LatencyUS <= 0 {
+		t.Fatalf("flight record latency = %d, want > 0", last.LatencyUS)
+	}
+}
+
+// TestFlightSlowTrigger drives one request over an absurdly low latency
+// threshold and requires a capture: correct reason, the trigger record, a
+// ring snapshot, the request's span tree, a spool file, and retrievability
+// over /debug/flight.
+func TestFlightSlowTrigger(t *testing.T) {
+	dir := t.TempDir()
+	rec := telemetry.New()
+	s := newTestServer(t, Config{
+		Telemetry:     rec,
+		FlightLatency: time.Nanosecond, // everything is slow
+		FlightDir:     dir,
+	})
+	c := dialTest(t, s)
+
+	tc := telemetry.NewTrace()
+	resp, err := c.Assign(telemetry.ContextWithTrace(context.Background(), tc), AssignRequest{
+		Instrs: [][]int{{0, 1, 2}, {1, 2, 3}}, K: 4,
+	})
+	if err != nil || resp.Code != CodeOK {
+		t.Fatalf("assign: %+v, %v", resp, err)
+	}
+
+	caps := s.FlightCaptures()
+	if len(caps) != 1 {
+		t.Fatalf("captures = %d, want 1", len(caps))
+	}
+	fc := caps[0]
+	if fc.Reason != flightSlow {
+		t.Fatalf("capture reason = %q, want %q", fc.Reason, flightSlow)
+	}
+	if fc.Trigger.Trace != tc.TraceID() || fc.Trigger.Op != "assign" {
+		t.Fatalf("capture trigger = %+v", fc.Trigger)
+	}
+	if len(fc.Ring) == 0 {
+		t.Fatal("capture carries no ring snapshot")
+	}
+	if len(fc.Spans) == 0 {
+		t.Fatal("capture carries no span tree")
+	}
+	for _, sp := range fc.Spans {
+		if sp.Trace != tc.TraceID() {
+			t.Fatalf("capture span %q belongs to trace %q, want %q", sp.Name, sp.Trace, tc.TraceID())
+		}
+	}
+	// The rpc root span and at least the engine's assign root must be there.
+	names := map[string]bool{}
+	for _, sp := range fc.Spans {
+		names[sp.Name] = true
+	}
+	if !names["rpc_assign"] || !names["assign"] {
+		t.Fatalf("capture span names = %v, want rpc_assign and assign", names)
+	}
+
+	// Spooled to disk under the capture's own name.
+	if _, err := os.Stat(filepath.Join(dir, fc.Name)); err != nil {
+		t.Fatalf("spool file: %v", err)
+	}
+	if !strings.Contains(fc.Name, "-slow-") {
+		t.Fatalf("spool name %q does not embed the reason", fc.Name)
+	}
+
+	// Served over the telemetry endpoint.
+	ts, err := rec.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	s.MountHealth(ts)
+
+	res, err := http.Get("http://" + ts.Addr() + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx struct {
+		Ring     []FlightRecord `json:"ring"`
+		Captures []struct {
+			Name string `json:"name"`
+		} `json:"captures"`
+		Spooled []string `json:"spooled"`
+	}
+	err = json.NewDecoder(res.Body).Decode(&idx)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Captures) != 1 || idx.Captures[0].Name != fc.Name {
+		t.Fatalf("/debug/flight captures = %+v", idx.Captures)
+	}
+	if len(idx.Spooled) != 1 || idx.Spooled[0] != fc.Name {
+		t.Fatalf("/debug/flight spooled = %v", idx.Spooled)
+	}
+
+	res, err = http.Get("http://" + ts.Addr() + "/debug/flight/" + fc.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil || res.StatusCode != http.StatusOK {
+		t.Fatalf("capture fetch: status %d, %v", res.StatusCode, err)
+	}
+	var got FlightCapture
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("capture body: %v", err)
+	}
+	if got.Name != fc.Name || got.Trigger.Trace != tc.TraceID() {
+		t.Fatalf("served capture = %+v", got)
+	}
+
+	// Traversal attempts and unknown names are rejected.
+	res, err = http.Get("http://" + ts.Addr() + "/debug/flight/..%2fserver.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode == http.StatusOK {
+		t.Fatal("path traversal served a file")
+	}
+}
+
+// TestFlightThrottleAndEviction floods the slow trigger and checks the
+// per-reason throttle keeps captures bounded, then verifies spool eviction
+// keeps at most FlightMaxCaptures files.
+func TestFlightThrottleAndEviction(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{
+		FlightLatency:     time.Nanosecond,
+		FlightMinInterval: time.Hour, // after the first capture, throttle everything
+		FlightDir:         dir,
+		FlightMaxCaptures: 2,
+	})
+	c := dialTest(t, s)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Ping(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.FlightCaptures()); got != 1 {
+		t.Fatalf("captures after throttle = %d, want 1", got)
+	}
+	names := spoolNames(dir)
+	if len(names) != 1 {
+		t.Fatalf("spool files = %v, want 1", names)
+	}
+}
+
+// TestFlightShedTrigger parks one request in the only admission slot and
+// checks that a shed request (typed RESOURCE_EXHAUSTED) triggers a capture
+// with the shed reason even with the latency trigger disabled.
+func TestFlightShedTrigger(t *testing.T) {
+	release := parkAdmitted(t)
+	rec := telemetry.New()
+	s := newTestServer(t, Config{
+		MaxInFlight:     1,
+		MaxQueue:        -1, // no queue: the second concurrent request sheds
+		PerConnInFlight: 4,
+		FlightLatency:   -1, // latency trigger off; only the shed may fire
+		Telemetry:       rec,
+	})
+	ctx := context.Background()
+
+	holder := dialTest(t, s)
+	parked := make(chan outcomeResp, 1)
+	go func() {
+		resp, err := holder.Compile(ctx, CompileRequest{Src: testSrc, DeadlineMS: 10_000})
+		parked <- outcomeResp{resp, err}
+	}()
+	waitGauge(t, rec, "parmem_server_inflight", 1)
+
+	probe := dialTest(t, s)
+	tc := telemetry.NewTrace()
+	resp, err := probe.Compile(telemetry.ContextWithTrace(ctx, tc), CompileRequest{Src: testSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != CodeResourceExhausted {
+		t.Fatalf("want RESOURCE_EXHAUSTED while the slot is held, got %+v", resp)
+	}
+	if resp.Trace != tc.TraceID() {
+		t.Fatalf("shed response echoed trace %q, want %q", resp.Trace, tc.TraceID())
+	}
+
+	release()
+	o := <-parked
+	if o.err != nil || o.resp.Code != CodeOK {
+		t.Fatalf("parked request should complete once released: %+v, %v", o.resp, o.err)
+	}
+
+	var shedCap *FlightCapture
+	for _, fc := range s.FlightCaptures() {
+		if fc.Reason == flightShed {
+			shedCap = fc
+		}
+	}
+	if shedCap == nil {
+		t.Fatalf("no shed-reason capture; captures = %d", len(s.FlightCaptures()))
+	}
+	if shedCap.Trigger.Trace != tc.TraceID() || shedCap.Trigger.Code != string(CodeResourceExhausted) {
+		t.Fatalf("shed capture trigger = %+v", shedCap.Trigger)
+	}
+	if got := rec.MetricsSnapshot()[`parmem_server_flight_captures_total{reason="shed"}`]; got == 0 {
+		t.Fatal("flight capture counter not recorded")
+	}
+}

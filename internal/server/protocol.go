@@ -234,6 +234,12 @@ type CompileRequest struct {
 	// DeadlineMS bounds this request's wall clock in milliseconds; 0
 	// means the server default, and the server clamps it to its maximum.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Trace is the optional distributed trace context in
+	// telemetry.TraceContext wire form ("traceid-spanid-procid", hex). An
+	// absent or malformed field is identical to an old client: the server
+	// starts a fresh trace. The wire version stays 1 — old servers ignore
+	// the field entirely.
+	Trace string `json:"trace,omitempty"`
 }
 
 // AssignRequest is the payload of an OpAssign frame: run memory-module
@@ -254,6 +260,16 @@ type AssignRequest struct {
 	// default). Each connection holds a bounded number of sessions; holding
 	// a new one past the cap evicts the oldest.
 	Hold string `json:"hold,omitempty"`
+	// Trace: as in CompileRequest.
+	Trace string `json:"trace,omitempty"`
+}
+
+// PingRequest is the (optional) payload of an OpPing frame. An empty
+// payload is the classic liveness probe; a payload may carry a trace
+// context so even pings correlate end to end.
+type PingRequest struct {
+	// Trace: as in CompileRequest.
+	Trace string `json:"trace,omitempty"`
 }
 
 // ChangedOp is one in-place instruction replacement in a DeltaRequest.
@@ -280,9 +296,10 @@ type DeltaRequest struct {
 	Changed []ChangedOp `json:"changed,omitempty"`
 	Removed []int       `json:"removed,omitempty"`
 	Added   [][]int     `json:"added,omitempty"`
-	// BudgetNodes, DeadlineMS: as in CompileRequest.
-	BudgetNodes int64 `json:"budget_nodes,omitempty"`
-	DeadlineMS  int64 `json:"deadline_ms,omitempty"`
+	// BudgetNodes, DeadlineMS, Trace: as in CompileRequest.
+	BudgetNodes int64  `json:"budget_nodes,omitempty"`
+	DeadlineMS  int64  `json:"deadline_ms,omitempty"`
+	Trace       string `json:"trace,omitempty"`
 }
 
 // IncrSummary is the wire form of the incremental reuse accounting.
@@ -306,6 +323,8 @@ type BatchRequest struct {
 	Method      string `json:"method,omitempty"`
 	BudgetNodes int64  `json:"budget_nodes,omitempty"`
 	DeadlineMS  int64  `json:"deadline_ms,omitempty"`
+	// Trace: as in CompileRequest.
+	Trace string `json:"trace,omitempty"`
 }
 
 // AllocSummary is the wire form of an Allocation: the Table 1 shape plus
@@ -319,6 +338,12 @@ type AllocSummary struct {
 	Words       int  `json:"words,omitempty"`
 	Atoms       int  `json:"atoms"`
 	Degraded    bool `json:"degraded,omitempty"`
+	// BudgetNodes is the search-budget spend summed over all phases, and
+	// CacheHit names the first phase served from the allocation cache ("" =
+	// fully computed). Both feed the flight recorder's request records and
+	// give clients per-request cost visibility.
+	BudgetNodes int64  `json:"budget_nodes,omitempty"`
+	CacheHit    string `json:"cache_hit,omitempty"`
 	// Copies maps value id -> modules holding it (OpAssign only; compile
 	// summaries stay compact).
 	Copies map[int][]int `json:"copies,omitempty"`
@@ -351,4 +376,9 @@ type Response struct {
 	// Incremental reports the reuse accounting of an incremental run
 	// (assign-with-Hold and delta responses).
 	Incremental *IncrSummary `json:"incremental,omitempty"`
+	// Trace echoes the request's 128-bit trace id (32 hex digits). When the
+	// request carried no trace the server generates one at ingress and
+	// reports it here, so callers can always correlate a response with the
+	// server's spans, exemplars and flight captures.
+	Trace string `json:"trace,omitempty"`
 }

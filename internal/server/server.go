@@ -9,7 +9,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +73,23 @@ type Config struct {
 	CacheReadOnly bool
 	// Telemetry records server metrics and engine spans; nil disables.
 	Telemetry *telemetry.Recorder
+
+	// FlightRing sizes the flight recorder's always-on ring of completed
+	// request records; default 256.
+	FlightRing int
+	// FlightLatency is the slow-request capture threshold: any request
+	// whose wall time meets or exceeds it trips a flight capture. Default
+	// 1s; negative disables the latency trigger (shed/degraded/internal
+	// triggers stay armed — the recorder itself is always on).
+	FlightLatency time.Duration
+	// FlightDir, when non-empty, spools flight captures to this directory
+	// with oldest-first eviction. Empty keeps captures in memory only.
+	FlightDir string
+	// FlightMaxCaptures bounds retained captures, in memory and on disk;
+	// default 32.
+	FlightMaxCaptures int
+	// FlightMinInterval throttles captures per trigger reason; default 1s.
+	FlightMinInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +125,18 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
+	if c.FlightRing <= 0 {
+		c.FlightRing = 256
+	}
+	if c.FlightLatency == 0 {
+		c.FlightLatency = time.Second
+	}
+	if c.FlightMaxCaptures <= 0 {
+		c.FlightMaxCaptures = 32
+	}
+	if c.FlightMinInterval == 0 {
+		c.FlightMinInterval = time.Second
+	}
 	return c
 }
 
@@ -135,10 +167,13 @@ type Server struct {
 	connWG sync.WaitGroup // connection read loops
 	reqWG  sync.WaitGroup // in-flight requests, through response write
 
+	flight *flightRecorder
+
 	// Resolved nil-safe instruments (all no-ops without Telemetry).
 	mConnsOpen  *telemetry.Gauge
 	mConnsTotal *telemetry.Counter
 	mDrainUS    *telemetry.Gauge
+	mQueueWait  *telemetry.Histogram
 }
 
 // New validates cfg, binds the listener and starts the accept loop. The
@@ -182,10 +217,15 @@ func New(cfg Config) (*Server, error) {
 		cancelBase:  cancel,
 		drained:     make(chan struct{}),
 		conns:       map[net.Conn]struct{}{},
+		flight:      newFlightRecorder(cfg),
 		mConnsOpen:  cfg.Telemetry.Gauge(telemetry.MServerConnsOpen),
 		mConnsTotal: cfg.Telemetry.Counter(telemetry.MServerConnsTotal),
 		mDrainUS:    cfg.Telemetry.Gauge(telemetry.MServerDrainMicros),
+		mQueueWait:  cfg.Telemetry.Histogram(telemetry.MServerQueueWaitUs),
 	}
+	// The flight recorder's span ring listens to every span the engine
+	// emits, so a capture can include the triggering request's full tree.
+	cfg.Telemetry.AddSink(s.flight.spans)
 	s.connWG.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -230,7 +270,62 @@ func (s *Server) MountHealth(ts *telemetry.Server) {
 	}
 	ts.Handle("/healthz", probe("healthz", s.Healthy))
 	ts.Handle("/readyz", probe("readyz", s.Ready))
+	ts.Handle("/debug/flight", http.HandlerFunc(s.serveFlightIndex))
+	ts.Handle("/debug/flight/", http.HandlerFunc(s.serveFlightCapture))
 }
+
+// flightIndex is the /debug/flight payload: the live request ring plus the
+// retained captures (newest last). CaptureNames includes spooled files from
+// earlier runs when FlightDir is set.
+type flightIndex struct {
+	Ring     []FlightRecord   `json:"ring"`
+	Captures []*FlightCapture `json:"captures"`
+	Spooled  []string         `json:"spooled,omitempty"`
+}
+
+func (s *Server) serveFlightIndex(w http.ResponseWriter, _ *http.Request) {
+	idx := flightIndex{Ring: s.flight.Records(), Captures: s.flight.Captures()}
+	if s.cfg.FlightDir != "" {
+		idx.Spooled = spoolNames(s.cfg.FlightDir)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(idx) //nolint:errcheck // best-effort introspection
+}
+
+func (s *Server) serveFlightCapture(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/debug/flight/")
+	// Spool names are flat; anything with a path separator is a traversal
+	// attempt, not a capture.
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		http.Error(w, "bad capture name", http.StatusBadRequest)
+		return
+	}
+	if fc, ok := s.flight.Capture(name); ok {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(fc) //nolint:errcheck
+		return
+	}
+	if s.cfg.FlightDir != "" {
+		b, err := os.ReadFile(filepath.Join(s.cfg.FlightDir, name))
+		if err == nil {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Write(b) //nolint:errcheck
+			return
+		}
+	}
+	http.Error(w, "unknown capture "+name, http.StatusNotFound)
+}
+
+// FlightRecords exposes the flight ring (oldest first) for tests and
+// embedders.
+func (s *Server) FlightRecords() []FlightRecord { return s.flight.Records() }
+
+// FlightCaptures exposes the retained flight captures (oldest first).
+func (s *Server) FlightCaptures() []*FlightCapture { return s.flight.Captures() }
 
 func (s *Server) acceptLoop() {
 	defer s.connWG.Done()
@@ -369,7 +464,7 @@ func (s *Server) serveConn(nc net.Conn) {
 			// Per-connection cap: shed immediately and typed, never a
 			// silent hang behind the connection's own backlog.
 			s.cfg.Telemetry.Counter(telemetry.MServerShed, "reason", "per_conn").Inc()
-			s.respond(c, f.Op, f.ID, Response{Code: CodeResourceExhausted,
+			s.respond(c, f.Op, f.ID, Response{Code: CodeResourceExhausted, Trace: traceEcho(f.Payload),
 				Error: fmt.Sprintf("connection already has %d requests in flight", s.cfg.PerConnInFlight)})
 			continue
 		}
@@ -378,7 +473,8 @@ func (s *Server) serveConn(nc net.Conn) {
 			s.drainMu.RUnlock()
 			<-c.sem
 			s.cfg.Telemetry.Counter(telemetry.MServerShed, "reason", "draining").Inc()
-			s.respond(c, f.Op, f.ID, Response{Code: CodeUnavailable, Error: "server is draining", Draining: true})
+			s.respond(c, f.Op, f.ID, Response{Code: CodeUnavailable, Trace: traceEcho(f.Payload),
+				Error: "server is draining", Draining: true})
 			continue
 		}
 		s.reqWG.Add(1)
@@ -386,12 +482,76 @@ func (s *Server) serveConn(nc net.Conn) {
 		go func(f Frame) {
 			defer s.reqWG.Done()
 			defer func() { <-c.sem }()
-			resp := s.process(c, f)
+			var meta reqMeta
+			resp := s.process(c, f, &meta)
+			resp.Trace = meta.trace.TraceID()
 			s.respond(c, f.Op, f.ID, resp)
+			us := time.Since(start).Microseconds()
 			s.cfg.Telemetry.Histogram(telemetry.MServerReqMicros, "op", f.Op.String()).
-				Observe(time.Since(start).Microseconds())
+				ObserveExemplar(us, resp.Trace)
+			rec := FlightRecord{
+				Op:          f.Op.String(),
+				Trace:       resp.Trace,
+				Code:        string(resp.Code),
+				StartUnixUS: start.UnixMicro(),
+				LatencyUS:   us,
+				QueueUS:     meta.queueUS,
+			}
+			if resp.Result != nil {
+				rec.BudgetNodes = resp.Result.BudgetNodes
+				rec.CacheHit = resp.Result.CacheHit
+				rec.Degraded = resp.Result.Degraded
+			}
+			s.flight.record(rec)
 		}(f)
 	}
+}
+
+// reqMeta carries per-request bookkeeping from the handlers back to the
+// response path: the resolved trace context and the admission queue wait.
+type reqMeta struct {
+	trace   telemetry.TraceContext
+	queueUS int64
+}
+
+// ingressTrace resolves a request's wire trace field: a parseable context is
+// continued, anything else starts a fresh trace — so every request is
+// traceable and every response carries a trace id to correlate by.
+func ingressTrace(wire string) telemetry.TraceContext {
+	if tc, ok := telemetry.ParseTraceContext(wire); ok {
+		return tc
+	}
+	return telemetry.NewTrace()
+}
+
+// traceEcho extracts the trace id to echo from an unprocessed payload — the
+// shed paths answer before any handler parses the request, but the caller
+// still deserves its correlation id back.
+func traceEcho(payload []byte) string {
+	if len(payload) == 0 {
+		return ""
+	}
+	var t struct {
+		Trace string `json:"trace"`
+	}
+	if json.Unmarshal(payload, &t) != nil {
+		return ""
+	}
+	tc, ok := telemetry.ParseTraceContext(t.Trace)
+	if !ok {
+		return ""
+	}
+	return tc.TraceID()
+}
+
+// engineCtx returns the context engine work should run under: carrying the
+// rpc span's origin when spans are recorded (the engine's root span becomes
+// its local child), otherwise the wire trace context as-is.
+func engineCtx(ctx context.Context, sp *telemetry.Span, tc telemetry.TraceContext) context.Context {
+	if out := sp.Context(); out.Valid() {
+		return telemetry.ContextWithTrace(ctx, out)
+	}
+	return telemetry.ContextWithTrace(ctx, tc)
 }
 
 // readFrame reads one frame with the slow-loris guard: wait for the first
@@ -449,8 +609,11 @@ func (s *Server) rejectFrame(c *conn, f Frame, err error) {
 
 // process executes one admitted-or-shed request and builds its response.
 // It never panics: a poisoned request is isolated here and answered with
-// a typed INTERNAL response while sibling requests keep running.
-func (s *Server) process(c *conn, f Frame) (resp Response) {
+// a typed INTERNAL response while sibling requests keep running. Each known
+// request resolves its trace context at ingress (recorded into meta for the
+// response echo and the flight record) and runs under a per-request rpc
+// span that parents the engine's own span tree.
+func (s *Server) process(c *conn, f Frame, meta *reqMeta) (resp Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp = Response{Code: CodeInternal, Phase: "server/handler",
@@ -459,31 +622,48 @@ func (s *Server) process(c *conn, f Frame) (resp Response) {
 	}()
 	switch f.Op {
 	case OpPing:
+		var req PingRequest
+		if len(f.Payload) > 0 {
+			json.Unmarshal(f.Payload, &req) //nolint:errcheck // a garbled ping payload still gets a pong
+		}
+		meta.trace = ingressTrace(req.Trace)
 		return Response{Code: CodeOK, Draining: s.draining.Load()}
 	case OpCompile:
 		var req CompileRequest
 		if err := json.Unmarshal(f.Payload, &req); err != nil {
 			return Response{Code: CodeInvalidArgument, Error: "bad compile payload: " + err.Error()}
 		}
-		return s.handleCompile(req)
+		meta.trace = ingressTrace(req.Trace)
+		sp := s.cfg.Telemetry.StartSpanTrace("rpc_compile", meta.trace)
+		defer sp.End()
+		return s.handleCompile(req, meta, sp)
 	case OpAssign:
 		var req AssignRequest
 		if err := json.Unmarshal(f.Payload, &req); err != nil {
 			return Response{Code: CodeInvalidArgument, Error: "bad assign payload: " + err.Error()}
 		}
-		return s.handleAssign(c, req)
+		meta.trace = ingressTrace(req.Trace)
+		sp := s.cfg.Telemetry.StartSpanTrace("rpc_assign", meta.trace)
+		defer sp.End()
+		return s.handleAssign(c, req, meta, sp)
 	case OpDelta:
 		var req DeltaRequest
 		if err := json.Unmarshal(f.Payload, &req); err != nil {
 			return Response{Code: CodeInvalidArgument, Error: "bad delta payload: " + err.Error()}
 		}
-		return s.handleDelta(c, req)
+		meta.trace = ingressTrace(req.Trace)
+		sp := s.cfg.Telemetry.StartSpanTrace("rpc_delta", meta.trace)
+		defer sp.End()
+		return s.handleDelta(c, req, meta, sp)
 	case OpBatch:
 		var req BatchRequest
 		if err := json.Unmarshal(f.Payload, &req); err != nil {
 			return Response{Code: CodeInvalidArgument, Error: "bad batch payload: " + err.Error()}
 		}
-		return s.handleBatch(req)
+		meta.trace = ingressTrace(req.Trace)
+		sp := s.cfg.Telemetry.StartSpanTrace("rpc_batch", meta.trace)
+		defer sp.End()
+		return s.handleBatch(req, meta, sp)
 	}
 	return Response{Code: CodeInvalidArgument, Error: fmt.Sprintf("unknown op %d", uint8(f.Op))}
 }
@@ -542,9 +722,18 @@ func parseMethod(s string) (parmem.Method, error) {
 }
 
 // admit runs fn under the admission gate and the request context,
-// translating gate and context failures into typed responses.
-func (s *Server) admit(ctx context.Context, fn func(ctx context.Context) Response) Response {
-	if err := s.gate.acquire(ctx); err != nil {
+// translating gate and context failures into typed responses. The queue
+// wait (acquire entry to slot grant) lands in meta and the queue-wait
+// histogram, exemplared with the request's trace id.
+func (s *Server) admit(ctx context.Context, meta *reqMeta, fn func(ctx context.Context) Response) Response {
+	enter := time.Now()
+	err := s.gate.acquire(ctx)
+	wait := time.Since(enter).Microseconds()
+	if meta != nil {
+		meta.queueUS = wait
+		s.mQueueWait.ObserveExemplar(wait, meta.trace.TraceID())
+	}
+	if err != nil {
 		if errors.Is(err, errShed) {
 			s.cfg.Telemetry.Counter(telemetry.MServerShed, "reason", "queue_full").Inc()
 			return Response{Code: CodeResourceExhausted,
@@ -596,7 +785,7 @@ func codeForError(ctx context.Context, err error) (Code, string) {
 	}
 }
 
-func (s *Server) handleCompile(req CompileRequest) Response {
+func (s *Server) handleCompile(req CompileRequest, meta *reqMeta, sp *telemetry.Span) Response {
 	opt, resp := s.compileOptions(req.K, req.Strategy, req.Method, req.BudgetNodes)
 	if resp != nil {
 		return *resp
@@ -606,7 +795,8 @@ func (s *Server) handleCompile(req CompileRequest) Response {
 		return Response{Code: CodeInvalidArgument, Error: err.Error()}
 	}
 	defer cancel()
-	return s.admit(ctx, func(ctx context.Context) Response {
+	ctx = engineCtx(ctx, sp, meta.trace)
+	return s.admit(ctx, meta, func(ctx context.Context) Response {
 		p, err := parmem.CompileCtx(ctx, req.Src, opt)
 		if err != nil {
 			code, phase := codeForError(ctx, err)
@@ -648,7 +838,7 @@ func (s *Server) compileOptions(k int, strategy, method string, nodes int64) (pa
 	}, nil
 }
 
-func (s *Server) handleAssign(c *conn, req AssignRequest) Response {
+func (s *Server) handleAssign(c *conn, req AssignRequest, meta *reqMeta, sp *telemetry.Span) Response {
 	st, err := parseStrategy(req.Strategy)
 	if err != nil {
 		return Response{Code: CodeInvalidArgument, Error: err.Error()}
@@ -680,7 +870,8 @@ func (s *Server) handleAssign(c *conn, req AssignRequest) Response {
 		Cache:     s.cache,
 		Telemetry: s.cfg.Telemetry,
 	}
-	return s.admit(ctx, func(ctx context.Context) Response {
+	ctx = engineCtx(ctx, sp, meta.trace)
+	return s.admit(ctx, meta, func(ctx context.Context) Response {
 		if req.Hold == "" {
 			al, err := parmem.AssignValues(ctx, instrs, cfg)
 			if err != nil {
@@ -702,7 +893,7 @@ func (s *Server) handleAssign(c *conn, req AssignRequest) Response {
 
 // handleDelta patches a held incremental session. The configuration is the
 // base's; only the budget and deadline come from the request.
-func (s *Server) handleDelta(c *conn, req DeltaRequest) Response {
+func (s *Server) handleDelta(c *conn, req DeltaRequest, meta *reqMeta, sp *telemetry.Span) Response {
 	if req.Base == "" {
 		return Response{Code: CodeInvalidArgument, Error: "delta has no base session"}
 	}
@@ -732,7 +923,8 @@ func (s *Server) handleDelta(c *conn, req DeltaRequest) Response {
 	defer cancel()
 	cfg := sess.cfg
 	cfg.Budget = b
-	return s.admit(ctx, func(ctx context.Context) Response {
+	ctx = engineCtx(ctx, sp, meta.trace)
+	return s.admit(ctx, meta, func(ctx context.Context) Response {
 		res, err := parmem.AssignValuesDelta(ctx, sess.res, d, cfg)
 		if err != nil {
 			code, phase := codeForError(ctx, err)
@@ -769,7 +961,7 @@ func incrWire(st parmem.IncrementalStats) *IncrSummary {
 		Reused: st.Reused, CacheHits: st.CacheHits, Full: st.Full}
 }
 
-func (s *Server) handleBatch(req BatchRequest) Response {
+func (s *Server) handleBatch(req BatchRequest, meta *reqMeta, sp *telemetry.Span) Response {
 	if len(req.Srcs) == 0 {
 		return Response{Code: CodeInvalidArgument, Error: "batch has no sources"}
 	}
@@ -786,7 +978,8 @@ func (s *Server) handleBatch(req BatchRequest) Response {
 		return Response{Code: CodeInvalidArgument, Error: err.Error()}
 	}
 	defer cancel()
-	return s.admit(ctx, func(ctx context.Context) Response {
+	ctx = engineCtx(ctx, sp, meta.trace)
+	return s.admit(ctx, meta, func(ctx context.Context) Response {
 		results := parmem.CompileBatch(ctx, req.Srcs, opt)
 		items := make([]ItemResult, len(results))
 		for i, r := range results {
@@ -813,6 +1006,12 @@ func summarize(al parmem.Allocation, withCopies bool) *AllocSummary {
 		TotalCopies: al.TotalCopies,
 		Atoms:       al.Atoms,
 		Degraded:    al.Degraded,
+	}
+	for _, ph := range al.Phases {
+		sum.BudgetNodes += ph.Nodes
+		if ph.Cached && sum.CacheHit == "" {
+			sum.CacheHit = ph.Phase
+		}
 	}
 	if withCopies {
 		sum.Copies = make(map[int][]int, len(al.Copies))

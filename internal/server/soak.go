@@ -3,15 +3,20 @@ package server
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"parmem/internal/telemetry"
 )
 
 // The soak harness: hammer a parmemd with mixed well-formed traffic while
@@ -50,6 +55,16 @@ type SoakOptions struct {
 	// MaxAllocsPerOp is the Assert bar on AllocsPerOp; 0 disables the
 	// check.
 	MaxAllocsPerOp float64
+	// Telemetry, when non-nil, records one client-side span per
+	// well-formed request, so a -trace run contributes the client lane to
+	// a fleet-merged trace.
+	Telemetry *telemetry.Recorder
+	// FlightURLs, when non-empty, enables the flight-recorder check after
+	// the load drains: one deliberately heavy traced assign is sent, then
+	// each URL's /debug/flight index is fetched and the run must find at
+	// least one capture fleet-wide. List every backend's telemetry base
+	// URL — routing may land the probe on any of them.
+	FlightURLs []string
 }
 
 // SoakReport is the accounting of one soak run. Counters split by who
@@ -89,10 +104,33 @@ type SoakReport struct {
 	LatencyP99US int64 `json:"latency_p99_us"`
 	LatencyMaxUS int64 `json:"latency_max_us"`
 
+	// Distributed-tracing accounting: every well-formed response must echo
+	// the 32-hex trace id its request carried; Slowest lists the worst
+	// successful requests with their trace ids, the handle an operator
+	// pastes into parmemtrace output or /debug/flight.
+	TraceEchoMismatches int64         `json:"trace_echo_mismatches"`
+	Slowest             []SlowRequest `json:"slowest,omitempty"`
+
+	// SessionResets counts deltas whose base session had evaporated
+	// server-side (backend death or upstream redial behind a gateway);
+	// each one was answered by re-holding, the normal client recovery.
+	SessionResets int64 `json:"session_resets,omitempty"`
+
+	// Flight-recorder check (only with SoakOptions.FlightURLs).
+	FlightChecked  bool  `json:"flight_checked,omitempty"`
+	FlightCaptures int64 `json:"flight_captures,omitempty"`
+
 	// Steady-state measurement (only with SoakOptions.SteadyStateOps).
 	SteadyStateOps int64   `json:"steady_state_ops,omitempty"`
 	AllocsPerOp    float64 `json:"allocs_per_op,omitempty"`
 	MaxAllocsPerOp float64 `json:"max_allocs_per_op,omitempty"`
+}
+
+// SlowRequest is one entry of SoakReport.Slowest.
+type SlowRequest struct {
+	TraceID   string `json:"trace_id"`
+	Op        string `json:"op"`
+	LatencyUS int64  `json:"latency_us"`
 }
 
 // Availability is the served fraction of well-formed in-budget requests:
@@ -126,6 +164,12 @@ func (r *SoakReport) Assert(faults bool) error {
 	}
 	if r.InvalidArgument > 0 {
 		return fmt.Errorf("soak: %d well-formed requests rejected as INVALID_ARGUMENT", r.InvalidArgument)
+	}
+	if r.TraceEchoMismatches > 0 {
+		return fmt.Errorf("soak: %d responses did not echo their request's trace id", r.TraceEchoMismatches)
+	}
+	if r.FlightChecked && r.FlightCaptures == 0 {
+		return errors.New("soak: forced-slow request produced no flight capture on any backend")
 	}
 	if faults {
 		if r.StormSent > 0 && r.StormResponded != r.StormSent {
@@ -176,7 +220,9 @@ end`,
 // to k distinct operands drawn from a small value universe, always
 // assignable (possibly with duplication) for k modules.
 func soakInstrs(rng *rand.Rand, k int) [][]int {
-	nvals := 4 + rng.Intn(12)
+	// The universe must hold at least k distinct values or the word-filling
+	// loop below could never collect a k-wide word.
+	nvals := k + rng.Intn(12)
 	words := 3 + rng.Intn(8)
 	out := make([][]int, words)
 	for w := range out {
@@ -202,11 +248,13 @@ type soakState struct {
 
 	latMu sync.Mutex
 	lats  []int64
+	slow  []SlowRequest
 }
 
-func (st *soakState) observe(us int64) {
+func (st *soakState) observe(us int64, op, trace string) {
 	st.latMu.Lock()
 	st.lats = append(st.lats, us)
+	st.slow = append(st.slow, SlowRequest{TraceID: trace, Op: op, LatencyUS: us})
 	st.latMu.Unlock()
 }
 
@@ -303,14 +351,98 @@ func Soak(ctx context.Context, opt SoakOptions) (*SoakReport, error) {
 		st.rep.LatencyP99US = st.lats[n*99/100]
 		st.rep.LatencyMaxUS = st.lats[n-1]
 	}
+	sort.Slice(st.slow, func(i, j int) bool { return st.slow[i].LatencyUS > st.slow[j].LatencyUS })
+	if len(st.slow) > 3 {
+		st.slow = st.slow[:3]
+	}
+	st.rep.Slowest = st.slow
 	st.latMu.Unlock()
 
+	if len(opt.FlightURLs) > 0 {
+		if err := st.flightCheck(ctx); err != nil {
+			return &st.rep, err
+		}
+	}
 	if opt.SteadyStateOps > 0 {
 		if err := st.steadyState(ctx); err != nil {
 			return &st.rep, err
 		}
 	}
 	return &st.rep, nil
+}
+
+// flightCheck forces one anomalously heavy assign through the daemon, then
+// counts flight captures across the fleet's /debug/flight endpoints. The
+// probe is traced, so the capture it produces can be joined against a
+// merged trace. Setup failures (unreachable telemetry URL) are errors; an
+// absent capture is an Assert failure, recorded in the report.
+func (st *soakState) flightCheck(ctx context.Context) error {
+	st.rep.FlightChecked = true
+	c, err := Dial(st.opt.Addr)
+	if err != nil {
+		return fmt.Errorf("soak: flight probe dial %s: %w", st.opt.Addr, err)
+	}
+	defer c.Close()
+
+	// Heavy by construction: a long stream over a wide value universe.
+	rng := rand.New(rand.NewSource(st.opt.Seed + 7))
+	var instrs [][]int
+	for len(instrs) < 192 {
+		instrs = append(instrs, soakInstrs(rng, 6)...)
+	}
+	instrs = instrs[:192]
+	tc := telemetry.NewTrace()
+	pctx, pcancel := context.WithTimeout(telemetry.ContextWithTrace(ctx, tc), 30*time.Second)
+	resp, err := c.Assign(pctx, AssignRequest{Instrs: instrs, K: 6, DeadlineMS: 30000})
+	pcancel()
+	if err != nil {
+		return fmt.Errorf("soak: flight probe: %w", err)
+	}
+	if resp.Trace != tc.TraceID() {
+		atomic.AddInt64(&st.rep.TraceEchoMismatches, 1)
+	}
+
+	// The capture is written just after the response; poll briefly.
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var total int64
+		for _, base := range st.opt.FlightURLs {
+			n, err := fetchFlightCaptures(client, base)
+			if err != nil {
+				return fmt.Errorf("soak: flight index %s: %w", base, err)
+			}
+			total += n
+		}
+		st.rep.FlightCaptures = total
+		if total > 0 || time.Now().After(deadline) {
+			return nil
+		}
+		if !pause(ctx, 200*time.Millisecond) {
+			return nil
+		}
+	}
+}
+
+// fetchFlightCaptures counts one daemon's retained flight captures via its
+// /debug/flight index.
+func fetchFlightCaptures(client *http.Client, base string) (int64, error) {
+	url := strings.TrimSuffix(base, "/") + "/debug/flight"
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %s", resp.Status)
+	}
+	var idx struct {
+		Captures []json.RawMessage `json:"captures"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil {
+		return 0, err
+	}
+	return int64(len(idx.Captures)), nil
 }
 
 // steadyState measures client-path heap allocations per operation after
@@ -394,7 +526,6 @@ func (st *soakState) wellFormedWorker(ctx context.Context, rng *rand.Rand) {
 			}
 			held = false // sessions die with the connection
 		}
-		start := time.Now()
 		resp, err := st.sendOne(ctx, c, rng, &held)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -413,27 +544,52 @@ func (st *soakState) wellFormedWorker(ctx context.Context, rng *rand.Rand) {
 			continue
 		}
 		st.countCode(resp)
-		if resp.Code == CodeOK {
-			st.observe(time.Since(start).Microseconds())
-		}
 	}
 }
 
-// sendOne picks and sends one well-formed request, counting it Sent. held
-// tracks whether this connection holds the "soak" incremental session;
-// delta requests are only sent against a base that was confirmed held.
+// sendOne sends one well-formed request, counting it Sent. Every request
+// carries a fresh distributed trace (and, when SoakOptions.Telemetry is
+// set, a client-side span), and every response must echo that trace id —
+// the propagation contract the soak enforces.
 func (st *soakState) sendOne(ctx context.Context, c *Client, rng *rand.Rand, held *bool) (Response, error) {
 	atomic.AddInt64(&st.rep.Sent, 1)
+	tc := telemetry.NewTrace()
+	sp := st.opt.Telemetry.StartSpanTrace("request", tc)
+	wire := tc
+	if sp != nil {
+		wire = sp.Context()
+	}
+	start := time.Now()
+	op, resp, err := st.dispatch(telemetry.ContextWithTrace(ctx, wire), c, rng, held)
+	sp.SetAttrStr("op", op)
+	sp.End()
+	if err == nil {
+		if resp.Trace != tc.TraceID() {
+			atomic.AddInt64(&st.rep.TraceEchoMismatches, 1)
+		}
+		if resp.Code == CodeOK {
+			st.observe(time.Since(start).Microseconds(), op, tc.TraceID())
+		}
+	}
+	return resp, err
+}
+
+// dispatch picks and sends one well-formed request. held tracks whether
+// this connection holds the "soak" incremental session; delta requests are
+// only sent against a base that was confirmed held.
+func (st *soakState) dispatch(ctx context.Context, c *Client, rng *rand.Rand, held *bool) (string, Response, error) {
 	dl := st.opt.DeadlineMS
 	switch p := rng.Intn(100); {
 	case p < 10:
-		return c.Ping(ctx)
+		resp, err := c.Ping(ctx)
+		return "ping", resp, err
 	case p < 55:
-		return c.Assign(ctx, AssignRequest{
+		resp, err := c.Assign(ctx, AssignRequest{
 			Instrs:     soakInstrs(rng, 4),
 			K:          4,
 			DeadlineMS: dl,
 		})
+		return "assign", resp, err
 	case p < 65:
 		// Incremental round-trip: hold a base, then patch it with a small
 		// well-formed delta. The first leg (or a reconnect) establishes the
@@ -448,7 +604,7 @@ func (st *soakState) sendOne(ctx context.Context, c *Client, rng *rand.Rand, hel
 			if err == nil && resp.Code == CodeOK && resp.Held == "soak" {
 				*held = true
 			}
-			return resp, err
+			return "assign", resp, err
 		}
 		// Change instruction 0 and append one word: always in range (the
 		// held stream is never emptied — deltas here only change and add).
@@ -459,23 +615,44 @@ func (st *soakState) sendOne(ctx context.Context, c *Client, rng *rand.Rand, hel
 			Added:      [][]int{soakInstrs(rng, 4)[0]},
 			DeadlineMS: dl,
 		})
+		if err == nil && resp.Code == CodeInvalidArgument &&
+			strings.Contains(resp.Error, "unknown base session") {
+			// The base evaporated server-side — a backend behind a gateway
+			// died or its upstream connection was redialed. A real client
+			// re-holds and carries on; do the same and account the re-hold
+			// as this round's request.
+			atomic.AddInt64(&st.rep.SessionResets, 1)
+			*held = false
+			resp, err = c.Assign(ctx, AssignRequest{
+				Instrs:     soakInstrs(rng, 4),
+				K:          4,
+				DeadlineMS: dl,
+				Hold:       "soak",
+			})
+			if err == nil && resp.Code == CodeOK && resp.Held == "soak" {
+				*held = true
+			}
+			return "assign", resp, err
+		}
 		if err == nil && resp.Code == CodeOK && resp.Incremental == nil {
 			// A delta success must carry its reuse accounting.
-			resp = Response{Code: CodeInternal, Error: "delta response missing incremental stats"}
+			resp = Response{Code: CodeInternal, Error: "delta response missing incremental stats", Trace: resp.Trace}
 		}
-		return resp, err
+		return "delta", resp, err
 	case p < 90:
-		return c.Compile(ctx, CompileRequest{
+		resp, err := c.Compile(ctx, CompileRequest{
 			Src:        soakSources[rng.Intn(len(soakSources))],
 			DeadlineMS: dl,
 		})
+		return "compile", resp, err
 	default:
 		n := 2 + rng.Intn(3)
 		srcs := make([]string, n)
 		for i := range srcs {
 			srcs[i] = soakSources[rng.Intn(len(soakSources))]
 		}
-		return c.Batch(ctx, BatchRequest{Srcs: srcs, DeadlineMS: dl})
+		resp, err := c.Batch(ctx, BatchRequest{Srcs: srcs, DeadlineMS: dl})
+		return "batch", resp, err
 	}
 }
 

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// expositionRegistry builds a fixed registry covering every sample shape:
+// labeled and unlabeled counters, a gauge, and histograms with and without
+// exemplars.
+func expositionRegistry() *Registry {
+	reg := NewRegistry()
+	c := reg.Counter("parmem_requests_total", "op", "assign")
+	c.Add(41)
+	c.Inc()
+	reg.SetHelp("parmem_requests_total", "Requests answered.")
+	reg.Counter("parmem_errors_total").Add(3)
+	reg.Gauge("parmem_conns_open").Set(7)
+	reg.SetHelp("parmem_conns_open", "Connections currently open.")
+
+	h := reg.Histogram("parmem_request_us", "op", "assign")
+	h.ObserveExemplar(3, "0123456789abcdef0123456789abcdef")
+	h.ObserveExemplar(900, "fedcba9876543210fedcba9876543210")
+	h.Observe(17) // no exemplar: bucket line must stay bare
+	reg.SetHelp("parmem_request_us", "Request wall time, microseconds.")
+	reg.Histogram("parmem_queue_us").Observe(5)
+	return reg
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("exposition drifted from %s (run with -update if intended)\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestExpositionGolden pins both exposition formats byte-for-byte: the
+// Prometheus text 0.0.4 fallback and the OpenMetrics 1.0 form with
+// exemplars and the # EOF terminator.
+func TestExpositionGolden(t *testing.T) {
+	reg := expositionRegistry()
+
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "prometheus_golden.txt", prom.Bytes())
+
+	var om bytes.Buffer
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "openmetrics_golden.txt", om.Bytes())
+
+	// Structural invariants beyond the bytes.
+	if strings.Contains(prom.String(), "# EOF") {
+		t.Fatal("Prometheus exposition must not carry the OpenMetrics EOF")
+	}
+	if !strings.HasSuffix(om.String(), "# EOF\n") {
+		t.Fatal("OpenMetrics exposition must end with # EOF")
+	}
+	if strings.Contains(om.String(), "# TYPE parmem_requests_total") {
+		t.Fatal("OpenMetrics counter family name must drop the _total suffix")
+	}
+	if !strings.Contains(om.String(), `parmem_requests_total{op="assign"} 42`) {
+		t.Fatal("OpenMetrics counter sample must keep the _total suffix")
+	}
+	if !strings.Contains(om.String(), `# {trace_id="0123456789abcdef0123456789abcdef"} 3`) {
+		t.Fatal("OpenMetrics bucket missing its exemplar")
+	}
+	if strings.Contains(prom.String(), "trace_id=") {
+		t.Fatal("Prometheus 0.0.4 exposition must not carry exemplars")
+	}
+}
+
+// TestMetricsContentNegotiation checks /metrics: the default is Prometheus
+// text 0.0.4, and an Accept header asking for OpenMetrics switches both the
+// body and the advertised content type.
+func TestMetricsContentNegotiation(t *testing.T) {
+	rec := New()
+	rec.Counter("parmem_server_requests_total", "op", "ping").Inc()
+	rec.Histogram("parmem_server_request_us", "op", "ping").ObserveExemplar(9, "0123456789abcdef0123456789abcdef")
+
+	srv, err := rec.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(accept string) (string, string) {
+		req, err := http.NewRequest("GET", "http://"+srv.Addr()+"/metrics", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("Content-Type"), string(body)
+	}
+
+	ctype, body := get("")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("default content type = %q, want text/plain", ctype)
+	}
+	if strings.Contains(body, "# EOF") || strings.Contains(body, "trace_id=") {
+		t.Fatal("default exposition leaked OpenMetrics syntax")
+	}
+
+	ctype, body = get("application/openmetrics-text; version=1.0.0")
+	if ctype != OpenMetricsContentType {
+		t.Fatalf("negotiated content type = %q, want %q", ctype, OpenMetricsContentType)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatal("negotiated OpenMetrics body missing # EOF")
+	}
+	if !strings.Contains(body, `trace_id="0123456789abcdef0123456789abcdef"`) {
+		t.Fatal("negotiated OpenMetrics body missing the exemplar")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -87,7 +88,16 @@ func (r *Recorder) Serve(addr string) (*Server, error) {
 	publishExpvar()
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		// Content negotiation: OpenMetrics when the scraper asks for it
+		// (exemplar lines are only spec-valid there), Prometheus text 0.0.4
+		// otherwise. Prometheus itself sends both in its Accept header with
+		// OpenMetrics preferred, so a substring test picks the right branch.
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})

@@ -100,29 +100,76 @@ const histBuckets = 22
 // is +Inf).
 func histBound(i int) int64 { return int64(1) << i }
 
-// Histogram counts observations into fixed log-scale buckets.
-type Histogram struct {
-	buckets [histBuckets]atomic.Int64
-	sum     atomic.Int64
-	count   atomic.Int64
+// Exemplar is a recent sample annotated with the trace id that produced it
+// — the OpenMetrics bridge from a histogram bucket to a distributed trace
+// (and from there to a flight capture).
+type Exemplar struct {
+	Value   int64
+	TraceID string
 }
 
-// Observe records one sample. Values <= 1 land in the first bucket; values
-// above 2^20 land in +Inf. Safe on a nil receiver.
+// Histogram counts observations into fixed log-scale buckets. Each bucket
+// retains the most recent traced sample as its exemplar (last-writer-wins,
+// one atomic pointer per bucket).
+type Histogram struct {
+	buckets   [histBuckets]atomic.Int64
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
+	sum       atomic.Int64
+	count     atomic.Int64
+}
+
+// bucketIdx maps a sample to its bucket: values <= 1 land in the first
+// bucket, values above 2^20 in +Inf.
+func bucketIdx(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	idx := bits.Len64(uint64(v - 1)) // v in (2^(idx-1), 2^idx]
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one sample. Safe on a nil receiver.
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
-	idx := 0
-	if v > 1 {
-		idx = bits.Len64(uint64(v - 1)) // v in (2^(idx-1), 2^idx]
-		if idx >= histBuckets {
-			idx = histBuckets - 1
-		}
+	h.buckets[bucketIdx(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveExemplar records one sample and, when traceID is non-empty, stamps
+// it as the bucket's exemplar. The exemplar allocates; callers use this on
+// request-grained paths (one per RPC), not inner loops. Safe on a nil
+// receiver.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	if h == nil {
+		return
 	}
+	idx := bucketIdx(v)
 	h.buckets[idx].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[idx].Store(&Exemplar{Value: v, TraceID: traceID})
+	}
+}
+
+// BucketExemplar returns bucket i's exemplar, if any. Exported for tests and
+// the flight recorder's introspection; i out of range or a nil receiver
+// returns ok=false.
+func (h *Histogram) BucketExemplar(i int) (Exemplar, bool) {
+	if h == nil || i < 0 || i >= histBuckets {
+		return Exemplar{}, false
+	}
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return Exemplar{}, false
+	}
+	return *e, true
 }
 
 // Count returns the number of observations (0 on a nil receiver).
@@ -361,6 +408,72 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// OpenMetricsContentType is the content type negotiated for the OpenMetrics
+// exposition on /metrics.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics writes the registry in OpenMetrics 1.0 text format: like
+// the Prometheus exposition, but counter family names drop the `_total`
+// suffix (the sample keeps it), histogram bucket lines carry exemplars in
+// `# {trace_id="..."} value` syntax, and the stream ends with `# EOF`.
+// Exemplar timestamps are omitted so the exposition of a fixed registry is
+// byte-stable (the golden test pins it).
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	fams := r.snapshotFamilies()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		famName := f.name
+		if f.kind == "counter" {
+			famName = strings.TrimSuffix(famName, "_total")
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", famName, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", famName, f.kind); err != nil {
+			return err
+		}
+		for _, s := range r.seriesOf(f) {
+			var err error
+			switch f.kind {
+			case "counter":
+				_, err = fmt.Fprintf(w, "%s_total%s %d\n", famName, braced(s.labels), s.c.Value())
+			case "gauge":
+				_, err = fmt.Fprintf(w, "%s%s %d\n", famName, braced(s.labels), s.g.Value())
+			default:
+				cum := int64(0)
+				for i := 0; i < histBuckets; i++ {
+					cum += s.h.buckets[i].Load()
+					le := fmt.Sprintf(`le="%d"`, histBound(i))
+					if i == histBuckets-1 {
+						le = `le="+Inf"`
+					}
+					ex := ""
+					if e, ok := s.h.BucketExemplar(i); ok {
+						ex = fmt.Sprintf(` # {trace_id="%s"} %d`, e.TraceID, e.Value)
+					}
+					if _, err = fmt.Fprintf(w, "%s_bucket%s %d%s\n", famName, braced(s.labels, le), cum, ex); err != nil {
+						return err
+					}
+				}
+				if _, err = fmt.Fprintf(w, "%s_sum%s %d\n", famName, braced(s.labels), s.h.Sum()); err != nil {
+					return err
+				}
+				_, err = fmt.Fprintf(w, "%s_count%s %d\n", famName, braced(s.labels), s.h.Count())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
 }
 
 // WriteText writes a compact human-readable dump: one `name{labels} value`

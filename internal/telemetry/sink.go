@@ -66,15 +66,54 @@ func (r *RingSink) Total() int64 {
 	return r.total
 }
 
-// jsonlSpan fixes the field order of one JSON-lines record.
-type jsonlSpan struct {
-	Name    string         `json:"name"`
-	ID      uint64         `json:"id"`
-	Parent  uint64         `json:"parent,omitempty"`
-	Lane    int64          `json:"lane"`
-	StartUs int64          `json:"start_us"`
-	DurUs   int64          `json:"dur_us"`
-	Attrs   map[string]any `json:"attrs,omitempty"`
+// SpanRecord fixes the field order of one exported span record — the shape
+// of a JSONL line, and of the span trees embedded in flight captures. Trace
+// ids render as 32 hex digits, remote parent references as 16 (span) + 16
+// (proc) so the merger can resolve them across files.
+type SpanRecord struct {
+	Name         string         `json:"name"`
+	ID           uint64         `json:"id"`
+	Parent       uint64         `json:"parent,omitempty"`
+	Trace        string         `json:"trace,omitempty"`
+	RemoteParent string         `json:"remote_parent,omitempty"`
+	RemoteProc   string         `json:"remote_proc,omitempty"`
+	Lane         int64          `json:"lane"`
+	StartUs      int64          `json:"start_us"`
+	DurUs        int64          `json:"dur_us"`
+	Attrs        map[string]any `json:"attrs,omitempty"`
+}
+
+// MakeSpanRecord renders an ended span to its export shape.
+func MakeSpanRecord(s *Span) SpanRecord {
+	rec := SpanRecord{
+		Name:    s.Name,
+		ID:      s.ID,
+		Parent:  s.ParentID,
+		Trace:   s.TraceID(),
+		Lane:    s.Lane,
+		StartUs: s.Start.Microseconds(),
+		DurUs:   s.Dur.Microseconds(),
+		Attrs:   attrMap(s.Attrs),
+	}
+	if s.RemoteParent != 0 {
+		var b [16]byte
+		putHex64(b[:], s.RemoteParent)
+		rec.RemoteParent = string(b[:])
+		putHex64(b[:], s.RemoteProc)
+		rec.RemoteProc = string(b[:])
+	}
+	return rec
+}
+
+// ProcessHeader is the first line of a JSONL trace file: the process name,
+// the tracer's process id, and the wall-clock instant of monotonic offset 0
+// in unix microseconds. The merger uses the name to label the lane, the id
+// to resolve remote parent references, and the epoch as the coarse clock
+// alignment before parent/child refinement.
+type ProcessHeader struct {
+	Process string `json:"process"`
+	Proc    string `json:"proc"`
+	EpochUs int64  `json:"epoch_us"`
 }
 
 // attrMap converts span attributes to a JSON object; encoding/json sorts
@@ -107,18 +146,38 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	return &JSONLSink{w: bufio.NewWriter(w)}
 }
 
+// WriteProcess emits the process header line. Call it once, right after
+// constructing the sink, before any span ends; name defaults the merger's
+// lane label, tracer supplies the process id and epoch (both may be zero for
+// deterministic tracers).
+func (j *JSONLSink) WriteProcess(name string, tracer *Tracer) {
+	hdr := ProcessHeader{Process: name}
+	if id := tracer.ProcID(); id != 0 {
+		var b [16]byte
+		putHex64(b[:], id)
+		hdr.Proc = string(b[:])
+	}
+	if ep := tracer.Epoch(); !ep.IsZero() {
+		hdr.EpochUs = ep.UnixMicro()
+	}
+	b, err := json.Marshal(hdr)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		j.err = err
+	}
+}
+
 // SpanEnd implements Sink.
 func (j *JSONLSink) SpanEnd(s *Span) {
-	rec := jsonlSpan{
-		Name:    s.Name,
-		ID:      s.ID,
-		Parent:  s.ParentID,
-		Lane:    s.Lane,
-		StartUs: s.Start.Microseconds(),
-		DurUs:   s.Dur.Microseconds(),
-		Attrs:   attrMap(s.Attrs),
-	}
-	b, err := json.Marshal(rec)
+	b, err := json.Marshal(MakeSpanRecord(s))
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {

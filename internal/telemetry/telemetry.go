@@ -14,6 +14,7 @@
 package telemetry
 
 import (
+	"context"
 	"io"
 	"sync"
 	"time"
@@ -79,7 +80,12 @@ const (
 	MServerShed        = "parmem_server_shed_total"       // counter{reason}: requests shed (queue_full, per_conn, draining)
 	MServerBadFrames   = "parmem_server_bad_frames_total" // counter{kind}: malformed/oversized/truncated frames rejected
 	MServerReqMicros   = "parmem_server_request_us"       // histogram{op}: request wall time, accept-to-response-written
+	MServerQueueWaitUs = "parmem_server_queue_wait_us"    // histogram: admission queue wait per admitted request
 	MServerDrainMicros = "parmem_server_drain_us"         // gauge: wall time of the last graceful drain
+
+	// Flight recorder (parmemd): always-on anomaly capture.
+	MServerFlightCaptures = "parmem_server_flight_captures_total" // counter{reason}: flight captures written (slow, shed, degraded, internal)
+	MServerFlightDropped  = "parmem_server_flight_dropped_total"  // counter{reason}: triggers suppressed by throttling or spool errors
 
 	// Persistent disk cache tier (scraped from diskcache.Stats by a collector).
 	MDiskHits        = "parmem_diskcache_hits_total"         // counter: records served from the log
@@ -139,7 +145,11 @@ var metricHelp = map[string]string{
 	MServerShed:        "parmemd requests shed by admission control, by reason.",
 	MServerBadFrames:   "parmemd malformed, oversized or truncated frames rejected, by kind.",
 	MServerReqMicros:   "parmemd request wall time (frame read to response written), microseconds.",
+	MServerQueueWaitUs: "parmemd admission queue wait per admitted request, microseconds.",
 	MServerDrainMicros: "Wall time of the last parmemd graceful drain, microseconds.",
+
+	MServerFlightCaptures: "parmemd flight captures written, by trigger reason.",
+	MServerFlightDropped:  "parmemd flight triggers suppressed (throttled or spool write failed), by reason.",
 
 	MDiskHits:        "Disk cache records served from the append log.",
 	MDiskMisses:      "Disk cache lookups the append log could not serve.",
@@ -186,6 +196,41 @@ func (r *Recorder) StartSpan(name string, parent *Span) *Span {
 		return nil
 	}
 	return r.tracer.StartSpan(name, parent)
+}
+
+// StartSpanContext begins a span that joins any distributed trace carried by
+// ctx (see Tracer.StartSpanContext). Nil-safe before ctx is touched, so the
+// disabled path stays allocation-free.
+func (r *Recorder) StartSpanContext(ctx context.Context, name string, parent *Span) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.StartSpanContext(ctx, name, parent)
+}
+
+// StartSpanTrace begins a root span joining tc's trace (see
+// Tracer.StartSpanTrace). Nil-safe.
+func (r *Recorder) StartSpanTrace(name string, tc TraceContext) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.tracer.StartSpanTrace(name, tc)
+}
+
+// ProcID returns the tracer's process id. Nil-safe.
+func (r *Recorder) ProcID() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.tracer.ProcID()
+}
+
+// AddSink attaches an additional span sink at runtime. Nil-safe.
+func (r *Recorder) AddSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.tracer.AddSink(s)
 }
 
 // Counter resolves a counter by name and label pairs. Nil-safe: a nil
@@ -286,6 +331,16 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 	}
 	r.runCollectors()
 	return r.reg.WritePrometheus(w)
+}
+
+// WriteOpenMetrics scrapes the collectors and writes the registry in
+// OpenMetrics 1.0 text format (exemplars included). Nil-safe.
+func (r *Recorder) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.runCollectors()
+	return r.reg.WriteOpenMetrics(w)
 }
 
 // WriteMetricsText scrapes the collectors and writes the human-readable

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the cross-process half of tracing: a W3C-traceparent-style
+// trace context (128-bit trace id, 64-bit span id, 64-bit process id) that
+// rides the framed protocol's JSON payloads as one string field and travels
+// in-process on a context.Context. The process id disambiguates span ids
+// across processes — every tracer numbers its spans 1, 2, 3, ... for
+// deterministic golden files, so a remote parent reference is only unique as
+// the (process, span) pair.
+
+// TraceContext identifies one request across processes: the 128-bit trace id
+// shared by every span of the request, plus the (process, span) pair of the
+// propagating span — the remote parent of whatever span the receiver starts.
+type TraceContext struct {
+	TraceHi uint64 // high 64 bits of the trace id
+	TraceLo uint64 // low 64 bits of the trace id
+	Span    uint64 // span id of the sender's active span (0 = none)
+	Proc    uint64 // process id of the sender's tracer (0 = unknown)
+}
+
+// Valid reports whether the context carries a trace id.
+func (tc TraceContext) Valid() bool { return tc.TraceHi != 0 || tc.TraceLo != 0 }
+
+// TraceID renders the 128-bit trace id as 32 lowercase hex digits ("" when
+// unset) — the form echoed in responses and attached to exemplars.
+func (tc TraceContext) TraceID() string {
+	if !tc.Valid() {
+		return ""
+	}
+	var b [32]byte
+	putHex64(b[:16], tc.TraceHi)
+	putHex64(b[16:], tc.TraceLo)
+	return string(b[:])
+}
+
+// String renders the wire form: "traceid-spanid-procid" (32, 16 and 16 hex
+// digits). An invalid context renders as "".
+func (tc TraceContext) String() string {
+	if !tc.Valid() {
+		return ""
+	}
+	var b [66]byte
+	putHex64(b[:16], tc.TraceHi)
+	putHex64(b[16:32], tc.TraceLo)
+	b[32] = '-'
+	putHex64(b[33:49], tc.Span)
+	b[49] = '-'
+	putHex64(b[50:66], tc.Proc)
+	return string(b[:])
+}
+
+// ParseTraceContext parses the wire form produced by String. The span and
+// proc segments are optional (absent ≡ 0), so a bare 32-hex trace id is
+// accepted. Returns ok=false for anything else — propagation is best-effort,
+// a malformed trace field never fails the request.
+func ParseTraceContext(s string) (TraceContext, bool) {
+	var tc TraceContext
+	if len(s) < 32 {
+		return tc, false
+	}
+	hi, ok1 := parseHex64(s[:16])
+	lo, ok2 := parseHex64(s[16:32])
+	if !ok1 || !ok2 || (hi == 0 && lo == 0) {
+		return tc, false
+	}
+	tc.TraceHi, tc.TraceLo = hi, lo
+	rest := s[32:]
+	if rest == "" {
+		return tc, true
+	}
+	if rest[0] != '-' || len(rest) < 17 {
+		return TraceContext{}, false
+	}
+	sp, ok := parseHex64(rest[1:17])
+	if !ok {
+		return TraceContext{}, false
+	}
+	tc.Span = sp
+	rest = rest[17:]
+	if rest == "" {
+		return tc, true
+	}
+	if rest[0] != '-' || len(rest) != 17 {
+		return TraceContext{}, false
+	}
+	pr, ok := parseHex64(rest[1:])
+	if !ok {
+		return TraceContext{}, false
+	}
+	tc.Proc = pr
+	return tc, true
+}
+
+// NewTrace returns a fresh trace context with a random 128-bit trace id and
+// no originating span. Ids come from a splitmix64 sequence seeded once from
+// crypto/rand, so generation is lock-free and never draws entropy per call.
+func NewTrace() TraceContext {
+	return TraceContext{TraceHi: randUint64(), TraceLo: randUint64()}
+}
+
+const hexDigits = "0123456789abcdef"
+
+func putHex64(dst []byte, v uint64) {
+	for i := 15; i >= 0; i-- {
+		dst[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+}
+
+func parseHex64(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+var (
+	randState atomic.Uint64
+	randOnce  sync.Once
+)
+
+// randUint64 steps a splitmix64 generator over an atomic counter seeded once
+// from crypto/rand. splitmix64 is a bijection of the counter, so distinct
+// draws never collide within a process; the random seed separates processes.
+func randUint64() uint64 {
+	randOnce.Do(func() {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err == nil {
+			randState.Store(binary.LittleEndian.Uint64(b[:]))
+		} else {
+			randState.Store(0x9e3779b97f4a7c15) // entropy failure: still unique in-process
+		}
+	})
+	z := randState.Add(0x9e3779b97f4a7c15)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// traceCtxKey is the context key TraceContext travels under.
+type traceCtxKey struct{}
+
+// ContextWithTrace returns a context carrying tc. An invalid tc returns ctx
+// unchanged.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext extracts the trace context placed by ContextWithTrace.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	if ctx == nil {
+		return TraceContext{}, false
+	}
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}

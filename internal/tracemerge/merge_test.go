@@ -1,0 +1,195 @@
+package tracemerge
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parmem/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite the merged-trace golden file")
+
+func readTestdata(t *testing.T) []ProcessTrace {
+	t.Helper()
+	var procs []ProcessTrace
+	for _, f := range []string{"daemon1.jsonl", "daemon2.jsonl", "gateway.jsonl"} {
+		pt, err := ReadFile(filepath.Join("testdata", f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		procs = append(procs, pt)
+	}
+	return procs
+}
+
+// TestMergeGolden drives two daemon exports plus a gateway export through
+// the merger and pins the merged Chrome trace byte-for-byte.
+func TestMergeGolden(t *testing.T) {
+	m := Merge(readTestdata(t))
+
+	var buf bytes.Buffer
+	if err := m.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "merged_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("merged trace drifted from golden file (run with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// Determinism across writes.
+	var again bytes.Buffer
+	if err := m.WriteChrome(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("merged trace output is not deterministic across writes")
+	}
+}
+
+// TestMergeSummaries checks the per-trace fan: the first trace spans the
+// gateway and daemon-1, the second the gateway and daemon-2.
+func TestMergeSummaries(t *testing.T) {
+	m := Merge(readTestdata(t))
+	if len(m.Traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(m.Traces))
+	}
+	for _, tr := range m.Traces {
+		if tr.Processes != 2 {
+			t.Fatalf("trace %s spans %d processes, want 2", tr.Trace, tr.Processes)
+		}
+	}
+	if m.MaxTraceProcesses() != 2 {
+		t.Fatalf("MaxTraceProcesses = %d, want 2", m.MaxTraceProcesses())
+	}
+}
+
+// TestClockSkewAlignment pins the causal refinement: daemon-2's wall clock
+// is 100ms behind the gateway's, so coarse epoch alignment alone would put
+// its rpc span long before the gateway forward that caused it. The merger
+// must shift daemon-2 so every remote child starts at or after its parent.
+func TestClockSkewAlignment(t *testing.T) {
+	procs := readTestdata(t)
+	m := Merge(procs)
+
+	// daemon2 is procs[1]; its only span's remote parent is gateway span 4.
+	child := procs[1].Spans[0]
+	var parent telemetry.SpanRecord
+	for _, sp := range procs[2].Spans {
+		if sp.ID == 4 {
+			parent = sp
+		}
+	}
+	childAt := child.StartUs + m.Offsets[1]
+	parentAt := parent.StartUs + m.Offsets[2]
+	if childAt < parentAt {
+		t.Fatalf("child starts at %d, before its remote parent at %d (offsets %v)",
+			childAt, parentAt, m.Offsets)
+	}
+	// The epoch said daemon-2 was earliest; causality must have pushed it
+	// past the coarse alignment, not left it at the epoch offset.
+	if m.Offsets[1] == 0 {
+		t.Fatal("skewed process kept its coarse offset; causal refinement did not run")
+	}
+
+	// daemon-1's child already respected causality: its coarse offset must
+	// be exactly its epoch delta (1000200 - 900000).
+	if m.Offsets[0] != 100200 {
+		t.Fatalf("daemon-1 offset = %d, want 100200", m.Offsets[0])
+	}
+}
+
+// TestReadTolerantTail accepts a truncated final line (a crashed process
+// tears mid-write) but rejects garbage in the middle of a file.
+func TestReadTolerantTail(t *testing.T) {
+	good := `{"process":"p","proc":"00000000000000aa","epoch_us":5}
+{"name":"a","id":1,"lane":0,"start_us":1,"dur_us":2}
+{"name":"b","id":2,"lane":0,"start`
+	pt, err := Read(strings.NewReader(good), "p")
+	if err != nil {
+		t.Fatalf("truncated tail rejected: %v", err)
+	}
+	if len(pt.Spans) != 1 || pt.Name != "p" {
+		t.Fatalf("spans = %d, name = %q", len(pt.Spans), pt.Name)
+	}
+
+	bad := `{"name":"a","id":1,"lane":0,"start
+{"name":"b","id":2,"lane":0,"start_us":1,"dur_us":2}`
+	if _, err := Read(strings.NewReader(bad), "p"); err == nil {
+		t.Fatal("mid-file garbage accepted")
+	}
+}
+
+// TestChromeShape checks structural invariants of the merged trace: valid
+// JSON, one process_name per input, spans sorted by aligned timestamp, and
+// flow events in matched s/f pairs.
+func TestChromeShape(t *testing.T) {
+	m := Merge(readTestdata(t))
+	var buf bytes.Buffer
+	if err := m.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Ts   int64          `json:"ts"`
+			ID   string         `json:"id"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	procNames, spans := 0, 0
+	flows := map[string]int{}
+	lastTs := int64(-1)
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				procNames++
+			}
+		case "X":
+			spans++
+			if ev.Ts < lastTs {
+				t.Fatalf("span timestamps not sorted: %d after %d", ev.Ts, lastTs)
+			}
+			lastTs = ev.Ts
+		case "s", "f":
+			flows[ev.ID]++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if procNames != 3 {
+		t.Fatalf("process_name events = %d, want 3", procNames)
+	}
+	if spans != 7 {
+		t.Fatalf("span events = %d, want 7", spans)
+	}
+	if len(flows) != 2 {
+		t.Fatalf("flow links = %d, want 2", len(flows))
+	}
+	for id, n := range flows {
+		if n != 2 {
+			t.Fatalf("flow %s has %d events, want matched s/f pair", id, n)
+		}
+	}
+}

@@ -367,7 +367,7 @@ func Compile(src string, opt Options) (p *Program, err error) {
 	rec := opt.Telemetry
 	wireTelemetry(rec, cache)
 	wireStoreTelemetry(rec, opt.Store)
-	root := rec.StartSpan("compile", nil)
+	root := rec.StartSpanContext(ctx, "compile", nil)
 	defer root.End()
 	if err := checkpoint(ctx, "parse"); err != nil {
 		return nil, err
